@@ -1,0 +1,212 @@
+// Benchmarks regenerating the paper's tables and figures. One benchmark per
+// table/figure evaluates the corresponding experiment (the calibrated model
+// over the protocol cost profiles); the Ablation benchmarks measure the real
+// implementations directly (MAC operations at the bottleneck replica,
+// switching cost, end-to-end commit latency over the in-process cluster).
+//
+//	go test -bench . -benchmem
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"abstractbft/internal/aliph"
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/experiments"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/perfmodel"
+	"abstractbft/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := experiments.NewRunner()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t, ok := r.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkTable1Characteristics(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2Latency(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkFig5Switching(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig8Throughput00(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9LatencyThroughput(b *testing.B) { benchExperiment(b, "fig9") }
+func BenchmarkFig10Throughput04(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11Throughput40(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12RequestSize(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFig13FaultScalability(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14Faults(b *testing.B)           { benchExperiment(b, "fig14") }
+func BenchmarkFig15Dynamic(b *testing.B)          { benchExperiment(b, "fig15") }
+func BenchmarkTable3AliphAttacks(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4RobustAttacks(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkTable5SwitchingTime(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkFig17RAliphOverhead(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFig18RAliphTimeline(b *testing.B)   { benchExperiment(b, "fig18") }
+
+// newBenchCluster builds an in-process cluster for live measurements.
+func newBenchCluster(b *testing.B, factory func(ids.Cluster) host.ProtocolFactory, instances func(c deploy.Config) deploy.Config, ops *authn.OpCounter) *deploy.Cluster {
+	b.Helper()
+	cfg := deploy.Config{
+		F:            1,
+		NewApp:       func() app.Application { return app.NewNull(0) },
+		Delta:        25 * time.Millisecond,
+		TickInterval: 10 * time.Millisecond,
+		Ops:          ops,
+	}
+	cfg.NewReplicaFactory = factory
+	cfg = instances(cfg)
+	c, err := deploy.New(cfg)
+	if err != nil {
+		b.Fatalf("deploy: %v", err)
+	}
+	b.Cleanup(c.Stop)
+	return c
+}
+
+// BenchmarkAblationMACOps measures the number of MAC operations per request
+// at the bottleneck replica of the real Aliph (Quorum path) implementation —
+// the quantity Table I argues about.
+func BenchmarkAblationMACOps(b *testing.B) {
+	ops := authn.NewOpCounter()
+	c := newBenchCluster(b, func(cl ids.Cluster) host.ProtocolFactory {
+		return aliph.ReplicaFactory(cl, aliph.Options{})
+	}, func(cfg deploy.Config) deploy.Config {
+		cfg.NewInstanceFactory = aliph.InstanceFactory
+		return cfg
+	}, ops)
+	client, err := c.NewClient(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: uint64(i + 1), Command: []byte("m")}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			b.Skipf("invoke: %v", err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(ops.BottleneckMACOpsPerRequest(), "MACops/req@bottleneck")
+}
+
+// BenchmarkAblationCommitLatencyAliph measures the end-to-end commit latency
+// of the real in-process Aliph deployment (single client, Quorum path).
+func BenchmarkAblationCommitLatencyAliph(b *testing.B) {
+	c := newBenchCluster(b, func(cl ids.Cluster) host.ProtocolFactory {
+		return aliph.ReplicaFactory(cl, aliph.Options{})
+	}, func(cfg deploy.Config) deploy.Config {
+		cfg.NewInstanceFactory = aliph.InstanceFactory
+		return cfg
+	}, nil)
+	client, err := c.NewClient(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: uint64(i + 1), Command: []byte("x")}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			b.Skipf("invoke: %v", err)
+		}
+	}
+}
+
+// BenchmarkAblationCommitLatencyAZyzzyva measures the ZLight (Zyzzyva common
+// case) commit latency of the real implementation.
+func BenchmarkAblationCommitLatencyAZyzzyva(b *testing.B) {
+	c := newBenchCluster(b, func(cl ids.Cluster) host.ProtocolFactory {
+		return azyzzyva.ReplicaFactory(cl, azyzzyva.Options{})
+	}, func(cfg deploy.Config) deploy.Config {
+		cfg.NewInstanceFactory = azyzzyva.InstanceFactory
+		return cfg
+	}, nil)
+	client, err := c.NewClient(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: uint64(i + 1), Command: []byte("x")}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			b.Skipf("invoke: %v", err)
+		}
+	}
+}
+
+// BenchmarkAblationStateTransfer measures the real cost of building and
+// verifying an abort/init history as it grows (the §4.6 switching-cost
+// discussion), without the network round trips.
+func BenchmarkAblationStateTransfer(b *testing.B) {
+	for _, size := range []int{32, 128, 250} {
+		b.Run(fmt.Sprintf("history-%d", size), func(b *testing.B) {
+			m := perfmodel.New()
+			for i := 0; i < b.N; i++ {
+				_ = m.SwitchingTime(size, 1, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatching sweeps the modelled batch size effect on the
+// bottleneck MAC count of the primary-based protocols versus Chain.
+func BenchmarkAblationBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, batch := range []float64{1, 2, 4, 8, 16} {
+			for _, p := range []perfmodel.Protocol{perfmodel.PBFT, perfmodel.Zyzzyva, perfmodel.Chain} {
+				_ = perfmodel.CharacteristicsOf(p, 1, batch)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationClosedLoopThroughput measures the real in-process Aliph
+// deployment under a short closed-loop multi-client workload.
+func BenchmarkAblationClosedLoopThroughput(b *testing.B) {
+	c := newBenchCluster(b, func(cl ids.Cluster) host.ProtocolFactory {
+		return aliph.ReplicaFactory(cl, aliph.Options{})
+	}, func(cfg deploy.Config) deploy.Config {
+		cfg.NewInstanceFactory = aliph.InstanceFactory
+		return cfg
+	}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		res, err := workload.RunClosedLoop(ctx, workload.ClosedLoopConfig{Clients: 4, RequestsPerClient: 5},
+			func(j int) (workload.Invoker, ids.ProcessID, error) {
+				client, err := c.NewClient(i*100 + j)
+				if err != nil {
+					return nil, 0, err
+				}
+				return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+					return client.Invoke(ctx, req)
+				}), ids.Client(i*100 + j), nil
+			})
+		if err != nil {
+			b.Skipf("closed loop: %v", err)
+		}
+		committed += res.Committed
+	}
+	b.ReportMetric(float64(committed)/float64(b.N), "req/iter")
+}

@@ -1,0 +1,38 @@
+// Command benchrunner regenerates the tables and figures of the paper's
+// evaluation. Run it without arguments to print every experiment, or select
+// one with -experiment (table1, table2, fig5, fig8..fig15, table3, table4,
+// table5, fig17, fig18).
+//
+//	go run ./cmd/benchrunner -experiment fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abstractbft/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (or 'all', or 'list')")
+	flag.Parse()
+
+	r := experiments.NewRunner()
+	switch *experiment {
+	case "list":
+		fmt.Println(strings.Join(r.IDs(), "\n"))
+	case "all", "":
+		for _, t := range r.All() {
+			fmt.Println(t.Format())
+		}
+	default:
+		t, ok := r.ByID(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *experiment, strings.Join(r.IDs(), ", "))
+			os.Exit(2)
+		}
+		fmt.Println(t.Format())
+	}
+}

@@ -1,0 +1,94 @@
+// Command client runs closed-loop clients against a TCP deployment of a
+// composed Abstract protocol started with cmd/replica.
+//
+//	go run ./cmd/client -f 1 -protocol aliph -clients 4 -requests 1000 \
+//	    -replicas 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"abstractbft/internal/aliph"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/core"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+	"abstractbft/internal/workload"
+)
+
+func main() {
+	var (
+		f           = flag.Int("f", 1, "number of tolerated Byzantine replicas")
+		protocol    = flag.String("protocol", "aliph", "composed protocol: aliph or azyzzyva")
+		replicas    = flag.String("replicas", "", "comma-separated replica addresses, in replica order")
+		secret      = flag.String("secret", "abstract-bft", "cluster key-derivation secret")
+		clients     = flag.Int("clients", 1, "number of closed-loop clients")
+		requests    = flag.Int("requests", 100, "requests per client")
+		requestSize = flag.Int("request-size", 0, "request payload size in bytes")
+		baseID      = flag.Int("base-id", 0, "first client index (use distinct ranges per client process)")
+		delta       = flag.Duration("delta", 30*time.Millisecond, "synchrony bound used for client timers")
+		listenBase  = flag.Int("listen-base", 8100, "first local TCP port for client endpoints")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*replicas, ",")
+	cluster := ids.NewCluster(*f)
+	if len(addrs) != cluster.N {
+		log.Fatalf("need %d replica addresses for f=%d, got %d", cluster.N, *f, len(addrs))
+	}
+	addrMap := make(map[ids.ProcessID]string, len(addrs))
+	for i, a := range addrs {
+		addrMap[ids.Replica(i)] = strings.TrimSpace(a)
+	}
+	keys := authn.NewKeyStore(*secret)
+
+	newInvoker := func(i int) (workload.Invoker, ids.ProcessID, error) {
+		clientID := ids.Client(*baseID + i)
+		myAddrs := make(map[ids.ProcessID]string, len(addrMap)+1)
+		for k, v := range addrMap {
+			myAddrs[k] = v
+		}
+		myAddrs[clientID] = fmt.Sprintf("127.0.0.1:%d", *listenBase+i)
+		ep, err := transport.NewTCP(clientID, myAddrs)
+		if err != nil {
+			return nil, 0, err
+		}
+		env := core.ClientEnv{Cluster: cluster, Keys: keys, ID: clientID, Endpoint: ep, Delta: *delta}
+		var composer *core.Composer
+		switch *protocol {
+		case "azyzzyva":
+			composer, err = azyzzyva.NewClient(env)
+		default:
+			composer, err = aliph.NewClient(env)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+			return composer.Invoke(ctx, req)
+		}), clientID, nil
+	}
+
+	ctx := context.Background()
+	res, err := workload.RunClosedLoop(ctx, workload.ClosedLoopConfig{
+		Clients:           *clients,
+		RequestsPerClient: *requests,
+		RequestSize:       *requestSize,
+	}, newInvoker)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("committed %d requests in %v\n", res.Committed, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f req/s\n", res.ThroughputOps())
+	fmt.Printf("latency: mean %.2f ms, p50 %.2f ms, p99 %.2f ms\n",
+		float64(res.Latency.Mean().Microseconds())/1000,
+		float64(res.Latency.Percentile(50).Microseconds())/1000,
+		float64(res.Latency.Percentile(99).Microseconds())/1000)
+}

@@ -1,0 +1,90 @@
+// Command replica runs one replica of a composed Abstract protocol (AZyzzyva
+// or Aliph) over TCP, for multi-process deployments on one or several
+// machines.
+//
+//	go run ./cmd/replica -id 0 -f 1 -protocol aliph \
+//	    -replicas 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"abstractbft/internal/aliph"
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "replica index (0-based)")
+		f         = flag.Int("f", 1, "number of tolerated Byzantine replicas")
+		protocol  = flag.String("protocol", "aliph", "composed protocol: aliph or azyzzyva")
+		replicas  = flag.String("replicas", "", "comma-separated replica addresses, in replica order")
+		secret    = flag.String("secret", "abstract-bft", "cluster key-derivation secret")
+		appName   = flag.String("app", "kv", "replicated application: kv, counter, or null")
+		replySize = flag.Int("reply-size", 0, "reply size for the null application")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*replicas, ",")
+	cluster := ids.NewCluster(*f)
+	if len(addrs) != cluster.N {
+		log.Fatalf("need %d replica addresses for f=%d, got %d", cluster.N, *f, len(addrs))
+	}
+	addrMap := make(map[ids.ProcessID]string, len(addrs))
+	for i, a := range addrs {
+		addrMap[ids.Replica(i)] = strings.TrimSpace(a)
+	}
+	self := ids.Replica(*id)
+	ep, err := transport.NewTCP(self, addrMap)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+
+	var application app.Application
+	switch *appName {
+	case "kv":
+		application = app.NewKVStore()
+	case "counter":
+		application = app.NewCounter()
+	default:
+		application = app.NewNull(*replySize)
+	}
+
+	var factory host.ProtocolFactory
+	switch *protocol {
+	case "azyzzyva":
+		factory = azyzzyva.ReplicaFactory(cluster, azyzzyva.Options{})
+	default:
+		factory = aliph.ReplicaFactory(cluster, aliph.Options{LowLoadAfter: 2 * time.Second})
+	}
+
+	h := host.New(host.Config{
+		Cluster:       cluster,
+		Replica:       self,
+		Keys:          authn.NewKeyStore(*secret),
+		App:           application,
+		Endpoint:      ep,
+		FirstInstance: 1,
+		NewProtocol:   factory,
+		Logger:        log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds),
+	})
+	h.Start()
+	log.Printf("replica %v (%s, f=%d) listening on %s", self, *protocol, *f, ep.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	h.Stop()
+	ep.Close()
+}

@@ -1,0 +1,93 @@
+// Contention: drive an Aliph cluster through the paper's intro scenario —
+// a contention-free phase served by Quorum, a contended phase that makes
+// Quorum abort and Chain take over, and a return to a single client that
+// triggers the low-load optimization and brings the composition back to
+// Quorum.
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"abstractbft/internal/aliph"
+	"abstractbft/internal/app"
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/workload"
+)
+
+func main() {
+	cluster, err := deploy.New(deploy.Config{
+		F:      1,
+		NewApp: func() app.Application { return app.NewNull(0) },
+		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
+			return aliph.ReplicaFactory(c, aliph.Options{LowLoadAfter: 400 * time.Millisecond})
+		},
+		NewInstanceFactory: aliph.InstanceFactory,
+		Delta:              20 * time.Millisecond,
+		TickInterval:       10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer cluster.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	fmt.Println("phase 1: a single client — Quorum commits in one round trip")
+	solo, err := cluster.NewClient(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := uint64(0)
+	for i := 0; i < 10; i++ {
+		ts++
+		if _, err := solo.Invoke(ctx, msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("q")}); err != nil {
+			log.Fatalf("phase 1: %v", err)
+		}
+	}
+	fmt.Printf("  active instance: %d (%v), switches: %d\n\n", solo.ActiveInstance(), aliph.RoleOf(solo.ActiveInstance()), solo.Switches())
+
+	fmt.Println("phase 2: 6 concurrent clients — contention aborts Quorum, Chain takes over")
+	res, err := workload.RunClosedLoop(ctx, workload.ClosedLoopConfig{Clients: 6, RequestsPerClient: 20}, func(i int) (workload.Invoker, ids.ProcessID, error) {
+		client, err := cluster.NewClient(i + 1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+			return client.Invoke(ctx, req)
+		}), ids.Client(i + 1), nil
+	})
+	if err != nil {
+		log.Fatalf("phase 2: %v", err)
+	}
+	fmt.Printf("  committed %d requests at %.0f req/s, mean latency %.2f ms\n\n",
+		res.Committed, res.ThroughputOps(), float64(res.Latency.Mean().Microseconds())/1000)
+
+	fmt.Println("phase 3: back to a single client — the low-load optimization returns to Quorum")
+	var lastRole aliph.Role
+	var mu sync.Mutex
+	for i := 0; i < 300; i++ {
+		ts++
+		if _, err := solo.Invoke(ctx, msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("q")}); err != nil {
+			log.Fatalf("phase 3: %v", err)
+		}
+		mu.Lock()
+		lastRole = aliph.RoleOf(solo.ActiveInstance())
+		mu.Unlock()
+		if lastRole == aliph.RoleQuorum && solo.Switches() > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("  active instance: %d (%v), total switches by this client: %d\n",
+		solo.ActiveInstance(), aliph.RoleOf(solo.ActiveInstance()), solo.Switches())
+}

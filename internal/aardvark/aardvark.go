@@ -1,0 +1,303 @@
+// Package aardvark implements the Aardvark robust BFT baseline (Clement et
+// al.) used in §6: PBFT hardened against Byzantine clients and replicas by
+// (1) validating and blacklisting misbehaving clients, (2) isolating and
+// policing per-client traffic so floods cannot starve replica-to-replica
+// communication, and (3) monitoring the primary's ordering throughput against
+// an adaptive expectation and changing views when the primary underperforms.
+//
+// The package provides both a standalone replica/client pair (the Table IV
+// baseline) and an ordering-engine factory that R-Aliph plugs into Backup
+// (Principle P1 of §6.3). The physical NIC-per-replica isolation of the
+// original system is modelled by per-client rate policing, which preserves
+// the property the paper relies on: a flooding client or replica cannot
+// prevent correct replicas from making progress.
+package aardvark
+
+import (
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/backup"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/pbft"
+	"abstractbft/internal/transport"
+)
+
+// MonitorConfig tunes the primary throughput monitoring.
+type MonitorConfig struct {
+	// Window is the observation window over which throughput is computed.
+	Window time.Duration
+	// ExpectationFactor is the fraction of the best observed throughput the
+	// current primary must sustain (0.9 in the paper).
+	ExpectationFactor float64
+	// RaiseFactor periodically raises the expectation (0.01 in the paper).
+	RaiseFactor float64
+	// GraceWindows is the number of windows after a view change during which
+	// the new primary is not judged.
+	GraceWindows int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Window <= 0 {
+		c.Window = 250 * time.Millisecond
+	}
+	if c.ExpectationFactor <= 0 {
+		c.ExpectationFactor = 0.9
+	}
+	if c.RaiseFactor < 0 {
+		c.RaiseFactor = 0.01
+	}
+	if c.GraceWindows <= 0 {
+		c.GraceWindows = 2
+	}
+	return c
+}
+
+// Monitor tracks the primary's ordering throughput and decides when to change
+// views; it also exposes the throughput expectation R-Aliph reuses when it
+// runs Quorum or Chain (Principle P2 of §6.3).
+type Monitor struct {
+	cfg MonitorConfig
+
+	windowStart time.Time
+	windowCount uint64
+	bestRate    float64
+	expectation float64
+	grace       int
+	lastView    uint64
+	now         func() time.Time
+}
+
+// NewMonitor creates a throughput monitor.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	c := cfg.withDefaults()
+	return &Monitor{cfg: c, now: time.Now, grace: c.GraceWindows}
+}
+
+// RecordDelivery registers n delivered requests.
+func (m *Monitor) RecordDelivery(n int) { m.windowCount += uint64(n) }
+
+// Expectation returns the current throughput expectation in requests/second.
+func (m *Monitor) Expectation() float64 { return m.expectation }
+
+// Observe closes the current window if it elapsed and reports whether the
+// primary should be replaced: the window's rate was below the expectation
+// while requests were pending.
+func (m *Monitor) Observe(e *pbft.Engine) bool {
+	now := m.now()
+	if m.windowStart.IsZero() {
+		m.windowStart = now
+		return false
+	}
+	if e.View() != m.lastView {
+		m.lastView = e.View()
+		m.grace = m.cfg.GraceWindows
+		m.windowStart = now
+		m.windowCount = 0
+		return false
+	}
+	if now.Sub(m.windowStart) < m.cfg.Window {
+		return false
+	}
+	rate := float64(m.windowCount) / now.Sub(m.windowStart).Seconds()
+	m.windowStart = now
+	m.windowCount = 0
+	if rate > m.bestRate {
+		m.bestRate = rate
+	}
+	m.expectation = m.cfg.ExpectationFactor * m.bestRate
+	// Periodically raise the expectation so a slowly degrading primary is
+	// eventually replaced.
+	m.bestRate *= 1 + m.cfg.RaiseFactor
+	if m.grace > 0 {
+		m.grace--
+		return false
+	}
+	if rate < m.expectation && e.PendingKnown() > 0 {
+		return true
+	}
+	return false
+}
+
+// ClientPolicer implements Aardvark's client-facing defenses: it blacklists
+// clients that send malformed (unauthenticable) requests and rate-limits
+// flooding clients.
+type ClientPolicer struct {
+	// MaxInvalid is the number of malformed requests after which a client is
+	// blacklisted.
+	MaxInvalid int
+	// MaxPerWindow caps the requests accepted per client per window.
+	MaxPerWindow int
+	// Window is the policing window.
+	Window time.Duration
+
+	invalid  map[ids.ProcessID]int
+	count    map[ids.ProcessID]int
+	windowAt time.Time
+	now      func() time.Time
+}
+
+// NewClientPolicer creates a policer with sensible defaults.
+func NewClientPolicer() *ClientPolicer {
+	return &ClientPolicer{
+		MaxInvalid:   3,
+		MaxPerWindow: 2000,
+		Window:       100 * time.Millisecond,
+		invalid:      make(map[ids.ProcessID]int),
+		count:        make(map[ids.ProcessID]int),
+		now:          time.Now,
+	}
+}
+
+// Admit reports whether a request from the client should be processed.
+func (p *ClientPolicer) Admit(client ids.ProcessID) bool {
+	now := p.now()
+	if p.windowAt.IsZero() || now.Sub(p.windowAt) > p.Window {
+		p.windowAt = now
+		p.count = make(map[ids.ProcessID]int)
+	}
+	if p.invalid[client] >= p.MaxInvalid {
+		return false
+	}
+	p.count[client]++
+	return p.count[client] <= p.MaxPerWindow
+}
+
+// RecordInvalid notes that the client sent a malformed request.
+func (p *ClientPolicer) RecordInvalid(client ids.ProcessID) { p.invalid[client]++ }
+
+// ReplicaConfig configures a standalone Aardvark replica.
+type ReplicaConfig struct {
+	Cluster           ids.Cluster
+	Replica           ids.ProcessID
+	Keys              *authn.KeyStore
+	App               app.Application
+	Endpoint          transport.Endpoint
+	BatchSize         int
+	ViewChangeTimeout time.Duration
+	Monitor           MonitorConfig
+	Ops               *authn.OpCounter
+}
+
+// NewReplica builds a standalone Aardvark replica: a PBFT replica with the
+// robust policies installed.
+func NewReplica(cfg ReplicaConfig) *pbft.Replica {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.ViewChangeTimeout <= 0 {
+		cfg.ViewChangeTimeout = 500 * time.Millisecond
+	}
+	monitor := NewMonitor(cfg.Monitor)
+	policer := NewClientPolicer()
+	keys := cfg.Keys
+	self := cfg.Replica
+	ops := cfg.Ops
+	pcfg := pbft.ReplicaConfig{
+		Cluster:           cfg.Cluster,
+		Replica:           cfg.Replica,
+		Keys:              cfg.Keys,
+		App:               cfg.App,
+		Endpoint:          cfg.Endpoint,
+		BatchSize:         cfg.BatchSize,
+		ViewChangeTimeout: cfg.ViewChangeTimeout,
+		Ops:               cfg.Ops,
+		RequestFilter: func(from ids.ProcessID, req *pbft.Request) bool {
+			if !policer.Admit(req.Req.Client) {
+				return false
+			}
+			// Aardvark verifies the client's credentials before the request
+			// enters the ordering path and blacklists clients whose
+			// authentication fails.
+			ops.CountMACVerify(self, 1)
+			if err := keys.Verify(req.Auth, self, requestAuthBytes(req.Req)); err != nil {
+				policer.RecordInvalid(req.Req.Client)
+				return false
+			}
+			return true
+		},
+		AfterDeliver: func(e *pbft.Engine, batch []msg.Request) {
+			monitor.RecordDelivery(len(batch))
+		},
+		OnTick: func(e *pbft.Engine) {
+			if monitor.Observe(e) {
+				e.StartViewChange(e.View() + 1)
+			}
+		},
+	}
+	return pbft.NewReplica(pcfg)
+}
+
+// requestAuthBytes mirrors the standalone PBFT client authentication data.
+func requestAuthBytes(req msg.Request) []byte {
+	d := req.Digest()
+	return d[:]
+}
+
+// NewClient creates a client for the standalone Aardvark deployment (the
+// request/reply protocol is PBFT's).
+func NewClient(cfg pbft.ClientConfig) *pbft.Client { return pbft.NewClient(cfg) }
+
+// orderer adapts a monitored PBFT engine to backup.Orderer for R-Aliph.
+type orderer struct {
+	engine  *pbft.Engine
+	monitor *Monitor
+}
+
+// SubmitRequest implements backup.Orderer.
+func (o *orderer) SubmitRequest(req msg.Request) { o.engine.SubmitRequest(req) }
+
+// HandleMessage implements backup.Orderer.
+func (o *orderer) HandleMessage(from ids.ProcessID, m any) { o.engine.HandleMessage(from, m) }
+
+// Tick implements backup.Orderer: it drives PBFT's view-change timers and the
+// Aardvark throughput monitoring.
+func (o *orderer) Tick() {
+	o.engine.Tick()
+	if o.monitor.Observe(o.engine) {
+		o.engine.StartViewChange(o.engine.View() + 1)
+	}
+}
+
+// Expectation exposes the monitor's throughput expectation.
+func (o *orderer) Expectation() float64 { return o.monitor.Expectation() }
+
+// ExpectationSource is implemented by orderers that expose a throughput
+// expectation (R-Aliph reads it to set the expectations of Quorum and Chain).
+type ExpectationSource interface {
+	Expectation() float64
+}
+
+// Orderer returns a backup.OrdererFactory that builds Aardvark-monitored PBFT
+// engines; R-Aliph uses it as Backup's ordering protocol (Principle P1).
+func Orderer(batchSize int, viewChangeTimeout time.Duration, mcfg MonitorConfig, register func(inst core.InstanceID, src ExpectationSource)) backup.OrdererFactory {
+	if batchSize <= 0 {
+		batchSize = 8
+	}
+	if viewChangeTimeout <= 0 {
+		viewChangeTimeout = 500 * time.Millisecond
+	}
+	return func(h *host.Host, inst core.InstanceID, send func(to ids.ProcessID, m any), deliver func([]msg.Request)) backup.Orderer {
+		monitor := NewMonitor(mcfg)
+		var o *orderer
+		engine := pbft.NewEngine(pbft.EngineConfig{
+			Cluster:           h.Cluster(),
+			Replica:           h.ID(),
+			Keys:              h.Keys(),
+			Send:              send,
+			Deliver:           func(batch []msg.Request) { monitor.RecordDelivery(len(batch)); deliver(batch) },
+			BatchSize:         batchSize,
+			ViewChangeTimeout: viewChangeTimeout,
+			Ops:               h.Ops(),
+		})
+		o = &orderer{engine: engine, monitor: monitor}
+		if register != nil {
+			register(inst, o)
+		}
+		return o
+	}
+}

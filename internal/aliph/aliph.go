@@ -1,0 +1,125 @@
+// Package aliph implements Aliph (§5), the paper's new BFT protocol built as
+// the static composition Quorum → Chain → Backup → Quorum → ...: Quorum
+// serves contention-free periods with two-message-delay latency, Chain serves
+// contended periods with a pipelined pattern whose MAC cost at the bottleneck
+// replica tends to one operation per request, and Backup (PBFT) guarantees
+// progress under asynchrony and failures, committing an exponentially growing
+// number of requests before handing control back to Quorum.
+package aliph
+
+import (
+	"time"
+
+	"abstractbft/internal/backup"
+	"abstractbft/internal/chain"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/quorum"
+)
+
+// Role identifies which Abstract implementation an instance number runs.
+type Role int
+
+// Roles of the Aliph composition, in switching order.
+const (
+	RoleQuorum Role = iota
+	RoleChain
+	RoleBackup
+)
+
+// RoleOf returns the role of instance id: 1 is Quorum, 2 is Chain, 3 is
+// Backup, 4 is Quorum again, and so on.
+func RoleOf(id core.InstanceID) Role {
+	switch id % 3 {
+	case 1:
+		return RoleQuorum
+	case 2:
+		return RoleChain
+	default:
+		return RoleBackup
+	}
+}
+
+// BackupIndex returns the 0-based index of a Backup instance within the
+// composition (instance 3 is Backup #0, instance 6 is Backup #1, ...).
+func BackupIndex(id core.InstanceID) int {
+	if id < 3 {
+		return 0
+	}
+	return int(id/3) - 1
+}
+
+// Options tunes the composition.
+type Options struct {
+	// BackupK is Backup's commit-count policy; nil selects the exponential
+	// policy starting at 1.
+	BackupK backup.KPolicy
+	// BatchSize is the PBFT batch size inside Backup.
+	BatchSize int
+	// ViewChangeTimeout is PBFT's view-change timeout inside Backup.
+	ViewChangeTimeout time.Duration
+	// LowLoadAfter enables Chain's low-load optimization: when only one
+	// client has been active for this long, Chain aborts so the composition
+	// returns to Quorum (0 disables it).
+	LowLoadAfter time.Duration
+	// Feedback optionally receives R-Aliph client feedback at Quorum and
+	// Chain replicas.
+	Feedback host.FeedbackSink
+}
+
+func (o Options) withDefaults() Options {
+	if o.BackupK == nil {
+		o.BackupK = backup.ExponentialK(1, 1<<16)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.ViewChangeTimeout <= 0 {
+		o.ViewChangeTimeout = 500 * time.Millisecond
+	}
+	return o
+}
+
+// ReplicaFactory returns the per-instance protocol factory for Aliph
+// replicas.
+func ReplicaFactory(cluster ids.Cluster, opts Options) host.ProtocolFactory {
+	opts = opts.withDefaults()
+	qu := quorum.NewReplica(opts.Feedback)
+	ch := chain.NewReplica(chain.ReplicaConfig{LowLoadAfter: opts.LowLoadAfter, Feedback: opts.Feedback})
+	bu := backup.NewReplica(backup.ReplicaConfig{
+		K:           opts.BackupK,
+		BackupIndex: BackupIndex,
+		Orderer:     backup.PBFTOrderer(opts.BatchSize, opts.ViewChangeTimeout),
+	})
+	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
+		switch RoleOf(st.ID) {
+		case RoleQuorum:
+			return qu(h, st)
+		case RoleChain:
+			return ch(h, st)
+		default:
+			return bu(h, st)
+		}
+	}
+}
+
+// InstanceFactory returns the client-side factory of the composition.
+func InstanceFactory(env core.ClientEnv) core.InstanceFactory {
+	return func(id core.InstanceID) (core.Instance, error) {
+		switch RoleOf(id) {
+		case RoleQuorum:
+			return quorum.NewClient(env, id), nil
+		case RoleChain:
+			return chain.NewClient(env, id), nil
+		default:
+			return backup.NewClient(env, id), nil
+		}
+	}
+}
+
+// NewClient creates an Aliph client: a composer starting at instance 1
+// (Quorum).
+func NewClient(env core.ClientEnv) (*core.Composer, error) {
+	return core.NewComposer(InstanceFactory(env), 1)
+}

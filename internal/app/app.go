@@ -1,0 +1,206 @@
+// Package app defines the replicated application layer: the state machine
+// that every replica executes and whose replies are returned to clients.
+//
+// Three applications are provided:
+//
+//   - Null: the microbenchmark application used throughout the paper's
+//     evaluation (x/y benchmarks); it ignores the request payload and returns
+//     a reply of a configured size.
+//   - KVStore: a deterministic key-value store used by the examples and the
+//     linearizability tests.
+//   - Counter: a minimal counter application used by unit tests.
+package app
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"abstractbft/internal/authn"
+)
+
+// Application is a deterministic state machine. Execute applies a command
+// and returns the application-level reply; Snapshot returns a digest of the
+// current state (used by checkpoints); Clone returns an independent copy with
+// the same state (used when initializing a new Abstract instance replica from
+// the state of the previous one).
+type Application interface {
+	Execute(command []byte) []byte
+	Snapshot() authn.Digest
+	Clone() Application
+}
+
+// Null is the microbenchmark application: every command returns a fixed-size
+// zero-filled reply.
+type Null struct {
+	// ReplySize is the size in bytes of every reply (the y of an x/y
+	// benchmark).
+	ReplySize int
+	executed  uint64
+}
+
+// NewNull returns a Null application producing replies of replySize bytes.
+func NewNull(replySize int) *Null { return &Null{ReplySize: replySize} }
+
+// Execute implements Application.
+func (n *Null) Execute(command []byte) []byte {
+	n.executed++
+	return make([]byte, n.ReplySize)
+}
+
+// Snapshot implements Application; the state is just the execution count.
+func (n *Null) Snapshot() authn.Digest {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], n.executed)
+	binary.BigEndian.PutUint64(buf[8:], uint64(n.ReplySize))
+	return authn.Hash(buf[:])
+}
+
+// Clone implements Application.
+func (n *Null) Clone() Application { return &Null{ReplySize: n.ReplySize, executed: n.executed} }
+
+// Executed returns the number of commands executed.
+func (n *Null) Executed() uint64 { return n.executed }
+
+// KVStore is a deterministic key-value store. Commands are encoded with
+// EncodeKVPut / EncodeKVGet / EncodeKVDelete.
+type KVStore struct {
+	data map[string]string
+}
+
+// NewKVStore returns an empty key-value store.
+func NewKVStore() *KVStore { return &KVStore{data: make(map[string]string)} }
+
+// KV command opcodes.
+const (
+	kvPut byte = iota + 1
+	kvGet
+	kvDelete
+)
+
+// EncodeKVPut encodes a put command.
+func EncodeKVPut(key, value string) []byte {
+	return encodeKV(kvPut, key, value)
+}
+
+// EncodeKVGet encodes a get command.
+func EncodeKVGet(key string) []byte { return encodeKV(kvGet, key, "") }
+
+// EncodeKVDelete encodes a delete command.
+func EncodeKVDelete(key string) []byte { return encodeKV(kvDelete, key, "") }
+
+func encodeKV(op byte, key, value string) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(op)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(key)))
+	buf.Write(l[:])
+	buf.WriteString(key)
+	binary.BigEndian.PutUint32(l[:], uint32(len(value)))
+	buf.Write(l[:])
+	buf.WriteString(value)
+	return buf.Bytes()
+}
+
+func decodeKV(cmd []byte) (op byte, key, value string, err error) {
+	if len(cmd) < 9 {
+		return 0, "", "", fmt.Errorf("app: kv command too short (%d bytes)", len(cmd))
+	}
+	op = cmd[0]
+	klen := binary.BigEndian.Uint32(cmd[1:5])
+	rest := cmd[5:]
+	if uint32(len(rest)) < klen+4 {
+		return 0, "", "", fmt.Errorf("app: kv command truncated key")
+	}
+	key = string(rest[:klen])
+	rest = rest[klen:]
+	vlen := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if uint32(len(rest)) < vlen {
+		return 0, "", "", fmt.Errorf("app: kv command truncated value")
+	}
+	value = string(rest[:vlen])
+	return op, key, value, nil
+}
+
+// Execute implements Application. Replies are "OK" for writes, the value (or
+// empty) for reads, and "ERR: ..." for malformed commands.
+func (s *KVStore) Execute(command []byte) []byte {
+	op, key, value, err := decodeKV(command)
+	if err != nil {
+		return []byte("ERR: " + err.Error())
+	}
+	switch op {
+	case kvPut:
+		s.data[key] = value
+		return []byte("OK")
+	case kvGet:
+		return []byte(s.data[key])
+	case kvDelete:
+		delete(s.data, key)
+		return []byte("OK")
+	default:
+		return []byte(fmt.Sprintf("ERR: unknown op %d", op))
+	}
+}
+
+// Snapshot implements Application: a digest over the sorted key/value pairs.
+func (s *KVStore) Snapshot() authn.Digest {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([][]byte, 0, 2*len(keys))
+	for _, k := range keys {
+		parts = append(parts, []byte(k), []byte(s.data[k]))
+	}
+	return authn.HashAll(parts...)
+}
+
+// Clone implements Application.
+func (s *KVStore) Clone() Application {
+	c := NewKVStore()
+	for k, v := range s.data {
+		c.data[k] = v
+	}
+	return c
+}
+
+// Get returns the current value of key directly (bypassing replication);
+// used by tests to inspect replica state.
+func (s *KVStore) Get(key string) string { return s.data[key] }
+
+// Len returns the number of keys stored.
+func (s *KVStore) Len() int { return len(s.data) }
+
+// Counter is a minimal application: every command increments a counter and
+// the reply is the new value, big-endian encoded.
+type Counter struct {
+	value uint64
+}
+
+// NewCounter returns a zeroed counter application.
+func NewCounter() *Counter { return &Counter{} }
+
+// Execute implements Application.
+func (c *Counter) Execute(command []byte) []byte {
+	c.value++
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], c.value)
+	return buf[:]
+}
+
+// Snapshot implements Application.
+func (c *Counter) Snapshot() authn.Digest {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], c.value)
+	return authn.Hash(buf[:])
+}
+
+// Clone implements Application.
+func (c *Counter) Clone() Application { return &Counter{value: c.value} }
+
+// Value returns the current counter value.
+func (c *Counter) Value() uint64 { return c.value }

@@ -1,0 +1,89 @@
+package app
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestNullApplication(t *testing.T) {
+	n := NewNull(16)
+	reply := n.Execute([]byte("anything"))
+	if len(reply) != 16 {
+		t.Fatalf("reply size %d, want 16", len(reply))
+	}
+	before := n.Snapshot()
+	n.Execute(nil)
+	if n.Snapshot() == before {
+		t.Fatalf("snapshot should change as commands execute")
+	}
+	clone := n.Clone().(*Null)
+	if clone.Executed() != n.Executed() {
+		t.Fatalf("clone diverges from the original")
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	kv := NewKVStore()
+	if got := kv.Execute(EncodeKVPut("k", "v")); string(got) != "OK" {
+		t.Fatalf("put reply %q", got)
+	}
+	if got := kv.Execute(EncodeKVGet("k")); string(got) != "v" {
+		t.Fatalf("get reply %q", got)
+	}
+	if got := kv.Execute(EncodeKVGet("missing")); len(got) != 0 {
+		t.Fatalf("missing key reply %q", got)
+	}
+	snapshotWithK := kv.Snapshot()
+	clone := kv.Clone().(*KVStore)
+	if clone.Get("k") != "v" || clone.Len() != 1 {
+		t.Fatalf("clone state wrong")
+	}
+	kv.Execute(EncodeKVDelete("k"))
+	if kv.Get("k") != "" || kv.Len() != 0 {
+		t.Fatalf("delete did not remove the key")
+	}
+	if kv.Snapshot() == snapshotWithK {
+		t.Fatalf("snapshot should change after delete")
+	}
+	// Clone must be unaffected by the delete on the original.
+	if clone.Get("k") != "v" {
+		t.Fatalf("clone shares state with the original")
+	}
+	if got := kv.Execute([]byte{1, 2}); !bytes.HasPrefix(got, []byte("ERR")) {
+		t.Fatalf("malformed command reply %q", got)
+	}
+}
+
+func TestKVStoreDeterminism(t *testing.T) {
+	a, b := NewKVStore(), NewKVStore()
+	cmds := [][]byte{
+		EncodeKVPut("x", "1"), EncodeKVPut("y", "2"), EncodeKVDelete("x"), EncodeKVPut("z", "3"),
+	}
+	for _, c := range cmds {
+		ra := a.Execute(c)
+		rb := b.Execute(c)
+		if !bytes.Equal(ra, rb) {
+			t.Fatalf("same command produced different replies")
+		}
+	}
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatalf("same command sequence produced different snapshots")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Execute(nil)
+	c.Execute(nil)
+	if c.Value() != 2 {
+		t.Fatalf("counter value %d, want 2", c.Value())
+	}
+	clone := c.Clone().(*Counter)
+	clone.Execute(nil)
+	if c.Value() != 2 || clone.Value() != 3 {
+		t.Fatalf("clone shares state")
+	}
+	if c.Snapshot() == clone.Snapshot() {
+		t.Fatalf("different states share a snapshot")
+	}
+}

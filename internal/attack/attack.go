@@ -1,0 +1,208 @@
+// Package attack implements the four attacks of §6.1 used to evaluate the
+// robustness of Aliph, the robust baselines, and R-Aliph:
+//
+//   - Client flooding: a Byzantine client repeatedly sends large garbage
+//     messages to the replicas.
+//   - Malformed client requests: a Byzantine client sends requests whose
+//     authenticator only verifies at a subset of the replicas.
+//   - Processing delay: a Byzantine replica (the primary/head) delays the
+//     ordering of every request it handles by a fixed amount.
+//   - Replica flooding: a Byzantine replica stops processing the protocol and
+//     floods the other replicas with large garbage messages.
+//
+// Attacks run against the in-process transport: flooding is injected by
+// dedicated goroutines, delays through the replica hosts' processing-delay
+// hook, and malformed requests through clients that corrupt their
+// authenticators.
+package attack
+
+import (
+	"sync"
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// FloodMessage is the garbage payload used by flooding attacks (9 kB in the
+// paper).
+type FloodMessage struct {
+	Payload []byte
+}
+
+func init() { transport.RegisterWireType(&FloodMessage{}) }
+
+// Flooder periodically sends large garbage messages from one process to a set
+// of targets, modelling both the client-flooding and replica-flooding
+// attacks.
+type Flooder struct {
+	endpoint transport.Endpoint
+	targets  []ids.ProcessID
+	size     int
+	interval time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	sent     uint64
+	mu       sync.Mutex
+}
+
+// NewFlooder creates a flooder sending size-byte messages to every target at
+// the given interval (defaults: 9 kB every 200µs).
+func NewFlooder(endpoint transport.Endpoint, targets []ids.ProcessID, size int, interval time.Duration) *Flooder {
+	if size <= 0 {
+		size = 9 * 1024
+	}
+	if interval <= 0 {
+		interval = 200 * time.Microsecond
+	}
+	return &Flooder{
+		endpoint: endpoint,
+		targets:  targets,
+		size:     size,
+		interval: interval,
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Start launches the flood.
+func (f *Flooder) Start() {
+	go func() {
+		payload := &FloodMessage{Payload: make([]byte, f.size)}
+		ticker := time.NewTicker(f.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-f.stopCh:
+				return
+			case <-ticker.C:
+				for _, t := range f.targets {
+					f.endpoint.Send(t, payload)
+				}
+				f.mu.Lock()
+				f.sent += uint64(len(f.targets))
+				f.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop ends the flood.
+func (f *Flooder) Stop() { f.stopOnce.Do(func() { close(f.stopCh) }) }
+
+// Sent returns the number of flood messages sent.
+func (f *Flooder) Sent() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sent
+}
+
+// CorruptAuthenticator returns a copy of the authenticator in which the
+// entries for every replica outside `validFor` are corrupted; it models the
+// malformed-client-request attack in which only a subset of the replicas
+// (including the primary or head) can authenticate the request.
+func CorruptAuthenticator(a authn.Authenticator, validFor map[ids.ProcessID]bool) authn.Authenticator {
+	out := authn.Authenticator{Sender: a.Sender, Entries: make([]authn.AuthEntry, len(a.Entries))}
+	copy(out.Entries, a.Entries)
+	for i := range out.Entries {
+		if !validFor[out.Entries[i].Receiver] {
+			out.Entries[i].MAC[0] ^= 0xFF
+		}
+	}
+	return out
+}
+
+// MalformedRequestSender repeatedly sends requests with corrupted
+// authenticators to a set of replicas, modelling the malformed-client attack
+// against protocols whose request messages carry MAC authenticators. The
+// build function constructs the concrete protocol message given the corrupted
+// authenticator and a fresh timestamp.
+type MalformedRequestSender struct {
+	endpoint transport.Endpoint
+	targets  []ids.ProcessID
+	build    func(ts uint64) any
+	interval time.Duration
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// NewMalformedRequestSender creates the attacker.
+func NewMalformedRequestSender(endpoint transport.Endpoint, targets []ids.ProcessID, interval time.Duration, build func(ts uint64) any) *MalformedRequestSender {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	return &MalformedRequestSender{
+		endpoint: endpoint,
+		targets:  targets,
+		build:    build,
+		interval: interval,
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Start launches the attack.
+func (m *MalformedRequestSender) Start() {
+	go func() {
+		ticker := time.NewTicker(m.interval)
+		defer ticker.Stop()
+		ts := uint64(1)
+		for {
+			select {
+			case <-m.stopCh:
+				return
+			case <-ticker.C:
+				payload := m.build(ts)
+				ts++
+				for _, t := range m.targets {
+					m.endpoint.Send(t, payload)
+				}
+			}
+		}
+	}()
+}
+
+// Stop ends the attack.
+func (m *MalformedRequestSender) Stop() { m.stopOnce.Do(func() { close(m.stopCh) }) }
+
+// DelayAttack describes the processing-delay attack: the target replica adds
+// the given delay to the handling of every message.
+type DelayAttack struct {
+	// Target is the Byzantine replica (the primary in Backup/PBFT, the head
+	// in Chain, an arbitrary replica in Quorum).
+	Target ids.ProcessID
+	// Delay is the added processing delay (10ms in the paper).
+	Delay time.Duration
+}
+
+// Scenario names an attack scenario of Table III/IV/V.
+type Scenario string
+
+// The attack scenarios of §6.1.
+const (
+	ScenarioNone             Scenario = "none"
+	ScenarioClientFlooding   Scenario = "client-flooding"
+	ScenarioMalformedRequest Scenario = "malformed-requests"
+	ScenarioProcessingDelay  Scenario = "processing-delay"
+	ScenarioReplicaFlooding  Scenario = "replica-flooding"
+)
+
+// AllScenarios lists the scenarios in the order the paper's tables report
+// them.
+func AllScenarios() []Scenario {
+	return []Scenario{
+		ScenarioNone,
+		ScenarioClientFlooding,
+		ScenarioMalformedRequest,
+		ScenarioProcessingDelay,
+		ScenarioReplicaFlooding,
+	}
+}
+
+// NoiseRequest builds a well-formed but useless request used by flooding
+// clients that also want to exercise the protocol path.
+func NoiseRequest(client ids.ProcessID, ts uint64, size int) msg.Request {
+	return msg.Request{Client: client, Timestamp: ts, Command: make([]byte, size)}
+}

@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/transport"
+)
+
+func TestFlooderSendsTraffic(t *testing.T) {
+	net := transport.NewLocal(transport.Options{})
+	defer net.Close()
+	attacker := net.Endpoint(ids.Client(99))
+	victim := net.Endpoint(ids.Replica(0))
+
+	f := NewFlooder(attacker, []ids.ProcessID{ids.Replica(0)}, 1024, time.Millisecond)
+	f.Start()
+	defer f.Stop()
+
+	deadline := time.After(2 * time.Second)
+	received := 0
+	for received < 5 {
+		select {
+		case env := <-victim.Inbox():
+			if fm, ok := env.Payload.(*FloodMessage); ok {
+				if len(fm.Payload) != 1024 {
+					t.Fatalf("flood payload size %d", len(fm.Payload))
+				}
+				received++
+			}
+		case <-deadline:
+			t.Fatalf("flood traffic not observed (received %d)", received)
+		}
+	}
+	f.Stop()
+	if f.Sent() == 0 {
+		t.Fatalf("flooder reports zero sent messages")
+	}
+}
+
+func TestCorruptAuthenticator(t *testing.T) {
+	ks := authn.NewKeyStore("attack-test")
+	cluster := ids.NewCluster(1)
+	data := []byte("request")
+	auth := ks.NewAuthenticator(ids.Client(0), cluster.Replicas(), data)
+	// Only the primary (r0) keeps a valid entry.
+	corrupted := CorruptAuthenticator(auth, map[ids.ProcessID]bool{ids.Replica(0): true})
+	if err := ks.Verify(corrupted, ids.Replica(0), data); err != nil {
+		t.Fatalf("entry for the primary should remain valid: %v", err)
+	}
+	for i := 1; i < cluster.N; i++ {
+		if err := ks.Verify(corrupted, ids.Replica(i), data); err == nil {
+			t.Fatalf("entry for replica %d should be corrupted", i)
+		}
+	}
+	// The original must not be modified.
+	for _, r := range cluster.Replicas() {
+		if err := ks.Verify(auth, r, data); err != nil {
+			t.Fatalf("original authenticator modified for %v: %v", r, err)
+		}
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	all := AllScenarios()
+	if len(all) != 5 || all[0] != ScenarioNone {
+		t.Fatalf("unexpected scenarios: %v", all)
+	}
+	req := NoiseRequest(ids.Client(1), 7, 9*1024)
+	if len(req.Command) != 9*1024 || req.Timestamp != 7 {
+		t.Fatalf("noise request malformed")
+	}
+}

@@ -1,0 +1,307 @@
+// Package authn provides the cryptographic substrate used by all protocols in
+// this repository: message digests, pairwise MACs, MAC authenticators
+// (vectors of MACs, one per recipient), the Chain Authenticators introduced by
+// the Chain protocol, and digital signatures.
+//
+// Keys are derived deterministically from a cluster-wide secret and the pair
+// of process identifiers, mirroring the usual BFT deployment assumption that
+// every pair of processes shares a symmetric key established out of band.
+// Signing keys are Ed25519 key pairs derived from the same secret; the public
+// keys of all processes are known to everyone.
+package authn
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"abstractbft/internal/ids"
+)
+
+// DigestSize is the size in bytes of message digests.
+const DigestSize = sha256.Size
+
+// MACSize is the size in bytes of a message authentication code.
+const MACSize = 32
+
+// Digest is a collision-resistant hash of a message.
+type Digest [DigestSize]byte
+
+// Hash computes the digest of data.
+func Hash(data []byte) Digest { return sha256.Sum256(data) }
+
+// HashAll computes the digest of the concatenation of the given byte slices,
+// with length prefixes so that the encoding is unambiguous.
+func HashAll(parts ...[]byte) Digest {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// String renders a short hexadecimal prefix of the digest.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
+
+// IsZero reports whether the digest is the zero value.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// MAC is a message authentication code computed under a pairwise key.
+type MAC [MACSize]byte
+
+// Errors returned by verification routines.
+var (
+	ErrBadMAC       = errors.New("authn: MAC verification failed")
+	ErrBadSignature = errors.New("authn: signature verification failed")
+	ErrNoEntry      = errors.New("authn: authenticator has no entry for receiver")
+)
+
+// KeyStore derives and caches the symmetric pairwise keys and the Ed25519
+// signing keys of every process. A single KeyStore models the collection of
+// keys held by all processes; per-process views are not enforced because the
+// repository's Byzantine behaviours are modelled explicitly by the attack
+// package rather than by key compromise.
+type KeyStore struct {
+	secret []byte
+
+	mu      sync.RWMutex
+	pairKey map[pairKeyID][]byte
+	signKey map[ids.ProcessID]ed25519.PrivateKey
+	pubKey  map[ids.ProcessID]ed25519.PublicKey
+}
+
+type pairKeyID struct {
+	a, b ids.ProcessID
+}
+
+// NewKeyStore creates a key store from a cluster-wide secret. Two key stores
+// created from the same secret derive identical keys, which allows separate
+// processes (or test harness components) to agree on keys without exchanging
+// them.
+func NewKeyStore(secret string) *KeyStore {
+	return &KeyStore{
+		secret:  []byte(secret),
+		pairKey: make(map[pairKeyID][]byte),
+		signKey: make(map[ids.ProcessID]ed25519.PrivateKey),
+		pubKey:  make(map[ids.ProcessID]ed25519.PublicKey),
+	}
+}
+
+func normalizePair(p, q ids.ProcessID) pairKeyID {
+	if p > q {
+		p, q = q, p
+	}
+	return pairKeyID{a: p, b: q}
+}
+
+// pairwiseKey returns the symmetric key shared between processes p and q.
+func (ks *KeyStore) pairwiseKey(p, q ids.ProcessID) []byte {
+	id := normalizePair(p, q)
+	ks.mu.RLock()
+	k, ok := ks.pairKey[id]
+	ks.mu.RUnlock()
+	if ok {
+		return k
+	}
+	mac := hmac.New(sha256.New, ks.secret)
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(id.a))
+	binary.BigEndian.PutUint32(buf[4:], uint32(id.b))
+	mac.Write([]byte("pairwise"))
+	mac.Write(buf[:])
+	k = mac.Sum(nil)
+	ks.mu.Lock()
+	ks.pairKey[id] = k
+	ks.mu.Unlock()
+	return k
+}
+
+// MAC computes the MAC of data under the key shared by sender and receiver.
+func (ks *KeyStore) MAC(sender, receiver ids.ProcessID, data []byte) MAC {
+	key := ks.pairwiseKey(sender, receiver)
+	h := hmac.New(sha256.New, key)
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(sender))
+	binary.BigEndian.PutUint32(buf[4:], uint32(receiver))
+	h.Write(buf[:])
+	h.Write(data)
+	var m MAC
+	copy(m[:], h.Sum(nil))
+	return m
+}
+
+// VerifyMAC checks that m authenticates data between sender and receiver.
+func (ks *KeyStore) VerifyMAC(sender, receiver ids.ProcessID, data []byte, m MAC) error {
+	want := ks.MAC(sender, receiver, data)
+	if !hmac.Equal(want[:], m[:]) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+// signingKey returns (lazily deriving) the Ed25519 private key of process p.
+func (ks *KeyStore) signingKey(p ids.ProcessID) ed25519.PrivateKey {
+	ks.mu.RLock()
+	k, ok := ks.signKey[p]
+	ks.mu.RUnlock()
+	if ok {
+		return k
+	}
+	seedMAC := hmac.New(sha256.New, ks.secret)
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(p))
+	seedMAC.Write([]byte("sign"))
+	seedMAC.Write(buf[:])
+	seed := seedMAC.Sum(nil)[:ed25519.SeedSize]
+	priv := ed25519.NewKeyFromSeed(seed)
+	ks.mu.Lock()
+	ks.signKey[p] = priv
+	ks.pubKey[p] = priv.Public().(ed25519.PublicKey)
+	ks.mu.Unlock()
+	return priv
+}
+
+// PublicKey returns the Ed25519 public key of process p.
+func (ks *KeyStore) PublicKey(p ids.ProcessID) ed25519.PublicKey {
+	ks.signingKey(p)
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.pubKey[p]
+}
+
+// Signature is a digital signature over a message digest.
+type Signature []byte
+
+// Sign produces process p's signature over data.
+func (ks *KeyStore) Sign(p ids.ProcessID, data []byte) Signature {
+	d := Hash(data)
+	return ed25519.Sign(ks.signingKey(p), d[:])
+}
+
+// VerifySignature checks process p's signature over data.
+func (ks *KeyStore) VerifySignature(p ids.ProcessID, data []byte, sig Signature) error {
+	d := Hash(data)
+	if !ed25519.Verify(ks.PublicKey(p), d[:], sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// AuthEntry is a single MAC entry of an authenticator, addressed to Receiver.
+type AuthEntry struct {
+	Receiver ids.ProcessID
+	MAC      MAC
+}
+
+// Authenticator is a vector of MACs generated by Sender, one entry per
+// receiver, authenticating the same message for multiple recipients
+// (Castro & Liskov's MAC authenticators).
+type Authenticator struct {
+	Sender  ids.ProcessID
+	Entries []AuthEntry
+}
+
+// NewAuthenticator computes an authenticator from sender to the given
+// receivers over data.
+func (ks *KeyStore) NewAuthenticator(sender ids.ProcessID, receivers []ids.ProcessID, data []byte) Authenticator {
+	a := Authenticator{Sender: sender, Entries: make([]AuthEntry, 0, len(receivers))}
+	for _, r := range receivers {
+		a.Entries = append(a.Entries, AuthEntry{Receiver: r, MAC: ks.MAC(sender, r, data)})
+	}
+	return a
+}
+
+// Entry returns the MAC entry addressed to receiver, if present.
+func (a Authenticator) Entry(receiver ids.ProcessID) (MAC, bool) {
+	for _, e := range a.Entries {
+		if e.Receiver == receiver {
+			return e.MAC, true
+		}
+	}
+	return MAC{}, false
+}
+
+// Verify checks the authenticator entry addressed to receiver against data.
+func (ks *KeyStore) Verify(a Authenticator, receiver ids.ProcessID, data []byte) error {
+	m, ok := a.Entry(receiver)
+	if !ok {
+		return ErrNoEntry
+	}
+	return ks.VerifyMAC(a.Sender, receiver, data, m)
+}
+
+// NumMACs returns the number of MAC entries in the authenticator; used by the
+// MAC-operation accounting in benchmarks.
+func (a Authenticator) NumMACs() int { return len(a.Entries) }
+
+// ChainAuthenticator is the lightweight authenticator used by the Chain
+// protocol (§5.3): the generating process produces at most f+1 MACs, one per
+// member of its successor set, and forwards along the chain any MACs it
+// received that are destined to processes in its own successor set.
+type ChainAuthenticator struct {
+	// Entries holds, per (signer, receiver) pair, the MAC the signer
+	// generated for the receiver.
+	Entries []ChainAuthEntry
+}
+
+// ChainAuthEntry is one MAC of a chain authenticator.
+type ChainAuthEntry struct {
+	Signer   ids.ProcessID
+	Receiver ids.ProcessID
+	MAC      MAC
+}
+
+// AppendChainMACs appends sender's MACs for each receiver in successors over
+// data to the chain authenticator and returns the updated value.
+func (ks *KeyStore) AppendChainMACs(ca ChainAuthenticator, sender ids.ProcessID, successors []ids.ProcessID, data []byte) ChainAuthenticator {
+	for _, r := range successors {
+		ca.Entries = append(ca.Entries, ChainAuthEntry{Signer: sender, Receiver: r, MAC: ks.MAC(sender, r, data)})
+	}
+	return ca
+}
+
+// VerifyChain checks that the chain authenticator contains, for the given
+// receiver, a valid MAC from every process in predecessors over data.
+func (ks *KeyStore) VerifyChain(ca ChainAuthenticator, receiver ids.ProcessID, predecessors []ids.ProcessID, data []byte) error {
+	for _, p := range predecessors {
+		found := false
+		for _, e := range ca.Entries {
+			if e.Signer == p && e.Receiver == receiver {
+				if err := ks.VerifyMAC(p, receiver, data, e.MAC); err != nil {
+					return fmt.Errorf("authn: chain authenticator entry from %v: %w", p, err)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("authn: chain authenticator missing MAC from %v for %v: %w", p, receiver, ErrNoEntry)
+		}
+	}
+	return nil
+}
+
+// PruneChain removes entries that are not destined to any process in keep,
+// modelling the forwarding rule of Chain in which a replica only propagates
+// the MACs useful to its successors.
+func PruneChain(ca ChainAuthenticator, keep []ids.ProcessID) ChainAuthenticator {
+	out := ChainAuthenticator{}
+	for _, e := range ca.Entries {
+		for _, k := range keep {
+			if e.Receiver == k {
+				out.Entries = append(out.Entries, e)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package authn
+
+import (
+	"sync"
+
+	"abstractbft/internal/ids"
+)
+
+// OpCounter records the number of cryptographic operations performed on
+// behalf of each process. The paper's Table I and the Chain analysis (§5.3)
+// argue about the number of MAC operations at the bottleneck replica; tests
+// and the ablation benchmarks use an OpCounter to measure those counts on the
+// actual implementations.
+type OpCounter struct {
+	mu       sync.Mutex
+	macGen   map[ids.ProcessID]uint64
+	macVer   map[ids.ProcessID]uint64
+	sigGen   map[ids.ProcessID]uint64
+	sigVer   map[ids.ProcessID]uint64
+	requests uint64
+}
+
+// NewOpCounter returns an empty operation counter.
+func NewOpCounter() *OpCounter {
+	return &OpCounter{
+		macGen: make(map[ids.ProcessID]uint64),
+		macVer: make(map[ids.ProcessID]uint64),
+		sigGen: make(map[ids.ProcessID]uint64),
+		sigVer: make(map[ids.ProcessID]uint64),
+	}
+}
+
+// CountMACGen records that p generated n MACs.
+func (c *OpCounter) CountMACGen(p ids.ProcessID, n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.macGen[p] += uint64(n)
+	c.mu.Unlock()
+}
+
+// CountMACVerify records that p verified n MACs.
+func (c *OpCounter) CountMACVerify(p ids.ProcessID, n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.macVer[p] += uint64(n)
+	c.mu.Unlock()
+}
+
+// CountSigGen records that p produced a signature.
+func (c *OpCounter) CountSigGen(p ids.ProcessID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sigGen[p]++
+	c.mu.Unlock()
+}
+
+// CountSigVerify records that p verified a signature.
+func (c *OpCounter) CountSigVerify(p ids.ProcessID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sigVer[p]++
+	c.mu.Unlock()
+}
+
+// CountRequest records that one client request was committed; per-request
+// averages divide by this count.
+func (c *OpCounter) CountRequest() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.requests++
+	c.mu.Unlock()
+}
+
+// MACOps returns the total MAC operations (generation + verification)
+// attributed to process p.
+func (c *OpCounter) MACOps(p ids.ProcessID) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.macGen[p] + c.macVer[p]
+}
+
+// Requests returns the number of committed requests recorded.
+func (c *OpCounter) Requests() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requests
+}
+
+// BottleneckMACOpsPerRequest returns the maximum, over all replica processes
+// observed, of MAC operations per committed request. It returns 0 when no
+// requests were recorded.
+func (c *OpCounter) BottleneckMACOpsPerRequest() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.requests == 0 {
+		return 0
+	}
+	var max uint64
+	for p, g := range c.macGen {
+		if !p.IsReplica() {
+			continue
+		}
+		total := g + c.macVer[p]
+		if total > max {
+			max = total
+		}
+	}
+	for p, v := range c.macVer {
+		if !p.IsReplica() {
+			continue
+		}
+		if _, seen := c.macGen[p]; seen {
+			continue
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return float64(max) / float64(c.requests)
+}

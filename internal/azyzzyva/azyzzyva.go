@@ -1,0 +1,88 @@
+// Package azyzzyva implements AZyzzyva (§4), the first composed protocol of
+// the paper: the static alternation of ZLight (which mimics Zyzzyva's
+// speculative common case) and Backup (a thin wrapper over PBFT that handles
+// the periods with asynchrony or failures). Odd Abstract instances run
+// ZLight, even instances run Backup; every abort switches to the next
+// instance, so the composition commits every request eventually while
+// matching Zyzzyva's performance in the common case.
+package azyzzyva
+
+import (
+	"time"
+
+	"abstractbft/internal/backup"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/zlight"
+)
+
+// Options tunes the composition.
+type Options struct {
+	// BackupK is Backup's commit-count policy; nil selects the paper's
+	// exponential policy starting at 1.
+	BackupK backup.KPolicy
+	// BatchSize is the PBFT batch size inside Backup.
+	BatchSize int
+	// ViewChangeTimeout is PBFT's view-change timeout inside Backup.
+	ViewChangeTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BackupK == nil {
+		o.BackupK = backup.ExponentialK(1, 1<<16)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 8
+	}
+	if o.ViewChangeTimeout <= 0 {
+		o.ViewChangeTimeout = 500 * time.Millisecond
+	}
+	return o
+}
+
+// IsZLight reports whether instance id runs ZLight (odd instances).
+func IsZLight(id core.InstanceID) bool { return id%2 == 1 }
+
+// BackupIndex returns the 0-based index of a Backup instance within the
+// composition (instance 2 is Backup #0, instance 4 is Backup #1, ...).
+func BackupIndex(id core.InstanceID) int {
+	if id < 2 {
+		return 0
+	}
+	return int(id/2) - 1
+}
+
+// ReplicaFactory returns the per-instance protocol factory replicas use: odd
+// instances are ZLight, even instances are Backup over PBFT.
+func ReplicaFactory(cluster ids.Cluster, opts Options) host.ProtocolFactory {
+	opts = opts.withDefaults()
+	zl := zlight.NewReplica()
+	bu := backup.NewReplica(backup.ReplicaConfig{
+		K:           opts.BackupK,
+		BackupIndex: BackupIndex,
+		Orderer:     backup.PBFTOrderer(opts.BatchSize, opts.ViewChangeTimeout),
+	})
+	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
+		if IsZLight(st.ID) {
+			return zl(h, st)
+		}
+		return bu(h, st)
+	}
+}
+
+// InstanceFactory returns the client-side factory of the composition.
+func InstanceFactory(env core.ClientEnv) core.InstanceFactory {
+	return func(id core.InstanceID) (core.Instance, error) {
+		if IsZLight(id) {
+			return zlight.NewClient(env, id), nil
+		}
+		return backup.NewClient(env, id), nil
+	}
+}
+
+// NewClient creates an AZyzzyva client: a composer over the instance factory,
+// starting at instance 1 (ZLight).
+func NewClient(env core.ClientEnv) (*core.Composer, error) {
+	return core.NewComposer(InstanceFactory(env), 1)
+}

@@ -1,0 +1,97 @@
+// Package chain implements Chain, the high-throughput Abstract instance used
+// by Aliph (§5.3): replicas are organized in a pipeline (the chain order), a
+// request travels from the head to the tail gathering chain-authenticator
+// MACs, only the last f+1 replicas execute requests, and the tail replies to
+// the client. Chain authenticators make the number of MAC operations at the
+// bottleneck replica tend to 1 under batching.
+//
+// Chain guarantees progress when there are no server/link failures and no
+// Byzantine clients (the same progress property as ZLight).
+package chain
+
+import (
+	"encoding/binary"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/history"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// Message is the CHAIN message that travels along the pipeline (Steps C1–C4).
+// The client creates it with its chain authenticator; every replica verifies
+// the MACs of its predecessor set, updates the fields its position is
+// responsible for, prunes and extends the chain authenticator, and forwards
+// the message to its successor (the tail forwards it to the client).
+type Message struct {
+	Instance core.InstanceID
+	Req      msg.Request
+	// Seq is the position assigned by the head; zero before the head
+	// processes the message.
+	Seq uint64
+	// HasSeq distinguishes an unassigned sequence number from position 0.
+	HasSeq bool
+	// ReplyDigest is D(reply), set by the last f+1 replicas.
+	ReplyDigest authn.Digest
+	// Reply is the full application reply, set only by the tail.
+	Reply []byte
+	// HistoryDigest is D(LH_j) of the last replicas.
+	HistoryDigest authn.Digest
+	// HistoryDigests optionally carries the full digest history
+	// (instrumented test runs only).
+	HistoryDigests history.DigestHistory
+	// CA is the chain authenticator accumulated along the pipeline.
+	CA authn.ChainAuthenticator
+	// Init carries the init history on the client's first invocation.
+	Init *core.InitHistory
+	// Feedback piggybacks R-Aliph client feedback (committed request
+	// timestamps followed by issued request timestamps).
+	Feedback []uint64
+}
+
+// AbstractInstance implements core.InstanceMessage.
+func (m *Message) AbstractInstance() core.InstanceID { return m.Instance }
+
+// CarriedInit implements core.InitCarrier.
+func (m *Message) CarriedInit() *core.InitHistory { return m.Init }
+
+// ClientAuthBytes returns the bytes the client authenticates towards the
+// first f+1 replicas: the instance and the request digest (the client does
+// not know the sequence number).
+func ClientAuthBytes(instance core.InstanceID, req msg.Request) []byte {
+	var buf [8 + authn.DigestSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	d := req.Digest()
+	copy(buf[8:], d[:])
+	return buf[:]
+}
+
+// OrderAuthBytes returns the bytes authenticated by the first 2f replicas:
+// instance, request digest, and the sequence number assigned by the head.
+func OrderAuthBytes(instance core.InstanceID, req msg.Request, seq uint64) []byte {
+	var buf [16 + authn.DigestSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	binary.BigEndian.PutUint64(buf[8:16], seq)
+	d := req.Digest()
+	copy(buf[16:], d[:])
+	return buf[:]
+}
+
+// TailAuthBytes returns the bytes authenticated by the last f+1 replicas
+// (and verified by the client): instance, request digest, sequence number,
+// reply digest, and local-history digest.
+func TailAuthBytes(instance core.InstanceID, req msg.Request, seq uint64, replyDigest, historyDigest authn.Digest) []byte {
+	buf := make([]byte, 16+3*authn.DigestSize)
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	binary.BigEndian.PutUint64(buf[8:16], seq)
+	d := req.Digest()
+	copy(buf[16:], d[:])
+	copy(buf[16+authn.DigestSize:], replyDigest[:])
+	copy(buf[16+2*authn.DigestSize:], historyDigest[:])
+	return buf
+}
+
+func init() {
+	transport.RegisterWireType(&Message{})
+}

@@ -1,0 +1,293 @@
+package chain
+
+import (
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+)
+
+// ReplicaConfig configures the Chain replicas of a composed protocol.
+type ReplicaConfig struct {
+	// LowLoadAfter enables Aliph's low-load optimization: when a single
+	// client has been the only active one for this long, the replica stops
+	// the instance (setting core.AbortFlagLowLoad) so the composition can
+	// switch back to Quorum through a one-request Backup. Zero disables it.
+	LowLoadAfter time.Duration
+	// Feedback optionally receives R-Aliph client feedback piggybacked on
+	// CHAIN messages.
+	Feedback host.FeedbackSink
+}
+
+// Replica implements the Chain pipeline steps (C2/C3) at one position of the
+// chain order.
+type Replica struct {
+	h   *host.Host
+	st  *host.InstanceState
+	cfg ReplicaConfig
+
+	// index is this replica's position in the chain order.
+	index int
+	// pending buffers messages that arrived ahead of the next expected
+	// sequence number.
+	pending map[uint64]*Message
+
+	// low-load tracking.
+	activeClient   ids.ProcessID
+	lastClientSeen time.Time
+	sawAnyRequest  bool
+}
+
+// NewReplica returns a host.ProtocolFactory creating Chain replicas.
+func NewReplica(cfg ReplicaConfig) host.ProtocolFactory {
+	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
+		return &Replica{
+			h:       h,
+			st:      st,
+			cfg:     cfg,
+			index:   int(h.ID()),
+			pending: make(map[uint64]*Message),
+		}
+	}
+}
+
+// isHead reports whether this replica is the head of the chain.
+func (r *Replica) isHead() bool { return r.index == 0 }
+
+// isTail reports whether this replica is the tail of the chain.
+func (r *Replica) isTail() bool { return r.index == r.h.Cluster().N-1 }
+
+// executes reports whether this replica is one of the last f+1 replicas,
+// which execute requests and authenticate replies.
+func (r *Replica) executes() bool { return r.index >= 2*r.h.Cluster().F }
+
+// Handle implements host.ProtocolReplica.
+func (r *Replica) Handle(from ids.ProcessID, m any) {
+	cm, ok := m.(*Message)
+	if !ok {
+		return
+	}
+	if r.cfg.Feedback != nil && len(cm.Feedback) > 0 && r.isHead() {
+		r.cfg.Feedback.ClientFeedback(r.h.ID(), cm.Req.Client, cm.Feedback, []uint64{cm.Req.Timestamp})
+	}
+	if r.st.Stopped {
+		return
+	}
+	if r.isHead() && !cm.HasSeq {
+		r.onClientRequest(from, cm)
+		return
+	}
+	r.onForwarded(from, cm)
+}
+
+// onClientRequest implements Step C2 at the head: verify the client MAC,
+// assign a sequence number, log, and forward down the chain.
+func (r *Replica) onClientRequest(from ids.ProcessID, m *Message) {
+	if !from.IsClient() || from != m.Req.Client {
+		return
+	}
+	r.h.Ops().CountMACVerify(r.h.ID(), 1)
+	if err := r.h.Keys().VerifyChain(m.CA, r.h.ID(), []ids.ProcessID{m.Req.Client}, ClientAuthBytes(r.st.ID, m.Req)); err != nil {
+		return
+	}
+	r.trackLoad(m.Req.Client)
+	if r.st.Stopped {
+		return
+	}
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
+		// Duplicate: forward with the duplicate flag semantics (no new
+		// position) so the tail can resend the cached reply.
+		r.forwardDuplicate(m)
+		return
+	}
+	pos, ok := r.h.Log(r.st, m.Req)
+	if !ok {
+		return
+	}
+	out := *m
+	out.Seq = pos
+	out.HasSeq = true
+	if r.executes() {
+		reply := r.h.Execute(r.st, m.Req)
+		r.fillExecution(&out, reply)
+	}
+	r.forward(&out)
+	r.h.Ops().CountRequest()
+}
+
+// onForwarded implements Step C3 at every non-head position (and handles
+// retransmitted/duplicate traffic at the head).
+func (r *Replica) onForwarded(from ids.ProcessID, m *Message) {
+	pred, hasPred := r.h.Cluster().ChainPredecessor(r.h.ID())
+	if hasPred && from != pred {
+		return
+	}
+	if !m.HasSeq {
+		return
+	}
+	if err := r.verifyPredecessors(m); err != nil {
+		return
+	}
+	r.trackLoad(m.Req.Client)
+	if r.st.Stopped {
+		return
+	}
+	if m.Seq > r.st.AbsLen() {
+		r.pending[m.Seq] = m
+		return
+	}
+	if m.Seq < r.st.AbsLen() || !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
+		r.forwardDuplicate(m)
+		return
+	}
+	r.process(m)
+	r.drainPending()
+}
+
+// process logs (and for the last f+1 replicas executes) one in-order message
+// and forwards it.
+func (r *Replica) process(m *Message) {
+	if _, ok := r.h.Log(r.st, m.Req); !ok {
+		return
+	}
+	out := *m
+	if r.executes() {
+		reply := r.h.Execute(r.st, m.Req)
+		r.fillExecution(&out, reply)
+	}
+	r.forward(&out)
+}
+
+func (r *Replica) drainPending() {
+	for {
+		next, ok := r.pending[r.st.AbsLen()]
+		if !ok || r.st.Stopped {
+			return
+		}
+		delete(r.pending, r.st.AbsLen())
+		if !r.st.TimestampFresh(next.Req.Client, next.Req.Timestamp) {
+			r.forwardDuplicate(next)
+			continue
+		}
+		r.process(next)
+	}
+}
+
+// fillExecution sets the reply and history fields a last-f+1 replica is
+// responsible for.
+func (r *Replica) fillExecution(out *Message, reply []byte) {
+	out.ReplyDigest = authn.Hash(reply)
+	out.HistoryDigest = r.st.HistoryDigest()
+	if r.isTail() {
+		out.Reply = reply
+		if r.h.InstrumentHistories() {
+			out.HistoryDigests = r.st.Digests.Clone()
+		}
+	} else {
+		out.Reply = nil
+	}
+}
+
+// forwardDuplicate pushes an already-logged request down the chain so the
+// tail can resend the cached reply; nothing is logged or executed again.
+func (r *Replica) forwardDuplicate(m *Message) {
+	out := *m
+	if r.executes() {
+		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
+			r.fillExecution(&out, reply)
+		}
+	}
+	r.forward(&out)
+}
+
+// forward appends this replica's chain-authenticator MACs and sends the
+// message to the successor (or to the client when this is the tail).
+func (r *Replica) forward(out *Message) {
+	successors := r.h.Cluster().ChainSuccessorSet(r.h.ID())
+	data := r.authBytesFor(r.h.ID(), out)
+	// Prune entries that are no longer needed downstream, then append ours.
+	keep := append([]ids.ProcessID{}, successors...)
+	for j := r.index + 1; j < r.h.Cluster().N; j++ {
+		keep = append(keep, ids.Replica(j))
+	}
+	keep = append(keep, out.Req.Client)
+	out.CA = authn.PruneChain(out.CA, keep)
+	out.CA = r.h.Keys().AppendChainMACs(out.CA, r.h.ID(), successors, data)
+	r.h.Ops().CountMACGen(r.h.ID(), len(successors))
+	if r.executes() && !r.isTail() {
+		// Replicas after position 2f also authenticate towards the client.
+		out.CA = r.h.Keys().AppendChainMACs(out.CA, r.h.ID(), []ids.ProcessID{out.Req.Client}, data)
+		r.h.Ops().CountMACGen(r.h.ID(), 1)
+	}
+	if r.isTail() {
+		out.CA = r.h.Keys().AppendChainMACs(out.CA, r.h.ID(), []ids.ProcessID{out.Req.Client}, data)
+		r.h.Ops().CountMACGen(r.h.ID(), 1)
+		r.h.Send(out.Req.Client, out)
+		return
+	}
+	succ, _ := r.h.Cluster().ChainSuccessor(r.h.ID())
+	r.h.Send(succ, out)
+}
+
+// authBytesFor returns the bytes process p authenticates for the given
+// message, which depend on p's position in the chain: the client signs the
+// request and instance, the first 2f replicas additionally sign the sequence
+// number, and the last f+1 replicas also sign the reply and history digests.
+func (r *Replica) authBytesFor(p ids.ProcessID, m *Message) []byte {
+	cl := r.h.Cluster()
+	switch {
+	case p.IsClient():
+		return ClientAuthBytes(m.Instance, m.Req)
+	case int(p) < 2*cl.F:
+		return OrderAuthBytes(m.Instance, m.Req, m.Seq)
+	default:
+		return TailAuthBytes(m.Instance, m.Req, m.Seq, m.ReplyDigest, m.HistoryDigest)
+	}
+}
+
+// verifyPredecessors checks the chain-authenticator MACs from every process
+// in this replica's predecessor set.
+func (r *Replica) verifyPredecessors(m *Message) error {
+	cl := r.h.Cluster()
+	preds := cl.ChainPredecessorSet(r.h.ID())
+	// The client belongs to the predecessor set of the first f+1 replicas.
+	if r.index < cl.F+1 {
+		if err := r.h.Keys().VerifyChain(m.CA, r.h.ID(), []ids.ProcessID{m.Req.Client}, ClientAuthBytes(m.Instance, m.Req)); err != nil {
+			r.h.Ops().CountMACVerify(r.h.ID(), 1)
+			return err
+		}
+		r.h.Ops().CountMACVerify(r.h.ID(), 1)
+	}
+	for _, p := range preds {
+		data := r.authBytesFor(p, m)
+		r.h.Ops().CountMACVerify(r.h.ID(), 1)
+		if err := r.h.Keys().VerifyChain(m.CA, r.h.ID(), []ids.ProcessID{p}, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trackLoad implements the low-load detection used by Aliph: when only one
+// client has been active for LowLoadAfter, the replica stops the instance
+// with the low-load abort flag so the composition can return to Quorum.
+func (r *Replica) trackLoad(client ids.ProcessID) {
+	if r.cfg.LowLoadAfter <= 0 {
+		return
+	}
+	now := time.Now()
+	if !r.sawAnyRequest || client != r.activeClient {
+		r.activeClient = client
+		r.lastClientSeen = now
+		r.sawAnyRequest = true
+		return
+	}
+	if now.Sub(r.lastClientSeen) >= r.cfg.LowLoadAfter {
+		r.st.AbortFlags |= core.AbortFlagLowLoad
+		r.h.StopInstance(r.st)
+	}
+}
+
+var _ host.ProtocolReplica = (*Replica)(nil)

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/transport"
+)
+
+// ClientEnv bundles the per-client resources shared by every Abstract
+// instance client implementation: the cluster description, keys, the client's
+// network endpoint, and timing parameters.
+//
+// A client invokes instances sequentially (well-formed clients issue one
+// request at a time), so instance clients created from the same ClientEnv may
+// share the endpoint's inbox without additional synchronization.
+type ClientEnv struct {
+	// Cluster describes the replica group.
+	Cluster ids.Cluster
+	// Keys is the cryptographic key store.
+	Keys *authn.KeyStore
+	// ID is the client's process identifier.
+	ID ids.ProcessID
+	// Endpoint attaches the client to the network.
+	Endpoint transport.Endpoint
+	// Delta is the one-way delay bound Δ = Θ_p + Θ_c used to arm client
+	// timers (3Δ for ZLight, 2Δ for Quorum, (n+1)Δ for Chain).
+	Delta time.Duration
+	// RetryInterval is the interval at which PANIC messages are
+	// retransmitted while waiting for 2f+1 signed ABORT messages.
+	RetryInterval time.Duration
+	// Ops optionally counts cryptographic operations performed by the
+	// client.
+	Ops *authn.OpCounter
+	// Checker optionally records events for the Abstract specification
+	// checker (tests only).
+	Checker *SpecChecker
+}
+
+// Timer returns a timer duration of k*Delta with a sensible default when
+// Delta is unset.
+func (e ClientEnv) Timer(k int) time.Duration {
+	d := e.Delta
+	if d <= 0 {
+		d = 20 * time.Millisecond
+	}
+	return time.Duration(k) * d
+}
+
+// Retry returns the PANIC retransmission interval.
+func (e ClientEnv) Retry() time.Duration {
+	if e.RetryInterval > 0 {
+		return e.RetryInterval
+	}
+	return e.Timer(2)
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// InstanceMessage is implemented by every protocol message that belongs to a
+// specific Abstract instance; replica hosts use it to dispatch messages.
+type InstanceMessage interface {
+	AbstractInstance() InstanceID
+}
+
+// InitCarrier is implemented by request messages that may carry an init
+// history (the first invocation of an instance by a client).
+type InitCarrier interface {
+	CarriedInit() *InitHistory
+}
+
+// PanicMessage is the PANIC message a client sends to all replicas when it
+// fails to commit a request in time (Step P1). When the panicking request was
+// invoked with an init history, the init history is included so that
+// uninitialized replicas can initialize before aborting (Step P1+/P2+).
+type PanicMessage struct {
+	Instance  InstanceID
+	Client    ids.ProcessID
+	Timestamp uint64
+	Init      *InitHistory
+}
+
+// AbstractInstance implements InstanceMessage.
+func (m *PanicMessage) AbstractInstance() InstanceID { return m.Instance }
+
+// CarriedInit implements InitCarrier.
+func (m *PanicMessage) CarriedInit() *InitHistory { return m.Init }
+
+// Abort flags carried by ABORT messages; they do not affect the Abstract
+// specification but let the next instance adapt its configuration.
+const (
+	// AbortFlagLowLoad marks an abort caused by Chain's low-load
+	// optimization (§5.4): the next Backup instance then commits a single
+	// request before switching onward to Quorum.
+	AbortFlagLowLoad uint32 = 1 << iota
+)
+
+// AbortMessage is the signed ABORT message a replica sends in response to a
+// PANIC (Step P2): the replica's history report and the identity of the next
+// instance.
+type AbortMessage struct {
+	Instance  InstanceID
+	Replica   ids.ProcessID
+	Timestamp uint64
+	Next      InstanceID
+	Flags     uint32
+	Report    history.ReplicaReport
+}
+
+// AbstractInstance implements InstanceMessage.
+func (m *AbortMessage) AbstractInstance() InstanceID { return m.Instance }
+
+// SignedBytes returns the deterministic encoding of the fields covered by the
+// replica's signature. The client timestamp is deliberately excluded so that
+// the ABORT messages a replica sends to different panicking clients carry the
+// same signature payload (the replica sends "the same abort message for all
+// subsequent requests").
+func (m *AbortMessage) SignedBytes() []byte {
+	var buf bytes.Buffer
+	var hdr [32]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(m.Instance))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(m.Replica))
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(m.Next))
+	binary.BigEndian.PutUint64(hdr[20:28], m.Report.CheckpointSeq)
+	binary.BigEndian.PutUint32(hdr[28:32], m.Flags)
+	buf.Write(hdr[:])
+	buf.Write(m.Report.CheckpointDigest[:])
+	for _, d := range m.Report.Suffix {
+		buf.Write(d[:])
+	}
+	return buf.Bytes()
+}
+
+// SignedAbort is an ABORT message together with the sending replica's
+// signature over SignedBytes.
+type SignedAbort struct {
+	Abort AbortMessage
+	Sig   authn.Signature
+}
+
+// Verify checks the signature of the signed abort message.
+func (s *SignedAbort) Verify(ks *authn.KeyStore) error {
+	return ks.VerifySignature(s.Abort.Replica, s.Abort.SignedBytes(), s.Sig)
+}
+
+// AbortReply is the message carrying a SignedAbort from a replica to a
+// panicking client.
+type AbortReply struct {
+	Instance  InstanceID
+	Timestamp uint64
+	Signed    SignedAbort
+}
+
+// AbstractInstance implements InstanceMessage.
+func (m *AbortReply) AbstractInstance() InstanceID { return m.Instance }
+
+// CheckpointMessage is the LCS checkpoint exchange message (§4.2.4).
+type CheckpointMessage struct {
+	Instance ids.ProcessID // unused placeholder to keep field order stable in gob
+	// From identifies the sending replica.
+	From ids.ProcessID
+	// AbstractID is the instance the checkpoint belongs to.
+	AbstractID InstanceID
+	// Counter is the checkpoint counter cc.
+	Counter uint64
+	// StateDigest is the digest of the replica state after cc*CHK requests.
+	StateDigest authn.Digest
+}
+
+// AbstractInstance implements InstanceMessage.
+func (m *CheckpointMessage) AbstractInstance() InstanceID { return m.AbstractID }
+
+// FetchRequest asks another replica for the bodies of requests whose digests
+// appear in an init history but are missing locally (§4.4, inter-replica
+// state transfer of missing requests).
+type FetchRequest struct {
+	Instance InstanceID
+	From     ids.ProcessID
+	Digests  []authn.Digest
+}
+
+// AbstractInstance implements InstanceMessage.
+func (m *FetchRequest) AbstractInstance() InstanceID { return m.Instance }
+
+// FetchResponse returns the request bodies a replica knows for a
+// FetchRequest.
+type FetchResponse struct {
+	Instance InstanceID
+	From     ids.ProcessID
+	Requests []msg.Request
+}
+
+// AbstractInstance implements InstanceMessage.
+func (m *FetchResponse) AbstractInstance() InstanceID { return m.Instance }
+
+// RespMessage is the speculative reply message shared by ZLight and Quorum
+// (Step Z3/Q2): the application reply (or its digest for all but one
+// designated replica), the digest of the replica's local history, and the
+// request timestamp, authenticated with a MAC for the client.
+type RespMessage struct {
+	Instance  InstanceID
+	Replica   ids.ProcessID
+	Client    ids.ProcessID
+	Timestamp uint64
+	// Reply is the full application reply (designated replica) or nil.
+	Reply []byte
+	// ReplyDigest is the digest of the application reply.
+	ReplyDigest authn.Digest
+	// HistoryDigest is D(LH_j), the digest of the replica's local history.
+	HistoryDigest authn.Digest
+	// HistoryLen is the length of the replica's local history; used together
+	// with HistoryDigest by clients to detect divergence early in tests.
+	HistoryLen uint64
+	// HistoryDigests optionally carries the full digest history when history
+	// instrumentation is enabled (test builds only).
+	HistoryDigests history.DigestHistory
+	// MAC authenticates the message from Replica to Client.
+	MAC authn.MAC
+}
+
+// AbstractInstance implements InstanceMessage.
+func (m *RespMessage) AbstractInstance() InstanceID { return m.Instance }
+
+// MACBytes returns the bytes covered by the RESP message's MAC.
+func (m *RespMessage) MACBytes() []byte {
+	var buf bytes.Buffer
+	var hdr [28]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(m.Instance))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(m.Replica))
+	binary.BigEndian.PutUint64(hdr[12:20], m.Timestamp)
+	binary.BigEndian.PutUint64(hdr[20:28], m.HistoryLen)
+	buf.Write(hdr[:])
+	buf.Write(m.ReplyDigest[:])
+	buf.Write(m.HistoryDigest[:])
+	return buf.Bytes()
+}
+
+func init() {
+	// Register the framework messages with the TCP transport so composed
+	// protocols work across processes as well as in-process.
+	transport.RegisterWireType(&PanicMessage{})
+	transport.RegisterWireType(&AbortReply{})
+	transport.RegisterWireType(&CheckpointMessage{})
+	transport.RegisterWireType(&FetchRequest{})
+	transport.RegisterWireType(&FetchResponse{})
+	transport.RegisterWireType(&RespMessage{})
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"abstractbft/internal/msg"
+)
+
+// PanicAndAbort runs the client side of the panicking/aborting subprotocol
+// shared by ZLight, Quorum, and Chain (Steps P1/P1+ and P3): it periodically
+// sends PANIC messages to every replica, collects signed ABORT messages, and
+// once 2f+1 consistent ones have been received, extracts the abort history
+// and returns the Abort outcome for the request.
+//
+// The init history (when this is the first invocation of the instance by the
+// client) is included in the PANIC messages so that uninitialized replicas
+// can initialize before aborting (Step P2+).
+func PanicAndAbort(ctx context.Context, env ClientEnv, instance InstanceID, req msg.Request, init *InitHistory) (Outcome, error) {
+	collector := NewAbortCollector(env.Cluster, env.Keys, instance)
+	panicMsg := &PanicMessage{Instance: instance, Client: env.ID, Timestamp: req.Timestamp, Init: init}
+
+	sendPanic := func() {
+		for _, r := range env.Cluster.Replicas() {
+			env.Endpoint.Send(r, panicMsg)
+			env.Ops.CountMACGen(env.ID, 1)
+		}
+	}
+	sendPanic()
+
+	retry := time.NewTicker(env.Retry())
+	defer retry.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		case <-retry.C:
+			sendPanic()
+		case env2, ok := <-env.Endpoint.Inbox():
+			if !ok {
+				return Outcome{}, ErrStopped
+			}
+			reply, isAbort := env2.Payload.(*AbortReply)
+			if !isAbort || reply.Instance != instance {
+				continue
+			}
+			env.Ops.CountSigVerify(env.ID)
+			if !collector.Add(reply.Signed) {
+				continue
+			}
+			if !collector.Ready() {
+				continue
+			}
+			ind, err := collector.Build([]msg.Request{req})
+			if err != nil {
+				// Not enough consistent aborts yet; keep collecting.
+				continue
+			}
+			if env.Checker != nil {
+				env.Checker.RecordAbort(instance, req, ind.Init.Extract.Suffix)
+			}
+			return Outcome{Committed: false, Abort: &ind}, nil
+		}
+	}
+}

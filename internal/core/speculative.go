@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+// AwaitSpeculativeCommit implements the client-side commit rule shared by
+// ZLight (Step Z4) and Quorum (Step Q3): wait until all 3f+1 replicas return
+// RESP messages with identical history digests and identical replies (or
+// reply digests), within the given timeout. It returns the commit outcome and
+// true when the rule was met; otherwise it returns false and the caller
+// triggers the panicking mechanism.
+func AwaitSpeculativeCommit(ctx context.Context, env ClientEnv, instance InstanceID, req msg.Request, timeout time.Duration) (Outcome, bool, error) {
+	type respKey struct {
+		historyDigest authn.Digest
+		replyDigest   authn.Digest
+	}
+	type bucket struct {
+		replicas map[ids.ProcessID]bool
+		reply    []byte
+		digests  history.DigestHistory
+	}
+	buckets := make(map[respKey]*bucket)
+	seen := make(map[ids.ProcessID]respKey)
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return Outcome{}, false, ctx.Err()
+		case <-timer.C:
+			return Outcome{}, false, nil
+		case env2, ok := <-env.Endpoint.Inbox():
+			if !ok {
+				return Outcome{}, false, ErrStopped
+			}
+			resp, isResp := env2.Payload.(*RespMessage)
+			if !isResp || resp.Instance != instance || resp.Timestamp != req.Timestamp || resp.Client != env.ID {
+				continue
+			}
+			if !resp.Replica.IsReplica() || int(resp.Replica) >= env.Cluster.N {
+				continue
+			}
+			env.Ops.CountMACVerify(env.ID, 1)
+			if err := env.Keys.VerifyMAC(resp.Replica, env.ID, resp.MACBytes(), resp.MAC); err != nil {
+				continue
+			}
+			key := respKey{historyDigest: resp.HistoryDigest, replyDigest: resp.ReplyDigest}
+			if prev, dup := seen[resp.Replica]; dup {
+				if prev == key {
+					continue
+				}
+				// A replica changed its answer for the same request: treat
+				// as divergence and fall through to panicking.
+				return Outcome{}, false, nil
+			}
+			seen[resp.Replica] = key
+			b := buckets[key]
+			if b == nil {
+				b = &bucket{replicas: make(map[ids.ProcessID]bool)}
+				buckets[key] = b
+			}
+			b.replicas[resp.Replica] = true
+			// The designated replica's full reply is accepted when it hashes
+			// to the reported digest; an empty reply (e.g. the null
+			// microbenchmark application) is a valid full reply.
+			if b.reply == nil && authn.Hash(resp.Reply) == resp.ReplyDigest {
+				b.reply = append([]byte{}, resp.Reply...)
+			}
+			if len(resp.HistoryDigests) > 0 {
+				b.digests = resp.HistoryDigests.Clone()
+			}
+
+			if len(b.replicas) == env.Cluster.N && b.reply != nil {
+				out := Outcome{Committed: true, Reply: b.reply, CommitHistory: b.digests}
+				if env.Checker != nil {
+					env.Checker.RecordCommit(instance, req, b.reply, b.digests)
+				}
+				return out, true, nil
+			}
+			// Divergent responses from all replicas cannot reach 3f+1
+			// matches any more: give up early so the panicking mechanism
+			// starts without waiting for the full timeout.
+			if len(seen) == env.Cluster.N && len(buckets) > 1 {
+				return Outcome{}, false, nil
+			}
+		}
+	}
+}

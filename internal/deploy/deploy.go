@@ -1,0 +1,159 @@
+// Package deploy assembles in-process clusters of the composed protocols
+// (AZyzzyva, Aliph, R-Aliph) and provides clients bound to them. Examples,
+// integration tests, the workload harness, and the benchmark suite all build
+// their clusters through this package; multi-process deployments use the same
+// building blocks over the TCP transport in cmd/replica and cmd/client.
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/transport"
+)
+
+// Config describes an in-process cluster.
+type Config struct {
+	// F is the number of tolerated Byzantine replicas (n = 3f+1).
+	F int
+	// NewApp builds the application replica instances execute; nil selects a
+	// null application with empty replies.
+	NewApp func() app.Application
+	// NewReplicaFactory builds the per-instance protocol factory (provided
+	// by the composition packages).
+	NewReplicaFactory func(cluster ids.Cluster) host.ProtocolFactory
+	// NewInstanceFactory builds the client-side instance factory.
+	NewInstanceFactory func(env core.ClientEnv) core.InstanceFactory
+	// Delta is the synchrony bound used for client timers.
+	Delta time.Duration
+	// Network configures the in-process transport (loss, delay, queueing).
+	Network transport.Options
+	// CheckpointInterval is CHK (0 = default 128, negative = disabled).
+	CheckpointInterval int
+	// MaxUncheckpointed bounds the uncheckpointed history (R-Aliph).
+	MaxUncheckpointed int
+	// InstrumentHistories enables the specification checker instrumentation.
+	InstrumentHistories bool
+	// Checker optionally records client events for the specification
+	// checker.
+	Checker *core.SpecChecker
+	// Ops optionally counts cryptographic operations across the cluster.
+	Ops *authn.OpCounter
+	// Secret seeds the deterministic key derivation.
+	Secret string
+	// TickInterval is the replica protocol tick (view-change timers).
+	TickInterval time.Duration
+	// Observer is installed on every replica host (R-Aliph monitoring,
+	// tests). The function receives the replica identifier and returns the
+	// observer for that replica (nil for none).
+	Observer func(r ids.ProcessID, h *host.Host) host.Observer
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	cfg     Config
+	Cluster ids.Cluster
+	Keys    *authn.KeyStore
+	Net     *transport.Local
+	Hosts   []*host.Host
+
+	nextClient int
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NewReplicaFactory == nil || cfg.NewInstanceFactory == nil {
+		return nil, fmt.Errorf("deploy: missing protocol factories")
+	}
+	if cfg.NewApp == nil {
+		cfg.NewApp = func() app.Application { return app.NewNull(0) }
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 25 * time.Millisecond
+	}
+	if cfg.Secret == "" {
+		cfg.Secret = "abstract-bft"
+	}
+	cluster := ids.NewCluster(cfg.F)
+	if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		Cluster: cluster,
+		Keys:    authn.NewKeyStore(cfg.Secret),
+		Net:     transport.NewLocal(cfg.Network),
+	}
+	factory := cfg.NewReplicaFactory(cluster)
+	for i := 0; i < cluster.N; i++ {
+		r := ids.Replica(i)
+		h := host.New(host.Config{
+			Cluster:             cluster,
+			Replica:             r,
+			Keys:                c.Keys,
+			App:                 cfg.NewApp(),
+			Endpoint:            c.Net.Endpoint(r),
+			FirstInstance:       1,
+			NewProtocol:         factory,
+			CheckpointInterval:  cfg.CheckpointInterval,
+			MaxUncheckpointed:   cfg.MaxUncheckpointed,
+			InstrumentHistories: cfg.InstrumentHistories,
+			Ops:                 cfg.Ops,
+			TickInterval:        cfg.TickInterval,
+		})
+		if cfg.Observer != nil {
+			if obs := cfg.Observer(r, h); obs != nil {
+				h.SetObserver(obs)
+			}
+		}
+		c.Hosts = append(c.Hosts, h)
+	}
+	for _, h := range c.Hosts {
+		h.Start()
+	}
+	return c, nil
+}
+
+// Stop shuts down every replica and the network.
+func (c *Cluster) Stop() {
+	for _, h := range c.Hosts {
+		h.Stop()
+	}
+	c.Net.Close()
+}
+
+// Host returns the i-th replica host.
+func (c *Cluster) Host(i int) *host.Host { return c.Hosts[i] }
+
+// ClientEnv builds the client environment for the i-th client.
+func (c *Cluster) ClientEnv(i int) core.ClientEnv {
+	id := ids.Client(i)
+	return core.ClientEnv{
+		Cluster:       c.Cluster,
+		Keys:          c.Keys,
+		ID:            id,
+		Endpoint:      c.Net.Endpoint(id),
+		Delta:         c.cfg.Delta,
+		RetryInterval: c.cfg.Delta * 2,
+		Ops:           c.cfg.Ops,
+		Checker:       c.cfg.Checker,
+	}
+}
+
+// NewClient creates a composed-protocol client with the given index.
+func (c *Cluster) NewClient(i int) (*core.Composer, error) {
+	env := c.ClientEnv(i)
+	return core.NewComposer(c.cfg.NewInstanceFactory(env), 1)
+}
+
+// NextClient creates a client with the next unused client index.
+func (c *Cluster) NextClient() (*core.Composer, error) {
+	i := c.nextClient
+	c.nextClient++
+	return c.NewClient(i)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsProduceRows(t *testing.T) {
+	r := NewRunner()
+	all := r.All()
+	if len(all) != 16 {
+		t.Fatalf("expected 16 experiments (every table and figure), got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, tab := range all {
+		if tab.ID == "" || tab.Title == "" {
+			t.Errorf("experiment with empty id/title: %+v", tab)
+		}
+		if seen[tab.ID] {
+			t.Errorf("duplicate experiment id %s", tab.ID)
+		}
+		seen[tab.ID] = true
+		if len(tab.Rows) == 0 {
+			t.Errorf("experiment %s has no rows", tab.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("experiment %s: row width %d != header width %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+		if out := tab.Format(); !strings.Contains(out, tab.ID) {
+			t.Errorf("formatted output of %s does not mention its id", tab.ID)
+		}
+	}
+	for _, id := range []string{"table1", "table2", "fig5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table3", "table4", "table5", "fig17", "fig18"} {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	r := NewRunner()
+	if _, ok := r.ByID("fig11"); !ok {
+		t.Fatalf("fig11 not found")
+	}
+	if _, ok := r.ByID("nope"); ok {
+		t.Fatalf("unknown experiment found")
+	}
+	if len(r.IDs()) != 16 {
+		t.Fatalf("IDs() returned %d entries", len(r.IDs()))
+	}
+}
+
+func TestTable2AllImprovementsPositive(t *testing.T) {
+	tab := NewRunner().Table2()
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+			if err != nil {
+				t.Fatalf("cell %q not a percentage: %v", cell, err)
+			}
+			if v <= 0 {
+				t.Errorf("Aliph latency improvement %q is not positive (protocol %s)", cell, row[0])
+			}
+		}
+	}
+}
+
+func TestFig11AliphDominatesWithLargeRequests(t *testing.T) {
+	tab := NewRunner().Fig11()
+	last := tab.Rows[len(tab.Rows)-1]
+	aliph, _ := strconv.ParseFloat(last[1], 64)
+	zyz, _ := strconv.ParseFloat(last[2], 64)
+	pbft, _ := strconv.ParseFloat(last[3], 64)
+	if aliph < 2.5*zyz || aliph < 2.5*pbft {
+		t.Errorf("4/0 peak: Aliph %v should be well above Zyzzyva %v and PBFT %v", aliph, zyz, pbft)
+	}
+}
+
+func TestTable4AardvarkDegradesLeast(t *testing.T) {
+	tab := NewRunner().Table4()
+	// Rows: Spinning, Prime, Aardvark; columns: protocol, none, then attacks.
+	parse := func(cell string) float64 {
+		v, _ := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+		return v
+	}
+	var aardvark, spinning []float64
+	for _, row := range tab.Rows {
+		vals := make([]float64, 0, len(row)-1)
+		for _, c := range row[1:] {
+			vals = append(vals, parse(c))
+		}
+		switch row[0] {
+		case "Aardvark":
+			aardvark = vals
+		case "Spinning":
+			spinning = vals
+		}
+	}
+	if len(aardvark) == 0 || len(spinning) == 0 {
+		t.Fatalf("missing rows in table4")
+	}
+	for i := 1; i < len(aardvark); i++ {
+		ratioA := aardvark[i] / aardvark[0]
+		ratioS := spinning[i] / spinning[0]
+		if ratioA < ratioS {
+			t.Errorf("attack column %d: Aardvark retains %.2f of its throughput, Spinning %.2f — Aardvark should degrade least", i, ratioA, ratioS)
+		}
+	}
+}

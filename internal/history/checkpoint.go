@@ -1,0 +1,116 @@
+package history
+
+import (
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+)
+
+// DefaultCheckpointInterval is CHK, the number of requests between
+// checkpoints used in the paper's evaluation (§4.2.4).
+const DefaultCheckpointInterval = 128
+
+// CheckpointState tracks the lightweight checkpoint subprotocol (LCS) state
+// of one replica: the last stable checkpoint (agreed by all replicas) and the
+// pending checkpoint exchange.
+type CheckpointState struct {
+	// Interval is CHK, the number of requests between checkpoints.
+	Interval int
+	// cluster size used to decide stability (LCS requires the same digest
+	// from all replicas).
+	n int
+
+	// lastStableSeq is cc*CHK of the last stable checkpoint.
+	lastStableSeq uint64
+	// lastStableDigest is st_cc of the last stable checkpoint.
+	lastStableDigest authn.Digest
+	// lastCounter is lastcc.
+	lastCounter uint64
+
+	// pending holds, per checkpoint counter, the state digests received from
+	// each replica (including this one).
+	pending map[uint64]map[ids.ProcessID]authn.Digest
+}
+
+// NewCheckpointState returns checkpoint state for a cluster of n replicas
+// using the given interval (DefaultCheckpointInterval when interval <= 0).
+func NewCheckpointState(n, interval int) *CheckpointState {
+	if interval <= 0 {
+		interval = DefaultCheckpointInterval
+	}
+	return &CheckpointState{
+		Interval: interval,
+		n:        n,
+		pending:  make(map[uint64]map[ids.ProcessID]authn.Digest),
+	}
+}
+
+// StableSeq returns the absolute position covered by the last stable
+// checkpoint.
+func (c *CheckpointState) StableSeq() uint64 { return c.lastStableSeq }
+
+// StableDigest returns the digest of the last stable checkpoint state.
+func (c *CheckpointState) StableDigest() authn.Digest { return c.lastStableDigest }
+
+// StableCounter returns lastcc, the counter of the last stable checkpoint.
+func (c *CheckpointState) StableCounter() uint64 { return c.lastCounter }
+
+// ShouldCheckpoint reports whether a replica whose local history has reached
+// histLen requests (absolute position) should initiate checkpoint exchange,
+// and the checkpoint counter to use.
+func (c *CheckpointState) ShouldCheckpoint(histLen uint64) (uint64, bool) {
+	if c.Interval <= 0 {
+		return 0, false
+	}
+	counter := histLen / uint64(c.Interval)
+	if counter > c.lastCounter && histLen >= uint64(c.Interval) {
+		return counter, true
+	}
+	return 0, false
+}
+
+// Record registers a CHECKPOINT message from replica r carrying the digest of
+// state st_cc for checkpoint counter cc. It returns true when the checkpoint
+// became stable as a result (the same digest has been received from all n
+// replicas and cc is newer than the last stable one).
+func (c *CheckpointState) Record(r ids.ProcessID, cc uint64, digest authn.Digest) bool {
+	if cc <= c.lastCounter {
+		return false
+	}
+	m, ok := c.pending[cc]
+	if !ok {
+		m = make(map[ids.ProcessID]authn.Digest)
+		c.pending[cc] = m
+	}
+	m[r] = digest
+
+	if len(m) < c.n {
+		return false
+	}
+	// All replicas reported; stable only if the digests all match.
+	first := true
+	var want authn.Digest
+	for _, d := range m {
+		if first {
+			want = d
+			first = false
+			continue
+		}
+		if d != want {
+			return false
+		}
+	}
+	c.lastCounter = cc
+	c.lastStableSeq = cc * uint64(c.Interval)
+	c.lastStableDigest = want
+	delete(c.pending, cc)
+	return true
+}
+
+// Reset clears all checkpoint state; used when a new Abstract instance is
+// initialized from an init history.
+func (c *CheckpointState) Reset() {
+	c.lastStableSeq = 0
+	c.lastStableDigest = authn.Digest{}
+	c.lastCounter = 0
+	c.pending = make(map[uint64]map[ids.ProcessID]authn.Digest)
+}

@@ -1,0 +1,201 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+func req(client int, ts uint64) msg.Request {
+	return msg.Request{Client: ids.Client(client), Timestamp: ts, Command: []byte(fmt.Sprintf("c%d-%d", client, ts))}
+}
+
+func TestHistoryBasics(t *testing.T) {
+	h := New(req(0, 1), req(0, 2))
+	if h.Len() != 2 {
+		t.Fatalf("len = %d, want 2", h.Len())
+	}
+	if !h.Contains(req(0, 1).ID()) || h.Contains(req(1, 1).ID()) {
+		t.Fatalf("Contains misbehaves")
+	}
+	clone := h.Clone()
+	clone.Append(req(0, 3))
+	if h.Len() != 2 {
+		t.Fatalf("Clone is not independent")
+	}
+	if !h.IsPrefixOf(clone) {
+		t.Fatalf("history should be a prefix of its extension")
+	}
+	if clone.IsPrefixOf(h) {
+		t.Fatalf("longer history cannot be a prefix of a shorter one")
+	}
+	if h.Digest() == clone.Digest() {
+		t.Fatalf("different histories share a digest")
+	}
+	h.Truncate(1)
+	if h.Len() != 1 || !h.At(0).Equal(req(0, 2)) {
+		t.Fatalf("Truncate removed the wrong entries")
+	}
+}
+
+func TestDigestHistoryPrefixAndLCP(t *testing.T) {
+	a := New(req(0, 1), req(0, 2), req(0, 3)).Digests()
+	b := New(req(0, 1), req(0, 2)).Digests()
+	c := New(req(0, 1), req(1, 9)).Digests()
+
+	if !b.IsPrefixOf(a) || a.IsPrefixOf(b) {
+		t.Fatalf("prefix relation wrong")
+	}
+	lcp := LongestCommonPrefix(a, b, c)
+	if len(lcp) != 1 {
+		t.Fatalf("LCP length = %d, want 1", len(lcp))
+	}
+	if len(LongestCommonPrefix()) != 0 {
+		t.Fatalf("LCP of nothing should be empty")
+	}
+	if got := LongestCommonPrefix(a); len(got) != len(a) {
+		t.Fatalf("LCP of a single history should be itself")
+	}
+}
+
+func TestDedupPrefix(t *testing.T) {
+	r1, r2 := req(0, 1), req(0, 2)
+	d := DigestHistory{r1.Digest(), r2.Digest(), r1.Digest(), r2.Digest()}
+	out := DedupPrefix(d)
+	if len(out) != 2 {
+		t.Fatalf("dedup prefix length = %d, want 2", len(out))
+	}
+}
+
+func TestExtractAgreement(t *testing.T) {
+	// 2f+1 = 3 reports, f = 1. Two reports agree on [a b c]; the third has
+	// diverged at position 2. Extraction must return [a b c]: positions 0 and
+	// 1 have 3 votes, position 2 has 2 votes (f+1).
+	a, b, c, x := req(0, 1), req(0, 2), req(0, 3), req(9, 9)
+	full := DigestHistory{a.Digest(), b.Digest(), c.Digest()}
+	div := DigestHistory{a.Digest(), b.Digest(), x.Digest()}
+	reports := []ReplicaReport{{Suffix: full}, {Suffix: full}, {Suffix: div}}
+	res, err := Extract(reports, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suffix) != 3 {
+		t.Fatalf("extracted %d entries, want 3", len(res.Suffix))
+	}
+	for i, want := range full {
+		if res.Suffix[i] != want {
+			t.Fatalf("position %d extracted wrong digest", i)
+		}
+	}
+}
+
+func TestExtractStopsWithoutAgreement(t *testing.T) {
+	a, x, y, z := req(0, 1), req(7, 7), req(8, 8), req(9, 9)
+	reports := []ReplicaReport{
+		{Suffix: DigestHistory{a.Digest(), x.Digest()}},
+		{Suffix: DigestHistory{a.Digest(), y.Digest()}},
+		{Suffix: DigestHistory{a.Digest(), z.Digest()}},
+	}
+	res, err := Extract(reports, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suffix) != 1 {
+		t.Fatalf("extracted %d entries, want 1 (no agreement beyond position 0)", len(res.Suffix))
+	}
+}
+
+func TestExtractNeedsQuorum(t *testing.T) {
+	if _, err := Extract([]ReplicaReport{{}, {}}, 1); err == nil {
+		t.Fatalf("extraction with fewer than 2f+1 reports must fail")
+	}
+}
+
+func TestExtractWithCheckpoints(t *testing.T) {
+	// Two reports have checkpointed up to position 2; one lags with an
+	// explicit suffix from position 0. The extracted history must start at
+	// the agreed checkpoint and keep the common suffix.
+	a, b, c, d := req(0, 1), req(0, 2), req(0, 3), req(0, 4)
+	ckptDigest := authn.Hash([]byte("state-after-2"))
+	lag := ReplicaReport{Suffix: DigestHistory{a.Digest(), b.Digest(), c.Digest(), d.Digest()}}
+	fast := ReplicaReport{CheckpointSeq: 2, CheckpointDigest: ckptDigest, Suffix: DigestHistory{c.Digest(), d.Digest()}}
+	res, err := Extract([]ReplicaReport{lag, fast, fast}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseSeq != 2 || res.BaseDigest != ckptDigest {
+		t.Fatalf("base checkpoint not adopted: seq=%d", res.BaseSeq)
+	}
+	if len(res.Suffix) != 2 || res.Suffix[0] != c.Digest() || res.Suffix[1] != d.Digest() {
+		t.Fatalf("suffix after checkpoint wrong: %d entries", len(res.Suffix))
+	}
+	if res.TotalLen() != 4 {
+		t.Fatalf("total length = %d, want 4", res.TotalLen())
+	}
+}
+
+// Property: every commit-history-like prefix of the reports that f+1 agree on
+// survives extraction (abort histories contain committed requests).
+func TestExtractContainsAgreedPrefixQuick(t *testing.T) {
+	f := 1
+	prop := func(nCommon uint8, tails [3]uint8) bool {
+		common := int(nCommon % 20)
+		var reports []ReplicaReport
+		var prefix DigestHistory
+		for i := 0; i < common; i++ {
+			prefix = append(prefix, req(0, uint64(i+1)).Digest())
+		}
+		for r := 0; r < 3; r++ {
+			suffix := prefix.Clone()
+			for j := 0; j < int(tails[r]%4); j++ {
+				suffix = append(suffix, req(10+r, uint64(100+j)).Digest())
+			}
+			reports = append(reports, ReplicaReport{Suffix: suffix})
+		}
+		res, err := Extract(reports, f)
+		if err != nil {
+			return false
+		}
+		return prefix.IsPrefixOf(res.Suffix)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointStateStability(t *testing.T) {
+	cs := NewCheckpointState(4, 10)
+	if _, ok := cs.ShouldCheckpoint(9); ok {
+		t.Fatalf("checkpoint should not trigger below the interval")
+	}
+	cc, ok := cs.ShouldCheckpoint(10)
+	if !ok || cc != 1 {
+		t.Fatalf("checkpoint at 10 requests: cc=%d ok=%v", cc, ok)
+	}
+	d := authn.Hash([]byte("state"))
+	for i := 0; i < 3; i++ {
+		if cs.Record(ids.Replica(i), 1, d) {
+			t.Fatalf("checkpoint stable before all replicas reported")
+		}
+	}
+	if !cs.Record(ids.Replica(3), 1, d) {
+		t.Fatalf("checkpoint not stable after all replicas reported")
+	}
+	if cs.StableSeq() != 10 || cs.StableDigest() != d || cs.StableCounter() != 1 {
+		t.Fatalf("stable checkpoint state wrong")
+	}
+	// A divergent digest prevents stability.
+	cs2 := NewCheckpointState(2, 10)
+	cs2.Record(ids.Replica(0), 1, d)
+	if cs2.Record(ids.Replica(1), 1, authn.Hash([]byte("other"))) {
+		t.Fatalf("checkpoint became stable despite divergent digests")
+	}
+	cs.Reset()
+	if cs.StableSeq() != 0 || cs.StableCounter() != 0 {
+		t.Fatalf("reset did not clear state")
+	}
+}

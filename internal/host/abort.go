@@ -1,0 +1,188 @@
+package host
+
+import (
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+// handlePanic implements Steps P2/P2+ of the panicking subprotocol: the
+// replica stops executing requests of the instance and returns a signed
+// ABORT message carrying its history report. When the instance was never
+// initialized and the PANIC carries an init history, the replica initializes
+// first (Step P2+).
+func (h *Host) handlePanic(from ids.ProcessID, m *core.PanicMessage) {
+	st := h.instances[m.Instance]
+	if st == nil {
+		st = h.activate(m.Instance, m.Init)
+		if st == nil {
+			return
+		}
+	}
+	if !st.Initialized {
+		if m.Init != nil {
+			h.tryCompleteInit(st, m.Init)
+		}
+		if !st.Initialized {
+			return
+		}
+	}
+	if proto, ok := h.protocols[st.ID].(PanicResistant); ok && !proto.StopOnPanic() {
+		// Instances with strong progress (Backup) ignore panics until they
+		// decide to stop on their own; once stopped they answer with their
+		// signed abort.
+		if st.Stopped {
+			signed := h.signedAbort(st)
+			h.Send(m.Client, &core.AbortReply{Instance: st.ID, Timestamp: m.Timestamp, Signed: *signed})
+		}
+		return
+	}
+	if !st.Stopped {
+		st.Stopped = true
+		if h.observer != nil {
+			h.observer.InstanceStopped(st.ID)
+		}
+	}
+	signed := h.signedAbort(st)
+	h.Send(m.Client, &core.AbortReply{Instance: st.ID, Timestamp: m.Timestamp, Signed: *signed})
+}
+
+// PanicResistant is implemented by protocol replicas whose progress property
+// does not allow clients to stop them through PANIC messages (Backup commits
+// exactly k requests regardless of panics).
+type PanicResistant interface {
+	StopOnPanic() bool
+}
+
+// signedAbort builds (or returns the cached) signed ABORT message of the
+// instance. The report contains the replica's last stable checkpoint and the
+// digests of the requests logged after it.
+func (h *Host) signedAbort(st *InstanceState) *core.SignedAbort {
+	if st.cachedAbort != nil {
+		return st.cachedAbort
+	}
+	report := history.ReplicaReport{
+		CheckpointSeq:    st.Checkpoint.StableSeq(),
+		CheckpointDigest: st.Checkpoint.StableDigest(),
+	}
+	if report.CheckpointSeq < st.BaseSeq {
+		report.CheckpointSeq = st.BaseSeq
+		report.CheckpointDigest = st.BaseDigest
+	}
+	// Suffix holds the digests from the reported checkpoint onward.
+	start := int(report.CheckpointSeq - st.BaseSeq)
+	if start < 0 {
+		start = 0
+	}
+	if start <= len(st.Digests) {
+		report.Suffix = st.Digests[start:].Clone()
+	}
+	abort := core.AbortMessage{
+		Instance: st.ID,
+		Replica:  h.id,
+		Next:     st.ID.Next(),
+		Flags:    st.AbortFlags,
+		Report:   report,
+	}
+	sig := h.keys.Sign(h.id, abort.SignedBytes())
+	h.cfg.Ops.CountSigGen(h.id)
+	st.cachedAbort = &core.SignedAbort{Abort: abort, Sig: sig}
+	return st.cachedAbort
+}
+
+// StopInstance marks an instance stopped; exposed for protocols that stop on
+// their own initiative (Backup after k requests, Chain's low-load abort,
+// R-Aliph's replica-initiated switching).
+func (h *Host) StopInstance(st *InstanceState) {
+	if !st.Stopped {
+		st.Stopped = true
+		if h.observer != nil {
+			h.observer.InstanceStopped(st.ID)
+		}
+	}
+}
+
+// SignedAbortFor exposes the replica's signed abort message for protocols
+// that deliver abort indications through their own messages (Backup) or for
+// replica-initiated switching (R-Aliph).
+func (h *Host) SignedAbortFor(st *InstanceState) core.SignedAbort { return *h.signedAbort(st) }
+
+// maybeCheckpoint runs the LCS when the local history crossed a checkpoint
+// boundary: the replica broadcasts the digest of its state at the boundary.
+func (h *Host) maybeCheckpoint(st *InstanceState) {
+	cc, ok := st.Checkpoint.ShouldCheckpoint(st.AbsLen())
+	if !ok {
+		return
+	}
+	digest := h.checkpointDigest(st, cc)
+	m := &core.CheckpointMessage{From: h.id, AbstractID: st.ID, Counter: cc, StateDigest: digest}
+	// Record our own contribution, then broadcast to the other replicas.
+	st.Checkpoint.Record(h.id, cc, digest)
+	h.Multicast(h.OtherReplicas(), m)
+}
+
+// checkpointDigest computes the digest of the replica state after cc*CHK
+// requests: the digest of the history prefix up to that position (folded with
+// the base digest when present). Deterministic applications make this
+// equivalent to a state digest.
+func (h *Host) checkpointDigest(st *InstanceState, cc uint64) authn.Digest {
+	pos := cc * uint64(st.Checkpoint.Interval)
+	if pos < st.BaseSeq {
+		return st.BaseDigest
+	}
+	idx := pos - st.BaseSeq
+	if idx > uint64(len(st.Digests)) {
+		idx = uint64(len(st.Digests))
+	}
+	prefix := st.Digests[:idx].Digest()
+	if st.BaseSeq == 0 {
+		return prefix
+	}
+	return authn.HashAll(st.BaseDigest[:], prefix[:])
+}
+
+// handleCheckpoint records another replica's CHECKPOINT message.
+func (h *Host) handleCheckpoint(m *core.CheckpointMessage) {
+	st := h.instances[m.AbstractID]
+	if st == nil || !st.Initialized {
+		return
+	}
+	st.Checkpoint.Record(m.From, m.Counter, m.StateDigest)
+}
+
+// handleFetchRequest returns the request bodies this replica knows for the
+// requested digests (inter-replica state transfer of missing requests, §4.4).
+func (h *Host) handleFetchRequest(m *core.FetchRequest) {
+	var out []msg.Request
+	for _, d := range m.Digests {
+		if r, ok := h.requestStore[d]; ok {
+			out = append(out, r.Clone())
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	h.Send(m.From, &core.FetchResponse{Instance: m.Instance, From: h.id, Requests: out})
+}
+
+// handleFetchResponse stores fetched request bodies and completes any pending
+// initialization that was waiting for them.
+func (h *Host) handleFetchResponse(m *core.FetchResponse) {
+	for _, r := range m.Requests {
+		h.requestStore[r.Digest()] = r.Clone()
+	}
+	st := h.instances[m.Instance]
+	if st == nil || st.Initialized || st.pendingInit == nil {
+		return
+	}
+	for d := range st.missing {
+		if _, ok := h.requestStore[d]; ok {
+			delete(st.missing, d)
+		}
+	}
+	if len(st.missing) == 0 {
+		h.finishInit(st)
+	}
+}

@@ -1,0 +1,16 @@
+package host
+
+import "abstractbft/internal/ids"
+
+// FeedbackSink consumes the client feedback messages R-Aliph piggybacks on
+// Quorum and Chain requests (Principles P2 and P3 of §6.3): the timestamps of
+// requests the client recently committed and issued. R-Aliph's replica
+// monitor implements it to compute the sustained throughput and to track
+// fairness; plain Aliph runs without a sink.
+type FeedbackSink interface {
+	// ClientFeedback reports the feedback a client attached to a request
+	// received by the given replica. Committed holds timestamps of requests
+	// the client committed since its previous feedback; issued holds
+	// timestamps of requests it issued.
+	ClientFeedback(replica ids.ProcessID, client ids.ProcessID, committed []uint64, issued []uint64)
+}

@@ -1,0 +1,381 @@
+// Package host implements the replica-side runtime shared by all Abstract
+// instance implementations (ZLight, Quorum, Chain, Backup): per-instance
+// replica state (local histories, client timestamps, sequence numbers), the
+// panicking/aborting subprotocol (§4.2.2), instance initialization from init
+// histories (§4.2.3), the lightweight checkpoint subprotocol (§4.2.4), and
+// the state-transfer optimization with inter-replica fetching of missing
+// requests (§4.4).
+//
+// A Host runs one replica of a composed protocol. Protocol packages plug in a
+// ProtocolFactory that creates, per Abstract instance, the message handler
+// implementing that instance's common-case steps; the Host handles everything
+// the instances share.
+package host
+
+import (
+	"log"
+	"sync"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// ProtocolReplica is the per-instance message handler provided by a protocol
+// package (the common-case steps of ZLight, Quorum, Chain, or Backup).
+type ProtocolReplica interface {
+	// Handle processes one protocol-specific message addressed to this
+	// instance. It is called from the host's single event loop, so
+	// implementations need no internal locking for instance state.
+	Handle(from ids.ProcessID, m any)
+}
+
+// ProtocolFactory creates the protocol replica for a newly activated
+// instance. The returned value handles all messages that are not part of the
+// shared Abstract machinery.
+type ProtocolFactory func(h *Host, st *InstanceState) ProtocolReplica
+
+// Ticker is implemented by protocol replicas that need periodic time-based
+// processing (for example Backup's view-change timers); the host calls
+// ProtocolTick from its event loop at the configured tick interval.
+type Ticker interface {
+	ProtocolTick()
+}
+
+// Observer receives notifications about replica-side events; it is used by
+// R-Aliph's monitoring (progress, fairness) and by tests.
+type Observer interface {
+	// RequestLogged is called when a request is appended to the local
+	// history of an instance.
+	RequestLogged(inst core.InstanceID, req msg.Request, pos uint64)
+	// InstanceStopped is called when an instance stops (first abort).
+	InstanceStopped(inst core.InstanceID)
+	// InstanceActivated is called when an instance becomes active.
+	InstanceActivated(inst core.InstanceID)
+}
+
+// Config configures a replica host.
+type Config struct {
+	// Cluster describes the replica group.
+	Cluster ids.Cluster
+	// Replica is this replica's identifier.
+	Replica ids.ProcessID
+	// Keys is the cryptographic key store.
+	Keys *authn.KeyStore
+	// App is the replicated application executed by this replica.
+	App app.Application
+	// Endpoint attaches the replica to the network.
+	Endpoint transport.Endpoint
+	// FirstInstance is the identifier of the first Abstract instance
+	// (normally 1).
+	FirstInstance core.InstanceID
+	// NewProtocol creates protocol replicas per instance.
+	NewProtocol ProtocolFactory
+	// CheckpointInterval is CHK; 0 selects the default (128), negative
+	// disables checkpointing.
+	CheckpointInterval int
+	// MaxUncheckpointed bounds the number of requests a replica logs beyond
+	// its last stable checkpoint (R-Aliph uses 384); 0 means unbounded.
+	MaxUncheckpointed int
+	// InstrumentHistories makes RESP messages carry full digest histories so
+	// the specification checker can validate runs (tests only).
+	InstrumentHistories bool
+	// TickInterval is the period of the host's protocol tick (driving
+	// time-based protocol behaviour such as view-change timers); 0 selects
+	// 20ms.
+	TickInterval time.Duration
+	// Ops optionally counts cryptographic operations.
+	Ops *authn.OpCounter
+	// Logger, when non-nil, receives debug output.
+	Logger *log.Logger
+}
+
+// Host is one replica of a composed Abstract protocol.
+type Host struct {
+	cfg     Config
+	cluster ids.Cluster
+	id      ids.ProcessID
+	keys    *authn.KeyStore
+	ep      transport.Endpoint
+
+	mu sync.Mutex
+	// instances holds the state of every instance this replica has
+	// participated in, keyed by instance number.
+	instances map[core.InstanceID]*InstanceState
+	protocols map[core.InstanceID]ProtocolReplica
+	// active is the highest activated instance.
+	active core.InstanceID
+
+	// application execution state.
+	application app.Application
+	appliedSeq  uint64
+	appliedDigs history.DigestHistory
+	lastReply   map[ids.ProcessID]clientReply
+	// snapshot taken at the last instance activation, for speculative
+	// rollback.
+	snapApp  app.Application
+	snapSeq  uint64
+	snapDigs history.DigestHistory
+
+	// requestStore maps request digests to bodies across instances.
+	requestStore map[authn.Digest]msg.Request
+
+	observer Observer
+
+	// fault/attack injection knobs.
+	processingDelay time.Duration
+	crashed         bool
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+type clientReply struct {
+	timestamp uint64
+	reply     []byte
+}
+
+// New creates a replica host. Start must be called to begin processing.
+func New(cfg Config) *Host {
+	if cfg.FirstInstance == 0 {
+		cfg.FirstInstance = 1
+	}
+	h := &Host{
+		cfg:          cfg,
+		cluster:      cfg.Cluster,
+		id:           cfg.Replica,
+		keys:         cfg.Keys,
+		ep:           cfg.Endpoint,
+		instances:    make(map[core.InstanceID]*InstanceState),
+		protocols:    make(map[core.InstanceID]ProtocolReplica),
+		application:  cfg.App,
+		lastReply:    make(map[ids.ProcessID]clientReply),
+		requestStore: make(map[authn.Digest]msg.Request),
+		stopCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
+	}
+	return h
+}
+
+// Start launches the host's event loop.
+func (h *Host) Start() {
+	go h.run()
+}
+
+// Stop terminates the event loop.
+func (h *Host) Stop() {
+	close(h.stopCh)
+	<-h.doneCh
+}
+
+// ID returns the replica identifier.
+func (h *Host) ID() ids.ProcessID { return h.id }
+
+// Cluster returns the cluster configuration.
+func (h *Host) Cluster() ids.Cluster { return h.cluster }
+
+// Keys returns the key store.
+func (h *Host) Keys() *authn.KeyStore { return h.keys }
+
+// Ops returns the crypto operation counter (possibly nil).
+func (h *Host) Ops() *authn.OpCounter { return h.cfg.Ops }
+
+// InstrumentHistories reports whether RESP messages should carry full digest
+// histories.
+func (h *Host) InstrumentHistories() bool { return h.cfg.InstrumentHistories }
+
+// SetObserver installs an observer; it must be called before Start.
+func (h *Host) SetObserver(o Observer) { h.observer = o }
+
+// SetProcessingDelay injects an artificial delay before handling each
+// message; used by the "processing delay" attack.
+func (h *Host) SetProcessingDelay(d time.Duration) {
+	h.mu.Lock()
+	h.processingDelay = d
+	h.mu.Unlock()
+}
+
+// SetCrashed makes the replica drop every message (true) or resume (false);
+// used by crash/recovery experiments.
+func (h *Host) SetCrashed(c bool) {
+	h.mu.Lock()
+	h.crashed = c
+	h.mu.Unlock()
+}
+
+// Send transmits a protocol message to another process.
+func (h *Host) Send(to ids.ProcessID, m any) { h.ep.Send(to, m) }
+
+// Multicast transmits a protocol message to several processes.
+func (h *Host) Multicast(tos []ids.ProcessID, m any) { transport.Multicast(h.ep, tos, m) }
+
+// OtherReplicas returns the identifiers of all replicas except this one.
+func (h *Host) OtherReplicas() []ids.ProcessID {
+	var out []ids.ProcessID
+	for _, r := range h.cluster.Replicas() {
+		if r != h.id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (h *Host) logf(format string, args ...any) {
+	if h.cfg.Logger != nil {
+		h.cfg.Logger.Printf("replica %v: "+format, append([]any{h.id}, args...)...)
+	}
+}
+
+func (h *Host) run() {
+	defer close(h.doneCh)
+	interval := h.cfg.TickInterval
+	if interval <= 0 {
+		interval = 20 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.stopCh:
+			return
+		case <-ticker.C:
+			h.tickProtocols()
+		case env, ok := <-h.ep.Inbox():
+			if !ok {
+				return
+			}
+			h.dispatch(env)
+		}
+	}
+}
+
+// tickProtocols drives time-based behaviour of active protocol replicas.
+func (h *Host) tickProtocols() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.crashed {
+		return
+	}
+	for id, proto := range h.protocols {
+		st := h.instances[id]
+		if st == nil || st.Stopped {
+			continue
+		}
+		if t, ok := proto.(Ticker); ok {
+			t.ProtocolTick()
+		}
+	}
+}
+
+func (h *Host) dispatch(env transport.Envelope) {
+	h.mu.Lock()
+	crashed := h.crashed
+	delay := h.processingDelay
+	h.mu.Unlock()
+	if crashed {
+		return
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	switch m := env.Payload.(type) {
+	case *core.PanicMessage:
+		h.handlePanic(env.From, m)
+	case *core.CheckpointMessage:
+		h.handleCheckpoint(m)
+	case *core.FetchRequest:
+		h.handleFetchRequest(m)
+	case *core.FetchResponse:
+		h.handleFetchResponse(m)
+	default:
+		h.routeProtocol(env.From, env.Payload)
+	}
+}
+
+// routeProtocol delivers a protocol-specific message to the replica of the
+// instance it belongs to, activating the instance first when the message
+// carries a verifiable init history.
+func (h *Host) routeProtocol(from ids.ProcessID, payload any) {
+	im, ok := payload.(core.InstanceMessage)
+	if !ok {
+		h.logf("dropping unknown message %T", payload)
+		return
+	}
+	inst := im.AbstractInstance()
+	st := h.instances[inst]
+	if st == nil {
+		var init *core.InitHistory
+		if carrier, ok := payload.(core.InitCarrier); ok {
+			init = carrier.CarriedInit()
+		}
+		st = h.activate(inst, init)
+		if st == nil {
+			return
+		}
+	}
+	if !st.Initialized {
+		// Still waiting for missing request bodies; buffer nothing, the
+		// client retries.
+		if carrier, ok := payload.(core.InitCarrier); ok && carrier.CarriedInit() != nil {
+			// A retransmission carrying init may help complete bodies.
+			h.tryCompleteInit(st, carrier.CarriedInit())
+		}
+		if !st.Initialized {
+			return
+		}
+	}
+	proto := h.protocols[inst]
+	if proto == nil {
+		return
+	}
+	proto.Handle(from, payload)
+}
+
+// ActiveInstance returns the highest instance this replica has activated.
+func (h *Host) ActiveInstance() core.InstanceID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.active
+}
+
+// Application returns the replica's application (for test inspection). The
+// caller must not mutate it while the host is running.
+func (h *Host) Application() app.Application {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.application
+}
+
+// AppliedRequests returns the number of requests applied to the application.
+func (h *Host) AppliedRequests() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.appliedSeq
+}
+
+// InstanceStateFor returns the state of the given instance (nil when the
+// replica never activated it); exposed for tests and monitoring.
+func (h *Host) InstanceStateFor(id core.InstanceID) *InstanceState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.instances[id]
+}
+
+// Locked runs fn while holding the host lock; protocol replicas handle
+// messages under this lock already, but external components (such as
+// R-Aliph's monitor, which initiates switching from a timer goroutine) use
+// Locked to interact with instance state safely.
+func (h *Host) Locked(fn func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fn()
+}

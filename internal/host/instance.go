@@ -1,0 +1,347 @@
+package host
+
+import (
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+// InstanceState is the per-Abstract-instance replica state shared by every
+// protocol implementation: the local history LH_j (as digests, with bodies
+// kept in the host's request store), the per-client timestamps t_j[c], the
+// sequence number sn_j, the stopped flag set by the panicking subprotocol,
+// and the checkpoint state.
+type InstanceState struct {
+	// ID is the instance number.
+	ID core.InstanceID
+	// BaseSeq is the absolute position the instance's explicit history
+	// starts at: the base checkpoint carried by the init history (0 for the
+	// first instance).
+	BaseSeq uint64
+	// BaseDigest is the state digest of the base checkpoint.
+	BaseDigest authn.Digest
+	// Digests is the local history from BaseSeq on (digest per request).
+	Digests history.DigestHistory
+	// LastTimestamp is t_j[c]: the highest request timestamp logged per
+	// client.
+	LastTimestamp map[ids.ProcessID]uint64
+	// Stopped is set when the instance aborts (stops executing requests).
+	Stopped bool
+	// Initialized is true once the instance adopted its init history (or is
+	// the first instance).
+	Initialized bool
+	// Checkpoint is the LCS state.
+	Checkpoint *history.CheckpointState
+	// AbortFlags are included in this replica's signed ABORT message
+	// (e.g. core.AbortFlagLowLoad set by Chain's low-load optimization).
+	AbortFlags uint32
+	// InitLowLoad records whether the init history that initialized this
+	// instance carried the low-load abort flag from at least f+1 replicas of
+	// the previous instance (Backup then commits a single request).
+	InitLowLoad bool
+
+	// pendingInit holds the init history awaiting missing request bodies.
+	pendingInit *core.InitHistory
+	// missing tracks digests whose bodies are not yet known locally.
+	missing map[authn.Digest]bool
+	// cachedAbort caches the signed ABORT message once the instance stops.
+	cachedAbort *core.SignedAbort
+	// proto-specific sequence counter (sn_j for the primary/head).
+	NextSeq uint64
+}
+
+// AbsLen returns the absolute length of the local history.
+func (st *InstanceState) AbsLen() uint64 { return st.BaseSeq + uint64(len(st.Digests)) }
+
+// HistoryDigest returns D(LH_j): the digest of the local history, folding in
+// the base checkpoint when present.
+func (st *InstanceState) HistoryDigest() authn.Digest {
+	suffix := st.Digests.Digest()
+	if st.BaseSeq == 0 {
+		return suffix
+	}
+	return authn.HashAll(st.BaseDigest[:], suffix[:])
+}
+
+// Contains reports whether the instance's explicit history contains the
+// request digest.
+func (st *InstanceState) Contains(d authn.Digest) bool { return st.Digests.Contains(d) }
+
+// TimestampFresh reports whether a request timestamp is newer than the last
+// one logged for the client.
+func (st *InstanceState) TimestampFresh(c ids.ProcessID, ts uint64) bool {
+	return ts > st.LastTimestamp[c]
+}
+
+// activate creates (and initializes, when possible) the state of instance id.
+// Callers hold the host lock. It returns nil when the activation is not
+// allowed (missing or invalid init history).
+func (h *Host) activate(id core.InstanceID, init *core.InitHistory) *InstanceState {
+	if st, ok := h.instances[id]; ok {
+		return st
+	}
+	ckptInterval := h.cfg.CheckpointInterval
+	if ckptInterval < 0 {
+		ckptInterval = 1 << 62 // effectively disabled
+	}
+	st := &InstanceState{
+		ID:            id,
+		LastTimestamp: make(map[ids.ProcessID]uint64),
+		Checkpoint:    history.NewCheckpointState(h.cluster.N, ckptInterval),
+	}
+
+	switch {
+	case id == h.cfg.FirstInstance && init == nil:
+		st.Initialized = true
+	case init == nil:
+		h.logf("cannot activate instance %d without init history", id)
+		return nil
+	default:
+		if err := core.VerifyInitHistory(h.keys, h.cluster, id, init); err != nil {
+			h.logf("rejecting init history for instance %d: %v", id, err)
+			return nil
+		}
+		h.adoptInit(st, init)
+	}
+
+	h.instances[id] = st
+	if id > h.active {
+		// Stop all lower instances: at most one instance commits at a time.
+		for lower, ls := range h.instances {
+			if lower < id && !ls.Stopped {
+				ls.Stopped = true
+			}
+		}
+		h.active = id
+	}
+	h.protocols[id] = h.cfg.NewProtocol(h, st)
+	if st.Initialized {
+		h.takeActivationSnapshot()
+		if h.observer != nil {
+			h.observer.InstanceActivated(id)
+		}
+	}
+	return st
+}
+
+// adoptInit installs the init history into the instance state: it verifies
+// which request bodies are available, fetches the missing ones from other
+// replicas, and (when complete) reconciles the application state with the
+// adopted history.
+func (h *Host) adoptInit(st *InstanceState, init *core.InitHistory) {
+	st.BaseSeq = init.Extract.BaseSeq
+	st.BaseDigest = init.Extract.BaseDigest
+	st.Digests = init.Extract.Suffix.Clone()
+	st.Checkpoint.Reset()
+	st.NextSeq = uint64(len(st.Digests))
+	st.InitLowLoad = core.InitHasFlag(init, h.cluster.F, core.AbortFlagLowLoad)
+
+	for _, r := range init.Requests {
+		h.requestStore[r.Digest()] = r.Clone()
+	}
+	st.missing = make(map[authn.Digest]bool)
+	for _, d := range st.Digests {
+		if _, ok := h.requestStore[d]; !ok {
+			st.missing[d] = true
+		}
+	}
+	if len(st.missing) > 0 {
+		st.pendingInit = init
+		var want []authn.Digest
+		for d := range st.missing {
+			want = append(want, d)
+		}
+		h.Multicast(h.OtherReplicas(), &core.FetchRequest{Instance: st.ID, From: h.id, Digests: want})
+		return
+	}
+	h.finishInit(st)
+}
+
+// tryCompleteInit re-examines a pending initialization when new information
+// (a retransmitted init history) arrives.
+func (h *Host) tryCompleteInit(st *InstanceState, init *core.InitHistory) {
+	if st.Initialized || st.pendingInit == nil {
+		return
+	}
+	for _, r := range init.Requests {
+		d := r.Digest()
+		if st.missing[d] {
+			h.requestStore[d] = r.Clone()
+			delete(st.missing, d)
+		}
+	}
+	if len(st.missing) == 0 {
+		h.finishInit(st)
+	}
+}
+
+// finishInit completes initialization once every request body referenced by
+// the init history is available locally.
+func (h *Host) finishInit(st *InstanceState) {
+	st.pendingInit = nil
+	st.missing = nil
+	st.Initialized = true
+
+	// Update per-client timestamps from the adopted history so duplicate
+	// requests are rejected.
+	for _, d := range st.Digests {
+		if r, ok := h.requestStore[d]; ok {
+			if r.Timestamp > st.LastTimestamp[r.Client] {
+				st.LastTimestamp[r.Client] = r.Timestamp
+			}
+		}
+	}
+
+	h.reconcileApplication(st)
+	h.takeActivationSnapshot()
+	if h.observer != nil {
+		h.observer.InstanceActivated(st.ID)
+	}
+}
+
+// takeActivationSnapshot records the application state at instance
+// activation so that speculative execution of a later-aborted tail can be
+// rolled back when the next instance's init history diverges.
+func (h *Host) takeActivationSnapshot() {
+	h.snapApp = h.application.Clone()
+	h.snapSeq = h.appliedSeq
+	h.snapDigs = h.appliedDigs.Clone()
+}
+
+// reconcileApplication brings the replica's application state in line with
+// the adopted history of st: it rolls back to the last activation snapshot
+// when the locally applied tail diverges from the adopted history, then
+// applies any missing suffix.
+func (h *Host) reconcileApplication(st *InstanceState) {
+	target := h.globalTarget(st)
+
+	// Find the longest common prefix between what has been applied and the
+	// target.
+	common := 0
+	for common < len(h.appliedDigs) && common < len(target) && h.appliedDigs[common] == target[common] {
+		common++
+	}
+	if uint64(common) < h.appliedSeq && h.snapApp != nil && h.snapSeq <= uint64(common) {
+		// Divergence within the speculative tail: roll back to the snapshot.
+		h.application = h.snapApp.Clone()
+		h.appliedSeq = h.snapSeq
+		h.appliedDigs = h.snapDigs.Clone()
+	}
+	// Apply the remaining target suffix for which bodies are known.
+	for int(h.appliedSeq) < len(target) {
+		d := target[h.appliedSeq]
+		r, ok := h.requestStore[d]
+		if !ok {
+			break
+		}
+		h.applyRequest(r)
+	}
+}
+
+// globalTarget reconstructs the absolute digest sequence the instance's
+// history denotes, reusing the host's previously applied prefix for the
+// positions covered by the base checkpoint.
+func (h *Host) globalTarget(st *InstanceState) history.DigestHistory {
+	var target history.DigestHistory
+	if st.BaseSeq > 0 {
+		if uint64(len(h.appliedDigs)) >= st.BaseSeq {
+			target = append(target, h.appliedDigs[:st.BaseSeq]...)
+		} else {
+			// The replica is behind the base checkpoint: reuse what it has;
+			// the remaining gap cannot be reconstructed and execution will
+			// resume from the available suffix (state transfer of
+			// application snapshots is outside the paper's scope).
+			target = append(target, h.appliedDigs...)
+			for uint64(len(target)) < st.BaseSeq {
+				target = append(target, authn.Digest{})
+			}
+		}
+	}
+	target = append(target, st.Digests...)
+	return target
+}
+
+// applyRequest applies one request to the application and records it.
+func (h *Host) applyRequest(r msg.Request) []byte {
+	reply := h.application.Execute(r.Command)
+	h.appliedDigs = append(h.appliedDigs, r.Digest())
+	h.appliedSeq++
+	h.lastReply[r.Client] = clientReply{timestamp: r.Timestamp, reply: reply}
+	return reply
+}
+
+// Log appends a request to the instance's local history (Step Z3/Q2/C3
+// logging). It returns the absolute position and false when the instance
+// cannot log (stopped, uninitialized, or checkpoint backlog limit reached).
+func (h *Host) Log(st *InstanceState, req msg.Request) (uint64, bool) {
+	if st.Stopped || !st.Initialized {
+		return 0, false
+	}
+	if h.cfg.MaxUncheckpointed > 0 {
+		backlog := st.AbsLen() - st.Checkpoint.StableSeq()
+		if backlog >= uint64(h.cfg.MaxUncheckpointed) {
+			return 0, false
+		}
+	}
+	d := req.Digest()
+	h.requestStore[d] = req.Clone()
+	st.Digests = append(st.Digests, d)
+	if req.Timestamp > st.LastTimestamp[req.Client] {
+		st.LastTimestamp[req.Client] = req.Timestamp
+	}
+	pos := st.AbsLen() - 1
+	if h.observer != nil {
+		h.observer.RequestLogged(st.ID, req, pos)
+	}
+	h.maybeCheckpoint(st)
+	return pos, true
+}
+
+// Execute applies a just-logged request to the application, provided the
+// application is up to date with the instance history (the normal case for
+// protocols whose replicas execute every request). It returns the
+// application reply.
+func (h *Host) Execute(st *InstanceState, req msg.Request) []byte {
+	// Replay any logged-but-unapplied prefix first (e.g. after adopting an
+	// init history whose bodies arrived late, or for Chain replicas that
+	// start executing mid-stream).
+	target := h.globalTarget(st)
+	for int(h.appliedSeq) < len(target) {
+		d := target[h.appliedSeq]
+		r, ok := h.requestStore[d]
+		if !ok {
+			break
+		}
+		if r.ID() == req.ID() {
+			return h.applyRequest(r)
+		}
+		h.applyRequest(r)
+	}
+	// Already applied (duplicate execution request): return the cached
+	// reply when it is the latest one for this client.
+	if last, ok := h.lastReply[req.Client]; ok && last.timestamp == req.Timestamp {
+		return last.reply
+	}
+	return h.applyRequest(req)
+}
+
+// CachedReply returns the last reply sent to the given client, if it matches
+// the timestamp.
+func (h *Host) CachedReply(client ids.ProcessID, ts uint64) ([]byte, bool) {
+	if last, ok := h.lastReply[client]; ok && last.timestamp == ts {
+		return last.reply, true
+	}
+	return nil, false
+}
+
+// RequestByDigest returns a request body from the host's store.
+func (h *Host) RequestByDigest(d authn.Digest) (msg.Request, bool) {
+	r, ok := h.requestStore[d]
+	return r, ok
+}
+
+// StoreRequest records a request body without logging it (used by protocols
+// that learn bodies before ordering them).
+func (h *Host) StoreRequest(r msg.Request) { h.requestStore[r.Digest()] = r.Clone() }

@@ -1,0 +1,54 @@
+package host
+
+import (
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+// BuildResp assembles the speculative RESP message sent to a client by
+// ZLight and Quorum replicas (Step Z3 / Q2): the application reply (full
+// payload only from the designated replica, digest otherwise), the digest of
+// the replica's local history, and a MAC for the client.
+func (h *Host) BuildResp(st *InstanceState, req msg.Request, reply []byte, designated bool) *core.RespMessage {
+	resp := &core.RespMessage{
+		Instance:      st.ID,
+		Replica:       h.id,
+		Client:        req.Client,
+		Timestamp:     req.Timestamp,
+		ReplyDigest:   authn.Hash(reply),
+		HistoryDigest: st.HistoryDigest(),
+		HistoryLen:    st.AbsLen(),
+	}
+	if designated {
+		resp.Reply = reply
+	}
+	if h.cfg.InstrumentHistories {
+		resp.HistoryDigests = st.Digests.Clone()
+	}
+	resp.MAC = h.keys.MAC(h.id, req.Client, resp.MACBytes())
+	h.cfg.Ops.CountMACGen(h.id, 1)
+	return resp
+}
+
+// VerifyClientAuth verifies the client's authenticator entry addressed to
+// this replica over the given bytes, counting the MAC operation.
+func (h *Host) VerifyClientAuth(a authn.Authenticator, data []byte) error {
+	h.cfg.Ops.CountMACVerify(h.id, 1)
+	return h.keys.Verify(a, h.id, data)
+}
+
+// MACFor computes a MAC from this replica to the given process, counting the
+// operation.
+func (h *Host) MACFor(to ids.ProcessID, data []byte) authn.MAC {
+	h.cfg.Ops.CountMACGen(h.id, 1)
+	return h.keys.MAC(h.id, to, data)
+}
+
+// VerifyMACFrom verifies a MAC from another process to this replica,
+// counting the operation.
+func (h *Host) VerifyMACFrom(from ids.ProcessID, data []byte, m authn.MAC) error {
+	h.cfg.Ops.CountMACVerify(h.id, 1)
+	return h.keys.VerifyMAC(from, h.id, data, m)
+}

@@ -1,0 +1,178 @@
+// Package ids defines process identities and cluster configuration for the
+// Abstract BFT framework.
+//
+// A cluster consists of n replicas (n = 3f+1 for most protocols, 5f+1 for
+// Q/U) and an arbitrary number of clients. Replicas occupy the identifier
+// range [0, n); clients occupy [ClientBase, ∞).
+package ids
+
+import "fmt"
+
+// ProcessID identifies a process (replica or client) in the system.
+type ProcessID int32
+
+// ClientBase is the first identifier used for clients. All identifiers below
+// ClientBase name replicas.
+const ClientBase ProcessID = 1 << 20
+
+// IsClient reports whether p names a client process.
+func (p ProcessID) IsClient() bool { return p >= ClientBase }
+
+// IsReplica reports whether p names a replica process.
+func (p ProcessID) IsReplica() bool { return p >= 0 && p < ClientBase }
+
+// String renders the identifier as "r<i>" for replicas and "c<i>" for clients.
+func (p ProcessID) String() string {
+	if p.IsClient() {
+		return fmt.Sprintf("c%d", int32(p-ClientBase))
+	}
+	return fmt.Sprintf("r%d", int32(p))
+}
+
+// Replica returns the ProcessID of the i-th replica (0-based).
+func Replica(i int) ProcessID { return ProcessID(i) }
+
+// Client returns the ProcessID of the i-th client (0-based).
+func Client(i int) ProcessID { return ClientBase + ProcessID(i) }
+
+// Cluster describes a replica group tolerating up to F Byzantine replicas.
+type Cluster struct {
+	// F is the maximum number of Byzantine replicas tolerated.
+	F int
+	// N is the total number of replicas. For the protocols in this
+	// repository N is 3F+1, except Q/U which uses 5F+1.
+	N int
+}
+
+// NewCluster returns the standard 3f+1 cluster configuration.
+func NewCluster(f int) Cluster {
+	if f < 0 {
+		panic("ids: negative f")
+	}
+	return Cluster{F: f, N: 3*f + 1}
+}
+
+// NewQUCluster returns the 5f+1 cluster configuration used by Q/U.
+func NewQUCluster(f int) Cluster {
+	if f < 0 {
+		panic("ids: negative f")
+	}
+	return Cluster{F: f, N: 5*f + 1}
+}
+
+// Replicas returns the ProcessIDs of all replicas in the cluster, in chain
+// order (ascending replica index).
+func (c Cluster) Replicas() []ProcessID {
+	out := make([]ProcessID, c.N)
+	for i := range out {
+		out[i] = Replica(i)
+	}
+	return out
+}
+
+// Quorum returns the size of a Byzantine quorum (2f+1) for the cluster.
+func (c Cluster) Quorum() int { return 2*c.F + 1 }
+
+// WeakQuorum returns f+1, the number of matching replies that guarantees at
+// least one correct replica vouches for a value.
+func (c Cluster) WeakQuorum() int { return c.F + 1 }
+
+// Primary returns the primary replica for the given view number
+// (view mod N), as used by PBFT-style protocols.
+func (c Cluster) Primary(view uint64) ProcessID {
+	return Replica(int(view % uint64(c.N)))
+}
+
+// Head returns the head of the chain order (replica 0).
+func (c Cluster) Head() ProcessID { return Replica(0) }
+
+// Tail returns the tail of the chain order (replica N-1).
+func (c Cluster) Tail() ProcessID { return Replica(c.N - 1) }
+
+// ChainSuccessor returns the successor of replica r in chain order, and
+// whether r is the tail (in which case the successor is the client).
+func (c Cluster) ChainSuccessor(r ProcessID) (ProcessID, bool) {
+	i := int(r)
+	if i >= c.N-1 {
+		return -1, false
+	}
+	return Replica(i + 1), true
+}
+
+// ChainPredecessor returns the predecessor of replica r in chain order, and
+// whether r is the head (in which case the predecessor is the client).
+func (c Cluster) ChainPredecessor(r ProcessID) (ProcessID, bool) {
+	i := int(r)
+	if i <= 0 {
+		return -1, false
+	}
+	return Replica(i - 1), true
+}
+
+// ChainSuccessorSet returns the successor set of process p as defined by the
+// Chain protocol (§5.3): for clients it is the first f+1 replicas; for the
+// first 2f replicas it is the next f+1 replicas in the chain; for later
+// replicas it is all subsequent replicas (the client is handled separately by
+// callers, because the client is not a replica identifier).
+func (c Cluster) ChainSuccessorSet(p ProcessID) []ProcessID {
+	if p.IsClient() {
+		out := make([]ProcessID, 0, c.F+1)
+		for i := 0; i < c.F+1 && i < c.N; i++ {
+			out = append(out, Replica(i))
+		}
+		return out
+	}
+	i := int(p)
+	var out []ProcessID
+	if i < 2*c.F {
+		for j := i + 1; j <= i+c.F+1 && j < c.N; j++ {
+			out = append(out, Replica(j))
+		}
+		return out
+	}
+	for j := i + 1; j < c.N; j++ {
+		out = append(out, Replica(j))
+	}
+	return out
+}
+
+// ChainPredecessorSet returns the set of processes q such that p belongs to
+// q's successor set. For the head the client is part of the predecessor set;
+// the client is represented by the provided client identifier when non-zero.
+func (c Cluster) ChainPredecessorSet(p ProcessID) []ProcessID {
+	var out []ProcessID
+	for j := 0; j < c.N; j++ {
+		q := Replica(j)
+		if q == p {
+			continue
+		}
+		for _, s := range c.ChainSuccessorSet(q) {
+			if s == p {
+				out = append(out, q)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LastReplicas returns the last f+1 replicas in chain order; these are the
+// replicas that execute requests and authenticate replies in Chain.
+func (c Cluster) LastReplicas() []ProcessID {
+	out := make([]ProcessID, 0, c.F+1)
+	for i := 2 * c.F; i < c.N; i++ {
+		out = append(out, Replica(i))
+	}
+	return out
+}
+
+// Validate reports an error when the cluster configuration is inconsistent.
+func (c Cluster) Validate() error {
+	if c.F < 0 {
+		return fmt.Errorf("ids: cluster has negative f=%d", c.F)
+	}
+	if c.N < 3*c.F+1 {
+		return fmt.Errorf("ids: cluster too small: n=%d < 3f+1=%d", c.N, 3*c.F+1)
+	}
+	return nil
+}

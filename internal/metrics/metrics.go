@@ -1,0 +1,190 @@
+// Package metrics provides the measurement utilities used by the benchmark
+// harness: latency recorders with percentiles, throughput-over-time series,
+// and simple counters.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates request latencies and reports summary
+// statistics.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one latency sample.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (l *LatencyRecorder) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean returns the mean latency, or 0 when no samples were recorded.
+func (l *LatencyRecorder) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile returns the p-th percentile latency (p in [0,100]).
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Throughput is a throughput-over-time series: committed operations bucketed
+// into fixed-size time windows.
+type Throughput struct {
+	mu      sync.Mutex
+	start   time.Time
+	bucket  time.Duration
+	buckets []uint64
+	total   uint64
+}
+
+// NewThroughput returns a series with the given bucket width, starting now.
+func NewThroughput(bucket time.Duration) *Throughput {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Throughput{start: time.Now(), bucket: bucket}
+}
+
+// RecordAt records one committed operation at time t.
+func (t *Throughput) RecordAt(at time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := int(at.Sub(t.start) / t.bucket)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(t.buckets) <= idx {
+		t.buckets = append(t.buckets, 0)
+	}
+	t.buckets[idx]++
+	t.total++
+}
+
+// Record records one committed operation now.
+func (t *Throughput) Record() { t.RecordAt(time.Now()) }
+
+// Total returns the total number of operations recorded.
+func (t *Throughput) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Series returns the per-bucket operation counts converted to ops/sec.
+func (t *Throughput) Series() []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]float64, len(t.buckets))
+	scale := float64(time.Second) / float64(t.bucket)
+	for i, b := range t.buckets {
+		out[i] = float64(b) * scale
+	}
+	return out
+}
+
+// Peak returns the highest ops/sec over all buckets.
+func (t *Throughput) Peak() float64 {
+	var peak float64
+	for _, v := range t.Series() {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// Rate returns the average ops/sec between the start of the series and the
+// given duration (or the full series when d <= 0).
+func (t *Throughput) Rate(d time.Duration) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if d <= 0 {
+		d = time.Duration(len(t.buckets)) * t.bucket
+	}
+	if d <= 0 {
+		return 0
+	}
+	return float64(t.total) / d.Seconds()
+}
+
+// Counter is a concurrency-safe counter.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// FormatOps renders an operations-per-second value the way the paper's tables
+// do (integer with thousands grouping).
+func FormatOps(v float64) string {
+	n := int64(math.Round(v))
+	s := fmt.Sprintf("%d", n)
+	if n < 1000 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

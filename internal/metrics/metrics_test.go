@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorder(t *testing.T) {
+	l := NewLatencyRecorder()
+	if l.Mean() != 0 || l.Percentile(99) != 0 || l.Count() != 0 {
+		t.Fatalf("empty recorder should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if got := l.Mean(); got < 50*time.Millisecond || got > 51*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := l.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Percentile(99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := l.Percentile(100); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	tp := NewThroughput(100 * time.Millisecond)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		tp.RecordAt(base.Add(time.Duration(i) * 20 * time.Millisecond))
+	}
+	if tp.Total() != 10 {
+		t.Fatalf("total = %d", tp.Total())
+	}
+	series := tp.Series()
+	if len(series) == 0 {
+		t.Fatalf("empty series")
+	}
+	if tp.Peak() <= 0 {
+		t.Fatalf("peak = %v", tp.Peak())
+	}
+	if tp.Rate(200*time.Millisecond) != 50 {
+		t.Fatalf("rate = %v, want 50 ops/s", tp.Rate(200*time.Millisecond))
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestFormatOps(t *testing.T) {
+	cases := map[float64]string{
+		999:      "999",
+		1000:     "1,000",
+		55575:    "55,575",
+		1234567:  "1,234,567",
+		55574.6:  "55,575",
+		0:        "0",
+		31510.49: "31,510",
+	}
+	for in, want := range cases {
+		if got := FormatOps(in); got != want {
+			t.Errorf("FormatOps(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

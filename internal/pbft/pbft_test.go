@@ -1,0 +1,198 @@
+package pbft
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+type pbftCluster struct {
+	cluster  ids.Cluster
+	keys     *authn.KeyStore
+	net      *transport.Local
+	replicas []*Replica
+}
+
+func newPBFTCluster(t *testing.T, f int, vcTimeout time.Duration) *pbftCluster {
+	t.Helper()
+	c := &pbftCluster{
+		cluster: ids.NewCluster(f),
+		keys:    authn.NewKeyStore("pbft-test"),
+		net:     transport.NewLocal(transport.Options{}),
+	}
+	for i := 0; i < c.cluster.N; i++ {
+		r := NewReplica(ReplicaConfig{
+			Cluster:           c.cluster,
+			Replica:           ids.Replica(i),
+			Keys:              c.keys,
+			App:               app.NewCounter(),
+			Endpoint:          c.net.Endpoint(ids.Replica(i)),
+			BatchSize:         4,
+			ViewChangeTimeout: vcTimeout,
+		})
+		r.Start()
+		c.replicas = append(c.replicas, r)
+	}
+	t.Cleanup(func() {
+		for _, r := range c.replicas {
+			r.Stop()
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+func (c *pbftCluster) client(i int) *Client {
+	id := ids.Client(i)
+	return NewClient(ClientConfig{
+		Cluster:  c.cluster,
+		Keys:     c.keys,
+		ID:       id,
+		Endpoint: c.net.Endpoint(id),
+		Timeout:  150 * time.Millisecond,
+	})
+}
+
+func TestPBFTOrdersRequests(t *testing.T) {
+	c := newPBFTCluster(t, 1, 0)
+	client := c.client(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for ts := uint64(1); ts <= 20; ts++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("x")}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			t.Fatalf("invoke %d: %v", ts, err)
+		}
+	}
+	// Every replica executes the same number of requests eventually.
+	deadline := time.Now().Add(3 * time.Second)
+	for _, r := range c.replicas {
+		for r.Executed() < 20 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if r.Executed() != 20 {
+			t.Errorf("replica executed %d requests, want 20", r.Executed())
+		}
+	}
+}
+
+func TestPBFTToleratesCrashedBackup(t *testing.T) {
+	c := newPBFTCluster(t, 1, 300*time.Millisecond)
+	c.replicas[2].SetCrashed(true)
+	client := c.client(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for ts := uint64(1); ts <= 10; ts++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("y")}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			t.Fatalf("invoke %d with a crashed backup: %v", ts, err)
+		}
+	}
+}
+
+func TestPBFTViewChangeOnCrashedPrimary(t *testing.T) {
+	c := newPBFTCluster(t, 1, 200*time.Millisecond)
+	// Crash the view-0 primary (replica 0); backups must change views and
+	// keep ordering.
+	c.replicas[0].SetCrashed(true)
+	client := c.client(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for ts := uint64(1); ts <= 5; ts++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("z")}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			t.Fatalf("invoke %d with a crashed primary: %v", ts, err)
+		}
+	}
+	changed := false
+	for i := 1; i < c.cluster.N; i++ {
+		if c.replicas[i].ViewChanges() > 0 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Errorf("no replica completed a view change despite a crashed primary")
+	}
+}
+
+func TestBatchDigestDeterministic(t *testing.T) {
+	batch := []msg.Request{
+		{Client: ids.Client(0), Timestamp: 1, Command: []byte("a")},
+		{Client: ids.Client(1), Timestamp: 1, Command: []byte("b")},
+	}
+	if BatchDigest(batch) != BatchDigest(batch) {
+		t.Fatalf("batch digest not deterministic")
+	}
+	other := []msg.Request{batch[1], batch[0]}
+	if BatchDigest(batch) == BatchDigest(other) {
+		t.Fatalf("batch digest ignores order")
+	}
+}
+
+func TestEngineDeliversInOrder(t *testing.T) {
+	// Four engines wired directly to each other (no network) must deliver
+	// identical sequences.
+	cluster := ids.NewCluster(1)
+	keys := authn.NewKeyStore("engine-test")
+	engines := make([]*Engine, cluster.N)
+	delivered := make([][]string, cluster.N)
+	var deliverTo func(i int) func([]msg.Request)
+	deliverTo = func(i int) func([]msg.Request) {
+		return func(batch []msg.Request) {
+			for _, r := range batch {
+				delivered[i] = append(delivered[i], fmt.Sprintf("%v", r.ID()))
+			}
+		}
+	}
+	// Queue of in-flight messages to simulate synchronous delivery.
+	type envelope struct {
+		from, to ids.ProcessID
+		m        any
+	}
+	var queue []envelope
+	for i := 0; i < cluster.N; i++ {
+		i := i
+		engines[i] = NewEngine(EngineConfig{
+			Cluster: cluster,
+			Replica: ids.Replica(i),
+			Keys:    keys,
+			Send: func(to ids.ProcessID, m any) {
+				queue = append(queue, envelope{from: ids.Replica(i), to: to, m: m})
+			},
+			Deliver:   deliverTo(i),
+			BatchSize: 2,
+		})
+	}
+	for ts := uint64(1); ts <= 6; ts++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("c")}
+		for _, e := range engines {
+			e.SubmitRequest(req)
+		}
+		// Drain the message queue to quiescence.
+		for len(queue) > 0 {
+			env := queue[0]
+			queue = queue[1:]
+			engines[int(env.to)].HandleMessage(env.from, env.m)
+		}
+	}
+	for i := 1; i < cluster.N; i++ {
+		if len(delivered[i]) != len(delivered[0]) {
+			t.Fatalf("replica %d delivered %d requests, replica 0 delivered %d", i, len(delivered[i]), len(delivered[0]))
+		}
+		for j := range delivered[i] {
+			if delivered[i][j] != delivered[0][j] {
+				t.Fatalf("replica %d delivered %q at position %d, replica 0 delivered %q", i, delivered[i][j], j, delivered[0][j])
+			}
+		}
+	}
+	if len(delivered[0]) != 6 {
+		t.Fatalf("delivered %d requests, want 6", len(delivered[0]))
+	}
+}

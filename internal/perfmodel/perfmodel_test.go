@@ -1,0 +1,191 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"abstractbft/internal/attack"
+)
+
+func TestTable1Characteristics(t *testing.T) {
+	// Table I formulas at f=1.
+	b := 10.0
+	cases := []struct {
+		p        Protocol
+		replicas int
+		macs     float64
+		delays   int
+	}{
+		{PBFT, 4, 2 + 8.0/b, 4},
+		{QU, 6, 6, 2},
+		{HQ, 4, 6, 4},
+		{Zyzzyva, 4, 2 + 3.0/b, 3},
+		{Quorum, 4, 2, 2},
+		{Chain, 4, 1 + 3.0/b, 5},
+	}
+	for _, c := range cases {
+		got := CharacteristicsOf(c.p, 1, b)
+		if got.Replicas != c.replicas {
+			t.Errorf("%s replicas = %d, want %d", c.p, got.Replicas, c.replicas)
+		}
+		if got.BottleneckMACs != c.macs {
+			t.Errorf("%s bottleneck MACs = %v, want %v", c.p, got.BottleneckMACs, c.macs)
+		}
+		if got.OneWayDelays != c.delays {
+			t.Errorf("%s delays = %d, want %d", c.p, got.OneWayDelays, c.delays)
+		}
+	}
+}
+
+func TestChainMACOpsTendToOne(t *testing.T) {
+	for _, b := range []float64{1, 2, 8, 64, 1024} {
+		c := CharacteristicsOf(Chain, 1, b)
+		if c.BottleneckMACs < 1 {
+			t.Fatalf("bottleneck MACs below 1: %v", c.BottleneckMACs)
+		}
+	}
+	if got := CharacteristicsOf(Chain, 1, 1e9).BottleneckMACs; got > 1.001 {
+		t.Errorf("Chain bottleneck MACs should tend to 1 with large batches, got %v", got)
+	}
+	// This contradicts the claimed lower bound of 2 that PBFT/Zyzzyva obey.
+	if got := CharacteristicsOf(Zyzzyva, 1, 1e9).BottleneckMACs; got < 2 {
+		t.Errorf("Zyzzyva bottleneck MACs should not go below 2, got %v", got)
+	}
+}
+
+func TestLatencyOrderingWithoutContention(t *testing.T) {
+	m := New()
+	for f := 1; f <= 3; f++ {
+		for _, bench := range []struct{ req, rep float64 }{{0, 0}, {4, 0}, {0, 4}} {
+			aliph := m.Latency(Workload{Protocol: Aliph, F: f, Clients: 1, RequestKB: bench.req, ReplyKB: bench.rep})
+			for _, p := range []Protocol{QU, Zyzzyva, PBFT} {
+				other := m.Latency(Workload{Protocol: p, F: f, Clients: 1, RequestKB: bench.req, ReplyKB: bench.rep})
+				if aliph >= other {
+					t.Errorf("f=%d %v/%v: Aliph latency %.1f not below %s latency %.1f", f, bench.req, bench.rep, aliph, p, other)
+				}
+			}
+		}
+	}
+	// PBFT must be the slowest of the three baselines (4 delays).
+	if m.Latency(Workload{Protocol: PBFT, F: 1, Clients: 1}) <= m.Latency(Workload{Protocol: Zyzzyva, F: 1, Clients: 1}) {
+		t.Errorf("PBFT should have higher latency than Zyzzyva")
+	}
+}
+
+func TestThroughputCrossoverFig8(t *testing.T) {
+	m := New()
+	// Few clients: Zyzzyva at least as good as Aliph; many clients: Aliph
+	// higher, by roughly 15-35% at the peak (paper: 21%).
+	few := Workload{Protocol: Aliph, F: 1, Clients: 5, Contention: true}
+	fewZ := Workload{Protocol: Zyzzyva, F: 1, Clients: 5, Contention: true}
+	if m.PeakThroughput(few) > m.PeakThroughput(fewZ)*1.15 {
+		t.Errorf("with few clients Aliph should not be far above Zyzzyva")
+	}
+	many := Workload{Protocol: Aliph, F: 1, Clients: 200, Contention: true}
+	manyZ := Workload{Protocol: Zyzzyva, F: 1, Clients: 200, Contention: true}
+	ratio := m.PeakThroughput(many) / m.PeakThroughput(manyZ)
+	if ratio < 1.1 || ratio > 1.6 {
+		t.Errorf("Aliph/Zyzzyva peak ratio = %.2f, want roughly 1.2 (paper: +21%%)", ratio)
+	}
+}
+
+func TestFig11LargeRequestsFavorAliph(t *testing.T) {
+	m := New()
+	aliph := m.PeakThroughput(Workload{Protocol: Aliph, F: 1, Clients: 80, RequestKB: 4, Contention: true})
+	zyz := m.PeakThroughput(Workload{Protocol: Zyzzyva, F: 1, Clients: 80, RequestKB: 4, Contention: true})
+	ratio := aliph / zyz
+	if ratio < 2.5 {
+		t.Errorf("4/0 benchmark: Aliph/Zyzzyva = %.2f, want >= 2.5 (paper: ~4.6x)", ratio)
+	}
+}
+
+func TestFaultScalabilityFig13(t *testing.T) {
+	m := New()
+	p1 := m.PeakThroughput(Workload{Protocol: Aliph, F: 1, Clients: 120, RequestKB: 4, Contention: true})
+	p3 := m.PeakThroughput(Workload{Protocol: Aliph, F: 3, Clients: 120, RequestKB: 4, Contention: true})
+	drop := (p1 - p3) / p1
+	if drop < 0 || drop > 0.15 {
+		t.Errorf("peak throughput drop from f=1 to f=3 is %.1f%%, want a small positive value", drop*100)
+	}
+}
+
+func TestAttackFactorsShape(t *testing.T) {
+	m := New()
+	// Aardvark must degrade least; Aliph must collapse under malformed
+	// requests and replica flooding; Prime must collapse under replica
+	// flooding.
+	for _, s := range []attack.Scenario{attack.ScenarioClientFlooding, attack.ScenarioProcessingDelay, attack.ScenarioReplicaFlooding} {
+		aard := m.UnderAttack(Aardvark, 1, 100, s) / m.UnderAttack(Aardvark, 1, 100, attack.ScenarioNone)
+		for _, p := range []Protocol{Spinning, Prime, Aliph} {
+			other := m.UnderAttack(p, 1, 100, s) / m.UnderAttack(p, 1, 100, attack.ScenarioNone)
+			if aard < other {
+				t.Errorf("under %s Aardvark retains %.2f, %s retains %.2f: Aardvark should degrade least", s, aard, p, other)
+			}
+		}
+	}
+	if m.UnderAttack(Aliph, 1, 100, attack.ScenarioMalformedRequest) != 0 {
+		t.Errorf("Aliph under malformed requests should drop to zero")
+	}
+	if m.UnderAttack(Prime, 1, 100, attack.ScenarioReplicaFlooding) != 0 {
+		t.Errorf("Prime under replica flooding should drop to zero")
+	}
+	// R-Aliph without attack must be within ~6% of Aliph (Fig. 17) and far
+	// better than Aliph under attack.
+	if m.RAliphOverhead(0) > 0.06 {
+		t.Errorf("R-Aliph overhead at 0kB = %.3f, want <= 0.06", m.RAliphOverhead(0))
+	}
+	if m.RAliphOverhead(4) >= m.RAliphOverhead(0) {
+		t.Errorf("R-Aliph overhead should shrink with request size")
+	}
+	ral := m.UnderAttack(RAliph, 1, 100, attack.ScenarioProcessingDelay)
+	al := m.UnderAttack(Aliph, 1, 100, attack.ScenarioProcessingDelay)
+	if ral <= al {
+		t.Errorf("R-Aliph under the delay attack (%.0f) should far exceed Aliph (%.0f)", ral, al)
+	}
+}
+
+func TestSwitchingTimeFig5(t *testing.T) {
+	m := New()
+	lo := m.SwitchingTime(0, 1, 0)
+	hi := m.SwitchingTime(250, 1, 0)
+	if lo < 15 || lo > 25 {
+		t.Errorf("empty-history switching time %.1f ms outside the expected band", lo)
+	}
+	if hi < 25 || hi > 35 {
+		t.Errorf("250-request switching time %.1f ms outside the expected band", hi)
+	}
+	if m.SwitchingTime(250, 1, 0.3) <= hi {
+		t.Errorf("missing requests must increase the switching time")
+	}
+	// Growth is monotone.
+	prev := 0.0
+	for h := 0; h <= 250; h += 50 {
+		v := m.SwitchingTime(h, 1, 0)
+		if v < prev {
+			t.Fatalf("switching time not monotone at history %d", h)
+		}
+		prev = v
+	}
+}
+
+func TestRAliphSwitchingTable5(t *testing.T) {
+	m := New()
+	base := m.RAliphSwitchingTime(attack.ScenarioNone)
+	for _, s := range attack.AllScenarios() {
+		v := m.RAliphSwitchingTime(s)
+		if v < base || v > base*1.1 {
+			t.Errorf("switching time under %s = %.2f ms should be within 10%% of the attack-free %.2f ms", s, v, base)
+		}
+	}
+}
+
+func TestResponseTimeMonotoneInClients(t *testing.T) {
+	m := New()
+	prev := 0.0
+	for _, n := range []int{1, 10, 50, 100, 200, 400} {
+		r := m.ResponseTime(Workload{Protocol: Aliph, F: 1, Clients: n, Contention: n > 1})
+		if r < prev*0.7 {
+			t.Fatalf("response time dropped sharply from %.0f to %.0f at %d clients", prev, r, n)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,153 @@
+// Package quorum implements Quorum, the contention-free Abstract instance
+// used by Aliph (§5.2): clients send requests directly to all replicas, which
+// speculatively execute them and reply in a single round trip (two one-way
+// message delays with only 3f+1 replicas). Quorum guarantees progress only
+// when there are no server/link failures, no Byzantine clients, and no
+// contention; concurrent requests executed in different orders make replica
+// histories diverge and the instance aborts through the shared panicking
+// subprotocol.
+package quorum
+
+import (
+	"context"
+	"encoding/binary"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// RequestMessage is the REQ message a client multicasts to every replica
+// (Step Q1).
+type RequestMessage struct {
+	Instance core.InstanceID
+	Req      msg.Request
+	// Init carries the init history on the client's first invocation of the
+	// instance.
+	Init *core.InitHistory
+	// Auth is the client's MAC authenticator over the request and instance.
+	Auth authn.Authenticator
+	// Feedback optionally piggybacks R-Aliph commit feedback: the timestamps
+	// of requests this client recently committed (Principle P2, §6.3).
+	Feedback []uint64
+}
+
+// AbstractInstance implements core.InstanceMessage.
+func (m *RequestMessage) AbstractInstance() core.InstanceID { return m.Instance }
+
+// CarriedInit implements core.InitCarrier.
+func (m *RequestMessage) CarriedInit() *core.InitHistory { return m.Init }
+
+// AuthBytes returns the bytes a client authenticates: instance number and
+// request digest.
+func AuthBytes(instance core.InstanceID, req msg.Request) []byte {
+	var buf [8 + authn.DigestSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	d := req.Digest()
+	copy(buf[8:], d[:])
+	return buf[:]
+}
+
+func init() {
+	transport.RegisterWireType(&RequestMessage{})
+}
+
+// Replica implements Step Q2 on one replica for one Abstract instance.
+type Replica struct {
+	h        *host.Host
+	st       *host.InstanceState
+	feedback host.FeedbackSink
+}
+
+// NewReplica returns a host.ProtocolFactory creating Quorum replicas. The
+// optional feedback sink receives R-Aliph client feedback.
+func NewReplica(feedback host.FeedbackSink) host.ProtocolFactory {
+	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
+		return &Replica{h: h, st: st, feedback: feedback}
+	}
+}
+
+// Handle implements host.ProtocolReplica.
+func (r *Replica) Handle(from ids.ProcessID, m any) {
+	req, ok := m.(*RequestMessage)
+	if !ok {
+		return
+	}
+	r.onRequest(from, req)
+}
+
+// onRequest implements Step Q2: verify the client MAC, log and speculatively
+// execute the request, and reply.
+func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
+	if r.feedback != nil && len(m.Feedback) > 0 {
+		r.feedback.ClientFeedback(r.h.ID(), m.Req.Client, m.Feedback, []uint64{m.Req.Timestamp})
+	}
+	if r.st.Stopped {
+		return
+	}
+	if err := r.h.VerifyClientAuth(m.Auth, AuthBytes(r.st.ID, m.Req)); err != nil {
+		return
+	}
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
+		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
+			resp := r.h.BuildResp(r.st, m.Req, reply, r.h.ID() == r.h.Cluster().Head())
+			r.h.Send(m.Req.Client, resp)
+		}
+		return
+	}
+	if _, ok := r.h.Log(r.st, m.Req); !ok {
+		return
+	}
+	reply := r.h.Execute(r.st, m.Req)
+	resp := r.h.BuildResp(r.st, m.Req, reply, r.h.ID() == r.h.Cluster().Head())
+	r.h.Send(m.Req.Client, resp)
+	if r.h.ID() == r.h.Cluster().Head() {
+		r.h.Ops().CountRequest()
+	}
+}
+
+// Client is the client-side handle of one Quorum instance.
+type Client struct {
+	env core.ClientEnv
+	id  core.InstanceID
+	// PendingFeedback is attached to the next request's REQ messages and
+	// then cleared; R-Aliph's client wrapper populates it.
+	PendingFeedback []uint64
+}
+
+// NewClient creates a Quorum instance client.
+func NewClient(env core.ClientEnv, id core.InstanceID) *Client {
+	return &Client{env: env, id: id}
+}
+
+// ID implements core.Instance.
+func (c *Client) ID() core.InstanceID { return c.id }
+
+// Invoke implements core.Instance: Step Q1 (multicast to all replicas, arm a
+// 2Δ timer), Step Q3 (identical to Step Z4), and the panicking mechanism.
+func (c *Client) Invoke(ctx context.Context, req msg.Request, init *core.InitHistory) (core.Outcome, error) {
+	if c.env.Checker != nil {
+		c.env.Checker.RecordInvoke(req)
+		c.env.Checker.RecordInit(c.id, init)
+	}
+	auth := c.env.Keys.NewAuthenticator(c.env.ID, c.env.Cluster.Replicas(), AuthBytes(c.id, req))
+	c.env.Ops.CountMACGen(c.env.ID, auth.NumMACs())
+	m := &RequestMessage{Instance: c.id, Req: req, Init: init, Auth: auth, Feedback: c.PendingFeedback}
+	c.PendingFeedback = nil
+	transport.Multicast(c.env.Endpoint, c.env.Cluster.Replicas(), m)
+
+	out, committed, err := core.AwaitSpeculativeCommit(ctx, c.env, c.id, req, c.env.Timer(2))
+	if err != nil {
+		return core.Outcome{}, err
+	}
+	if committed {
+		return out, nil
+	}
+	return core.PanicAndAbort(ctx, c.env, c.id, req, init)
+}
+
+var _ core.Instance = (*Client)(nil)
+var _ host.ProtocolReplica = (*Replica)(nil)

@@ -1,0 +1,243 @@
+// Package raliph implements R-Aliph (§6.3), the robust variant of Aliph: the
+// same Quorum → Chain → Backup composition, hardened so that Byzantine
+// clients and replicas cannot destroy its performance:
+//
+//   - Principle P1: Backup runs on top of Aardvark instead of plain PBFT.
+//   - Principle P2: Quorum and Chain replicas monitor the throughput they
+//     sustain (using commit feedback piggybacked by clients) and compare it
+//     against the expectation computed while Backup (Aardvark) was running;
+//     an underperforming instance is abandoned.
+//   - Principle P3: replicas track client feedback to detect unfair request
+//     treatment and abandon the instance when they observe it.
+//   - Principle P4: switching is initiated by replicas themselves (a replica
+//     invokes a noop request and immediately panics), the uncheckpointed
+//     history is bounded, and per-peer channels are policed, so Byzantine
+//     clients cannot delay a switch.
+package raliph
+
+import (
+	"sync"
+	"time"
+
+	"abstractbft/internal/aardvark"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+// MonitorConfig tunes the R-Aliph replica-side monitoring.
+type MonitorConfig struct {
+	// Window is the period over which sustained throughput is evaluated.
+	Window time.Duration
+	// MinExpectation is the floor below which the expectation is ignored
+	// (avoids switching storms while the system warms up).
+	MinExpectation float64
+	// FairnessThreshold is the number of later-logged requests that may be
+	// confirmed committed while an earlier request of another client is
+	// still pending before the replica declares unfairness.
+	FairnessThreshold int
+	// FeedbackEvery is how many committed requests a client batches into one
+	// feedback message (5 in the paper's prototype).
+	FeedbackEvery int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Window <= 0 {
+		c.Window = 300 * time.Millisecond
+	}
+	if c.MinExpectation <= 0 {
+		c.MinExpectation = 1
+	}
+	if c.FairnessThreshold <= 0 {
+		c.FairnessThreshold = 4
+	}
+	if c.FeedbackEvery <= 0 {
+		c.FeedbackEvery = 5
+	}
+	return c
+}
+
+// Monitor is the per-replica R-Aliph watchdog: it consumes client feedback
+// (host.FeedbackSink), observes instance activity (host.Observer), compares
+// sustained throughput against the Aardvark expectation, checks fairness, and
+// initiates switching when the current speculative instance must be
+// abandoned.
+type Monitor struct {
+	cfg  MonitorConfig
+	h    *host.Host
+	sw   *switcher
+	self ids.ProcessID
+
+	mu sync.Mutex
+	// expectation is the requests/second the current speculative instance
+	// must sustain (from the last Backup/Aardvark run).
+	expectation float64
+	// window state.
+	windowStart    time.Time
+	committedCount uint64
+	loggedCount    uint64
+	// fairness: per client, the earliest logged-but-unconfirmed request and
+	// the number of later requests confirmed since.
+	pending map[ids.ProcessID]*pendingReq
+	// activeInstance is the highest instance observed.
+	activeInstance core.InstanceID
+	// switches counts replica-initiated switches (observability).
+	switches uint64
+	// unhappy marks that a switch for the current instance is under way.
+	unhappyFor core.InstanceID
+}
+
+type pendingReq struct {
+	pos            uint64
+	laterConfirmed int
+}
+
+// NewMonitor creates the monitor for one replica host; Attach must be called
+// once the host exists.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	return &Monitor{cfg: cfg.withDefaults(), pending: make(map[ids.ProcessID]*pendingReq)}
+}
+
+// Attach wires the monitor to its replica host.
+func (m *Monitor) Attach(h *host.Host, sw *switcher) {
+	m.h = h
+	m.sw = sw
+	m.self = h.ID()
+}
+
+// Switches returns the number of replica-initiated switches.
+func (m *Monitor) Switches() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.switches
+}
+
+// Expectation returns the current throughput expectation (requests/second).
+func (m *Monitor) Expectation() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.expectation
+}
+
+// RegisterExpectation records the expectation source of a Backup instance
+// (Aardvark's monitor); called when a Backup instance is created.
+func (m *Monitor) RegisterExpectation(inst core.InstanceID, src aardvark.ExpectationSource) {
+	go func() {
+		// Sample the expectation periodically while the Backup instance is
+		// active; the last observed value carries over to the speculative
+		// instances that follow.
+		ticker := time.NewTicker(m.cfg.Window)
+		defer ticker.Stop()
+		for range ticker.C {
+			m.mu.Lock()
+			if m.activeInstance > inst {
+				m.mu.Unlock()
+				return
+			}
+			if e := src.Expectation(); e > m.expectation {
+				m.expectation = e
+			}
+			m.mu.Unlock()
+		}
+	}()
+}
+
+// ClientFeedback implements host.FeedbackSink: clients report the timestamps
+// of requests they committed and issued.
+func (m *Monitor) ClientFeedback(replica ids.ProcessID, client ids.ProcessID, committed []uint64, issued []uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.committedCount += uint64(len(committed))
+	// Fairness: a confirmation for any client counts as progress that
+	// later-logged requests of other clients overtook the pending ones.
+	for other, p := range m.pending {
+		if other == client {
+			continue
+		}
+		p.laterConfirmed += len(committed)
+	}
+	if p, ok := m.pending[client]; ok && len(committed) > 0 {
+		// The client's own pending request has been served.
+		delete(m.pending, client)
+		_ = p
+	}
+}
+
+// RequestLogged implements host.Observer.
+func (m *Monitor) RequestLogged(inst core.InstanceID, req msg.Request, pos uint64) {
+	if req.Client == m.self || !req.Client.IsClient() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loggedCount++
+	if _, ok := m.pending[req.Client]; !ok {
+		m.pending[req.Client] = &pendingReq{pos: pos}
+	}
+}
+
+// InstanceStopped implements host.Observer.
+func (m *Monitor) InstanceStopped(inst core.InstanceID) {}
+
+// InstanceActivated implements host.Observer.
+func (m *Monitor) InstanceActivated(inst core.InstanceID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if inst > m.activeInstance {
+		m.activeInstance = inst
+		m.windowStart = time.Time{}
+		m.committedCount = 0
+		m.loggedCount = 0
+		m.pending = make(map[ids.ProcessID]*pendingReq)
+	}
+}
+
+// Tick evaluates the current window; the replica host's protocol tick calls
+// it through the R-Aliph replica wrapper.
+func (m *Monitor) Tick(current core.InstanceID, isSpeculative bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !isSpeculative || current < m.activeInstance || m.unhappyFor >= current {
+		return
+	}
+	now := time.Now()
+	if m.windowStart.IsZero() {
+		m.windowStart = now
+		m.committedCount = 0
+		m.loggedCount = 0
+		return
+	}
+	// Fairness check runs continuously.
+	for _, p := range m.pending {
+		if p.laterConfirmed >= m.cfg.FairnessThreshold {
+			m.becomeUnhappyLocked(current)
+			return
+		}
+	}
+	if now.Sub(m.windowStart) < m.cfg.Window {
+		return
+	}
+	rate := float64(m.committedCount) / now.Sub(m.windowStart).Seconds()
+	demand := m.loggedCount > 0
+	m.windowStart = now
+	m.committedCount = 0
+	m.loggedCount = 0
+	if !demand {
+		return
+	}
+	if m.expectation > m.cfg.MinExpectation && rate < m.expectation {
+		m.becomeUnhappyLocked(current)
+	}
+}
+
+// becomeUnhappyLocked stops the current instance and initiates a
+// replica-driven switch.
+func (m *Monitor) becomeUnhappyLocked(current core.InstanceID) {
+	m.unhappyFor = current
+	m.switches++
+	sw := m.sw
+	if sw != nil {
+		go sw.InitiateSwitch(current)
+	}
+}

@@ -1,0 +1,117 @@
+package raliph_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/core"
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/raliph"
+)
+
+func newRAliph(t *testing.T, checker *core.SpecChecker, opts raliph.Options) (*deploy.Cluster, *raliph.Registry) {
+	t.Helper()
+	cluster, registry, err := raliph.Deploy(deploy.Config{
+		F:                   1,
+		NewApp:              func() app.Application { return app.NewCounter() },
+		Delta:               25 * time.Millisecond,
+		TickInterval:        10 * time.Millisecond,
+		InstrumentHistories: true,
+		Checker:             checker,
+	}, opts)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	t.Cleanup(cluster.Stop)
+	return cluster, registry
+}
+
+// TestRAliphCommonCase: without attacks R-Aliph behaves like Aliph — a single
+// client commits through Quorum without switching.
+func TestRAliphCommonCase(t *testing.T) {
+	checker := core.NewSpecChecker()
+	cluster, registry := newRAliph(t, checker, raliph.Options{Monitor: raliph.MonitorConfig{Window: 200 * time.Millisecond}})
+	client, err := registry.NewClient(cluster.ClientEnv(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for ts := uint64(1); ts <= 30; ts++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("r")}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			t.Fatalf("invoke %d: %v", ts, err)
+		}
+	}
+	if client.Switches() != 0 {
+		t.Errorf("attack-free single-client run switched %d times, want 0", client.Switches())
+	}
+	if errs := checker.Check(); len(errs) > 0 {
+		t.Fatalf("specification violations: %v", errs)
+	}
+}
+
+// TestRAliphSurvivesProcessingDelayAttack: a Byzantine head delays every
+// message; the service must keep committing (through switching to the
+// Aardvark-backed Backup) and the monitors may initiate switches themselves.
+func TestRAliphSurvivesProcessingDelayAttack(t *testing.T) {
+	checker := core.NewSpecChecker()
+	// Keep replica-initiated switching out of the liveness path of this test
+	// (a very high expectation floor disables throughput-triggered switches);
+	// the attack is survived through the composition's ordinary switching to
+	// the Aardvark-backed Backup.
+	cluster, registry := newRAliph(t, checker, raliph.Options{
+		Monitor: raliph.MonitorConfig{Window: 400 * time.Millisecond, MinExpectation: 1e12},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Warm up without the attack so expectations form.
+	warm, err := registry.NewClient(cluster.ClientEnv(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(1); ts <= 10; ts++ {
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte("w")}
+		if _, err := warm.Invoke(ctx, req); err != nil {
+			t.Fatalf("warmup invoke %d: %v", ts, err)
+		}
+	}
+
+	// Attack: the head delays processing of every message.
+	cluster.Host(0).SetProcessingDelay(time.Millisecond)
+
+	client, err := registry.NewClient(cluster.ClientEnv(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := 0
+	for ts := uint64(1); ts <= 10; ts++ {
+		req := msg.Request{Client: ids.Client(1), Timestamp: ts, Command: []byte(fmt.Sprintf("a%d", ts))}
+		if _, err := client.Invoke(ctx, req); err != nil {
+			t.Fatalf("invoke %d under attack: %v", ts, err)
+		}
+		committed++
+	}
+	if committed != 10 {
+		t.Fatalf("only %d requests committed under attack", committed)
+	}
+	if errs := checker.Check(); len(errs) > 0 {
+		t.Fatalf("specification violations: %v", errs)
+	}
+}
+
+func TestSwitcherClientID(t *testing.T) {
+	id := raliph.SwitcherClientID(ids.Replica(2))
+	if !id.IsClient() {
+		t.Fatalf("switcher identity %v is not a client id", id)
+	}
+	if raliph.SwitcherClientID(ids.Replica(1)) == raliph.SwitcherClientID(ids.Replica(2)) {
+		t.Fatalf("switcher identities collide")
+	}
+}

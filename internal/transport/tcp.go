@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"abstractbft/internal/ids"
+)
+
+// RegisterWireType registers a payload type for gob encoding over the TCP
+// transport. Protocol packages register their message types in init
+// functions so that both the in-process and TCP transports can carry them.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// wireEnvelope is the on-the-wire representation of an Envelope.
+type wireEnvelope struct {
+	From    ids.ProcessID
+	To      ids.ProcessID
+	Payload any
+}
+
+// TCP is a TCP-based network for multi-process deployments. Every process
+// listens on one address and dials peers lazily; connections are reused.
+type TCP struct {
+	self  ids.ProcessID
+	addrs map[ids.ProcessID]string
+
+	mu     sync.Mutex
+	conns  map[ids.ProcessID]*gob.Encoder
+	raw    map[ids.ProcessID]net.Conn
+	ln     net.Listener
+	in     chan Envelope
+	closed bool
+}
+
+// NewTCP creates a TCP endpoint for process self listening on
+// addrs[self]; addrs maps every process to its listen address.
+func NewTCP(self ids.ProcessID, addrs map[ids.ProcessID]string) (*TCP, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for %v", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		self:  self,
+		addrs: addrs,
+		conns: make(map[ids.ProcessID]*gob.Encoder),
+		raw:   make(map[ids.ProcessID]net.Conn),
+		ln:    ln,
+		in:    make(chan Envelope, 8192),
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the address the endpoint is listening on.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// ID implements Endpoint.
+func (t *TCP) ID() ids.ProcessID { return t.self }
+
+// Inbox implements Endpoint.
+func (t *TCP) Inbox() <-chan Envelope { return t.in }
+
+// Send implements Endpoint. Failures are silent (fair-loss links); the
+// connection is discarded so a later send re-dials.
+func (t *TCP) Send(to ids.ProcessID, payload any) {
+	enc, err := t.encoder(to)
+	if err != nil {
+		return
+	}
+	env := wireEnvelope{From: t.self, To: to, Payload: payload}
+	if err := enc.Encode(&env); err != nil {
+		t.dropConn(to)
+	}
+}
+
+func (t *TCP) encoder(to ids.ProcessID) (*gob.Encoder, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("transport: closed")
+	}
+	if enc, ok := t.conns[to]; ok {
+		return enc, nil
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for %v", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	enc := gob.NewEncoder(conn)
+	t.conns[to] = enc
+	t.raw[to] = conn
+	return enc, nil
+}
+
+func (t *TCP) dropConn(to ids.ProcessID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.raw[to]; ok {
+		c.Close()
+	}
+	delete(t.conns, to)
+	delete(t.raw, to)
+}
+
+func (t *TCP) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env wireEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.in <- Envelope(env):
+		default:
+		}
+	}
+}
+
+// Close implements Endpoint.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	for _, c := range t.raw {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	close(t.in)
+}
+
+var _ Endpoint = (*TCP)(nil)

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+// fakeService is a trivially linearizable in-memory service used to exercise
+// the workload drivers without a cluster.
+type fakeService struct {
+	mu        sync.Mutex
+	committed map[msg.RequestID]bool
+	delay     time.Duration
+}
+
+func (s *fakeService) invoker(i int) (Invoker, ids.ProcessID, error) {
+	id := ids.Client(i)
+	return InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+		if s.delay > 0 {
+			select {
+			case <-time.After(s.delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.committed == nil {
+			s.committed = make(map[msg.RequestID]bool)
+		}
+		if s.committed[req.ID()] {
+			return nil, fmt.Errorf("duplicate request %v", req.ID())
+		}
+		s.committed[req.ID()] = true
+		return []byte("ok"), nil
+	}), id, nil
+}
+
+func TestRunClosedLoopFixedRequests(t *testing.T) {
+	svc := &fakeService{}
+	res, err := RunClosedLoop(context.Background(), ClosedLoopConfig{Clients: 3, RequestsPerClient: 10}, svc.invoker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 30 {
+		t.Fatalf("committed %d, want 30", res.Committed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors %d", res.Errors)
+	}
+	if res.Latency.Count() != 30 {
+		t.Fatalf("latency samples %d", res.Latency.Count())
+	}
+	if res.ThroughputOps() <= 0 {
+		t.Fatalf("throughput not positive")
+	}
+}
+
+func TestRunClosedLoopDuration(t *testing.T) {
+	svc := &fakeService{delay: time.Millisecond}
+	res, err := RunClosedLoop(context.Background(), ClosedLoopConfig{Clients: 2, Duration: 150 * time.Millisecond}, svc.invoker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatalf("no requests committed within the duration")
+	}
+}
+
+func TestStandardBenchmarks(t *testing.T) {
+	if Benchmark40.RequestSize != 4096 || Benchmark40.ReplySize != 0 {
+		t.Fatalf("4/0 benchmark misdefined: %+v", Benchmark40)
+	}
+	if Benchmark04.RequestSize != 0 || Benchmark04.ReplySize != 4096 {
+		t.Fatalf("0/4 benchmark misdefined: %+v", Benchmark04)
+	}
+	if Benchmark00.RequestSize != 0 || Benchmark00.ReplySize != 0 {
+		t.Fatalf("0/0 benchmark misdefined: %+v", Benchmark00)
+	}
+}
+
+func TestDynamicWorkloadShape(t *testing.T) {
+	phases := DynamicWorkload(100 * time.Millisecond)
+	if len(phases) != 9 {
+		t.Fatalf("expected 9 phases, got %d", len(phases))
+	}
+	peak := 0
+	for _, p := range phases {
+		if p.Clients > peak {
+			peak = p.Clients
+		}
+	}
+	if peak != 30 {
+		t.Fatalf("spike should reach 30 clients, got %d", peak)
+	}
+	if phases[0].Clients != 1 || phases[len(phases)-1].Clients != 1 {
+		t.Fatalf("workload should ramp from and back to a single client")
+	}
+}
+
+func TestRunPhasesKeepsTimestampsUnique(t *testing.T) {
+	svc := &fakeService{}
+	phases := []Phase{
+		{Name: "a", Clients: 2, RequestSize: 8, Duration: 80 * time.Millisecond},
+		{Name: "b", Clients: 3, RequestSize: 8, Duration: 80 * time.Millisecond},
+	}
+	results, err := RunPhases(context.Background(), phases, svc.invoker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 phase results, got %d", len(results))
+	}
+	total := results[0].Committed + results[1].Committed
+	if total == 0 {
+		t.Fatalf("no requests committed across phases")
+	}
+	// The fake service rejects duplicate request IDs, so reaching here means
+	// client timestamps stayed unique across phases.
+}

@@ -1,0 +1,85 @@
+// Package zlight implements ZLight, the Abstract instance that mimics
+// Zyzzyva's speculative common case (§4.2): a primary orders requests, all
+// replicas speculatively execute them, and the client commits when it
+// receives 3f+1 matching replies. ZLight guarantees progress when there are
+// no server or link failures and no Byzantine clients; outside that common
+// case it aborts through the shared panicking subprotocol.
+package zlight
+
+import (
+	"encoding/binary"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// RequestMessage is the REQ message a client sends to the primary (Step Z1).
+type RequestMessage struct {
+	Instance core.InstanceID
+	Req      msg.Request
+	// Init carries the init history on the client's first invocation of the
+	// instance (Step Z1+).
+	Init *core.InitHistory
+	// Auth is the client's MAC authenticator over the request and instance,
+	// with one entry per replica.
+	Auth authn.Authenticator
+}
+
+// AbstractInstance implements core.InstanceMessage.
+func (m *RequestMessage) AbstractInstance() core.InstanceID { return m.Instance }
+
+// CarriedInit implements core.InitCarrier.
+func (m *RequestMessage) CarriedInit() *core.InitHistory { return m.Init }
+
+// OrderMessage is the ORDER message the primary sends to the other replicas
+// (Step Z2): the request, its sequence number, the client's authenticator
+// entries, and a MAC from the primary.
+type OrderMessage struct {
+	Instance core.InstanceID
+	Req      msg.Request
+	// Seq is the absolute position assigned by the primary.
+	Seq uint64
+	// ClientAuth forwards the client's authenticator so each replica can
+	// verify its own entry.
+	ClientAuth authn.Authenticator
+	// PrimaryMAC authenticates the ORDER message from the primary to the
+	// destination replica.
+	PrimaryMAC authn.MAC
+	// Init forwards the init history so uninitialized replicas can
+	// initialize (Step Z3+).
+	Init *core.InitHistory
+}
+
+// AbstractInstance implements core.InstanceMessage.
+func (m *OrderMessage) AbstractInstance() core.InstanceID { return m.Instance }
+
+// CarriedInit implements core.InitCarrier.
+func (m *OrderMessage) CarriedInit() *core.InitHistory { return m.Init }
+
+// AuthBytes returns the bytes a client authenticates when invoking a request
+// on an instance: the instance number and the request digest.
+func AuthBytes(instance core.InstanceID, req msg.Request) []byte {
+	var buf [8 + authn.DigestSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	d := req.Digest()
+	copy(buf[8:], d[:])
+	return buf[:]
+}
+
+// OrderBytes returns the bytes covered by the primary's MAC in an ORDER
+// message.
+func OrderBytes(instance core.InstanceID, req msg.Request, seq uint64) []byte {
+	var buf [16 + authn.DigestSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	binary.BigEndian.PutUint64(buf[8:16], seq)
+	d := req.Digest()
+	copy(buf[16:], d[:])
+	return buf[:]
+}
+
+func init() {
+	transport.RegisterWireType(&RequestMessage{})
+	transport.RegisterWireType(&OrderMessage{})
+}

@@ -1,0 +1,172 @@
+package zlight
+
+import (
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+)
+
+// Replica implements the ZLight common-case steps on one replica for one
+// Abstract instance. The shared panicking, checkpointing, and initialization
+// machinery lives in the host package.
+type Replica struct {
+	h  *host.Host
+	st *host.InstanceState
+	// primary is the fixed primary of this instance (the first replica).
+	primary ids.ProcessID
+	// clientMACFailed is set when a client authenticator entry fails to
+	// verify; the replica then stops executing Step Z3 in this instance
+	// (per the specification of Step Z3).
+	clientMACFailed bool
+	// pending buffers ORDER messages received ahead of the next expected
+	// sequence number (reordered delivery) until the gap is filled.
+	pending map[uint64]*OrderMessage
+	// lastOrder caches, per client, the last ORDER the primary issued so
+	// that client retransmissions re-trigger replies from the backups.
+	lastOrder map[ids.ProcessID]*OrderMessage
+}
+
+// NewReplica returns a host.ProtocolFactory creating ZLight replicas.
+func NewReplica() host.ProtocolFactory {
+	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
+		return &Replica{
+			h:         h,
+			st:        st,
+			primary:   h.Cluster().Head(),
+			pending:   make(map[uint64]*OrderMessage),
+			lastOrder: make(map[ids.ProcessID]*OrderMessage),
+		}
+	}
+}
+
+// IsPrimary reports whether this replica is the instance's primary.
+func (r *Replica) IsPrimary() bool { return r.h.ID() == r.primary }
+
+// Handle implements host.ProtocolReplica.
+func (r *Replica) Handle(from ids.ProcessID, m any) {
+	switch t := m.(type) {
+	case *RequestMessage:
+		r.onRequest(from, t)
+	case *OrderMessage:
+		r.onOrder(from, t)
+	}
+}
+
+// onRequest implements Step Z2 (primary only): assign a sequence number,
+// order the request to the other replicas, and speculatively execute it.
+func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
+	if !r.IsPrimary() || r.st.Stopped {
+		return
+	}
+	if m.Req.Client != from && from.IsClient() {
+		return
+	}
+	if err := r.h.VerifyClientAuth(m.Auth, AuthBytes(r.st.ID, m.Req)); err != nil {
+		return
+	}
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
+		// Retransmission of the last request: resend the cached reply and
+		// re-order so the backups reply again as well.
+		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
+			resp := r.h.BuildResp(r.st, m.Req, reply, true)
+			r.h.Send(m.Req.Client, resp)
+			if last := r.lastOrder[m.Req.Client]; last != nil && last.Req.Timestamp == m.Req.Timestamp {
+				for _, other := range r.h.OtherReplicas() {
+					order := *last
+					order.PrimaryMAC = r.h.MACFor(other, OrderBytes(r.st.ID, order.Req, order.Seq))
+					r.h.Send(other, &order)
+				}
+			}
+		}
+		return
+	}
+
+	pos, ok := r.h.Log(r.st, m.Req)
+	if !ok {
+		return
+	}
+	// Forward the order to the other replicas with the client's
+	// authenticator so each can verify its own entry (Step Z2).
+	for _, other := range r.h.OtherReplicas() {
+		order := &OrderMessage{
+			Instance:   r.st.ID,
+			Req:        m.Req,
+			Seq:        pos,
+			ClientAuth: m.Auth,
+			PrimaryMAC: r.h.MACFor(other, OrderBytes(r.st.ID, m.Req, pos)),
+			Init:       m.Init,
+		}
+		r.h.Send(other, order)
+		r.lastOrder[m.Req.Client] = order
+	}
+	// The primary speculatively executes and replies like any replica
+	// (Step Z3); it is the designated replica sending the full reply.
+	reply := r.h.Execute(r.st, m.Req)
+	resp := r.h.BuildResp(r.st, m.Req, reply, true)
+	r.h.Send(m.Req.Client, resp)
+	r.h.Ops().CountRequest()
+}
+
+// onOrder implements Step Z3 (backup replicas): verify the primary and client
+// MACs, check the sequence number, then log, execute, and reply.
+func (r *Replica) onOrder(from ids.ProcessID, m *OrderMessage) {
+	if r.st.Stopped || r.clientMACFailed {
+		return
+	}
+	if from != r.primary {
+		return
+	}
+	if err := r.h.VerifyMACFrom(r.primary, OrderBytes(r.st.ID, m.Req, m.Seq), m.PrimaryMAC); err != nil {
+		return
+	}
+	if err := r.h.VerifyClientAuth(m.ClientAuth, AuthBytes(r.st.ID, m.Req)); err != nil {
+		// Step Z3: a failed client MAC stops this replica from executing
+		// Step Z3 for the rest of the instance; the client will eventually
+		// panic and the instance will switch.
+		r.clientMACFailed = true
+		return
+	}
+	if m.Seq > r.st.AbsLen() {
+		// Reordered delivery: buffer until the gap is filled.
+		r.pending[m.Seq] = m
+		return
+	}
+	if m.Seq < r.st.AbsLen() {
+		// Already processed (duplicate or retransmission).
+		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
+			resp := r.h.BuildResp(r.st, m.Req, reply, false)
+			r.h.Send(m.Req.Client, resp)
+		}
+		return
+	}
+	r.process(m)
+	r.drainPending()
+}
+
+// process logs, speculatively executes, and replies to one in-order ORDER.
+func (r *Replica) process(m *OrderMessage) {
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
+		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
+			resp := r.h.BuildResp(r.st, m.Req, reply, false)
+			r.h.Send(m.Req.Client, resp)
+		}
+		return
+	}
+	if _, ok := r.h.Log(r.st, m.Req); !ok {
+		return
+	}
+	reply := r.h.Execute(r.st, m.Req)
+	resp := r.h.BuildResp(r.st, m.Req, reply, false)
+	r.h.Send(m.Req.Client, resp)
+}
+
+// drainPending processes buffered ORDER messages that have become in-order.
+func (r *Replica) drainPending() {
+	for {
+		next, ok := r.pending[r.st.AbsLen()]
+		if !ok || r.st.Stopped {
+			return
+		}
+		delete(r.pending, r.st.AbsLen())
+		r.process(next)
+	}
+}

@@ -1,0 +1,503 @@
+// Package zyzzyva implements the Zyzzyva baseline (Kotla et al.) the paper
+// compares against: a monolithic speculative BFT protocol. The client sends
+// its request to the primary, which orders it to all replicas; replicas
+// speculatively execute and reply. The client commits after one phase when
+// all 3f+1 replies match (three one-way delays); with only 2f+1 matching
+// replies it completes a second phase by broadcasting a commit certificate.
+//
+// The view-change subprotocol — the part whose interaction with speculation
+// makes Zyzzyva notoriously hard to get right, and which Abstract makes
+// unnecessary — is not reproduced; the baseline exists to measure the
+// common-case behaviour the paper's figures compare (with and without
+// batching), and the fault-handling comparison is carried by AZyzzyva/Aliph.
+package zyzzyva
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// RequestMessage is the client's request to the primary.
+type RequestMessage struct {
+	Req  msg.Request
+	Auth authn.Authenticator
+}
+
+// OrderRequest is the primary's ordering message (OR) carrying a batch.
+type OrderRequest struct {
+	View  uint64
+	Seq   uint64
+	Batch []msg.Request
+	// HistoryDigest is the primary's history digest up to and including this
+	// batch.
+	HistoryDigest authn.Digest
+	MAC           authn.MAC
+	ClientAuth    []authn.Authenticator
+}
+
+// SpecResponse is a replica's speculative reply.
+type SpecResponse struct {
+	View          uint64
+	Seq           uint64
+	Replica       ids.ProcessID
+	Client        ids.ProcessID
+	Timestamp     uint64
+	HistoryDigest authn.Digest
+	Result        []byte
+	ResultDigest  authn.Digest
+	MAC           authn.MAC
+}
+
+// CommitCertificate is sent by a client that gathered only 2f+1 matching
+// speculative responses; replicas acknowledge it, completing the two-phase
+// path.
+type CommitCertificate struct {
+	Client        ids.ProcessID
+	Timestamp     uint64
+	Seq           uint64
+	HistoryDigest authn.Digest
+	Replicas      []ids.ProcessID
+	Auth          authn.Authenticator
+}
+
+// LocalCommit is a replica's acknowledgement of a commit certificate.
+type LocalCommit struct {
+	Replica   ids.ProcessID
+	Client    ids.ProcessID
+	Timestamp uint64
+	MAC       authn.MAC
+}
+
+func init() {
+	transport.RegisterWireType(&RequestMessage{})
+	transport.RegisterWireType(&OrderRequest{})
+	transport.RegisterWireType(&SpecResponse{})
+	transport.RegisterWireType(&CommitCertificate{})
+	transport.RegisterWireType(&LocalCommit{})
+}
+
+func specRespMACBytes(m *SpecResponse) []byte {
+	buf := make([]byte, 28+2*authn.DigestSize)
+	binary.BigEndian.PutUint64(buf[0:8], m.View)
+	binary.BigEndian.PutUint64(buf[8:16], m.Seq)
+	binary.BigEndian.PutUint32(buf[16:20], uint32(m.Replica))
+	binary.BigEndian.PutUint64(buf[20:28], m.Timestamp)
+	copy(buf[28:], m.HistoryDigest[:])
+	copy(buf[28+authn.DigestSize:], m.ResultDigest[:])
+	return buf
+}
+
+func orderMACBytes(view, seq uint64, hd authn.Digest) []byte {
+	buf := make([]byte, 16+authn.DigestSize)
+	binary.BigEndian.PutUint64(buf[0:8], view)
+	binary.BigEndian.PutUint64(buf[8:16], seq)
+	copy(buf[16:], hd[:])
+	return buf
+}
+
+func requestAuthBytes(req msg.Request) []byte {
+	d := req.Digest()
+	return d[:]
+}
+
+// ReplicaConfig configures a Zyzzyva replica.
+type ReplicaConfig struct {
+	Cluster   ids.Cluster
+	Replica   ids.ProcessID
+	Keys      *authn.KeyStore
+	App       app.Application
+	Endpoint  transport.Endpoint
+	BatchSize int
+	// BatchDelay is how long the primary waits to fill a batch before
+	// ordering what it has (0 orders immediately).
+	BatchDelay time.Duration
+	Ops        *authn.OpCounter
+}
+
+// Replica is a Zyzzyva replica (common case only).
+type Replica struct {
+	cfg ReplicaConfig
+
+	mu           sync.Mutex
+	view         uint64
+	seq          uint64
+	history      authn.Digest
+	lastTS       map[ids.ProcessID]uint64
+	lastResponse map[ids.ProcessID]*SpecResponse
+	pendingBatch []msg.Request
+	pendingAuth  []authn.Authenticator
+	lastFlush    time.Time
+	crashed      bool
+	delay        time.Duration
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// NewReplica creates a Zyzzyva replica; call Start to launch it.
+func NewReplica(cfg ReplicaConfig) *Replica {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	return &Replica{
+		cfg:          cfg,
+		lastTS:       make(map[ids.ProcessID]uint64),
+		lastResponse: make(map[ids.ProcessID]*SpecResponse),
+		stopCh:       make(chan struct{}),
+		doneCh:       make(chan struct{}),
+	}
+}
+
+// Start launches the replica's event loop.
+func (r *Replica) Start() { go r.run() }
+
+// Stop terminates the replica.
+func (r *Replica) Stop() {
+	close(r.stopCh)
+	<-r.doneCh
+}
+
+// SetCrashed makes the replica drop all messages.
+func (r *Replica) SetCrashed(c bool) {
+	r.mu.Lock()
+	r.crashed = c
+	r.mu.Unlock()
+}
+
+// SetProcessingDelay injects an artificial per-message processing delay.
+func (r *Replica) SetProcessingDelay(d time.Duration) {
+	r.mu.Lock()
+	r.delay = d
+	r.mu.Unlock()
+}
+
+func (r *Replica) isPrimary() bool { return r.cfg.Cluster.Primary(r.view) == r.cfg.Replica }
+
+func (r *Replica) run() {
+	defer close(r.doneCh)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-ticker.C:
+			r.mu.Lock()
+			if r.isPrimary() && len(r.pendingBatch) > 0 && (r.cfg.BatchDelay <= 0 || time.Since(r.lastFlush) >= r.cfg.BatchDelay) {
+				r.flushBatchLocked()
+			}
+			r.mu.Unlock()
+		case env, ok := <-r.cfg.Endpoint.Inbox():
+			if !ok {
+				return
+			}
+			r.handle(env.From, env.Payload)
+		}
+	}
+}
+
+func (r *Replica) handle(from ids.ProcessID, payload any) {
+	r.mu.Lock()
+	crashed, delay := r.crashed, r.delay
+	r.mu.Unlock()
+	if crashed {
+		return
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch m := payload.(type) {
+	case *RequestMessage:
+		r.onRequest(m)
+	case *OrderRequest:
+		r.onOrder(from, m)
+	case *CommitCertificate:
+		r.onCommitCertificate(m)
+	}
+}
+
+// onRequest queues a client request at the primary.
+func (r *Replica) onRequest(m *RequestMessage) {
+	if !r.isPrimary() {
+		return
+	}
+	r.cfg.Ops.CountMACVerify(r.cfg.Replica, 1)
+	if err := r.cfg.Keys.Verify(m.Auth, r.cfg.Replica, requestAuthBytes(m.Req)); err != nil {
+		return
+	}
+	if m.Req.Timestamp <= r.lastTS[m.Req.Client] {
+		if resp := r.lastResponse[m.Req.Client]; resp != nil && resp.Timestamp == m.Req.Timestamp {
+			r.cfg.Endpoint.Send(m.Req.Client, resp)
+		}
+		return
+	}
+	r.pendingBatch = append(r.pendingBatch, m.Req)
+	r.pendingAuth = append(r.pendingAuth, m.Auth)
+	if len(r.pendingBatch) >= r.cfg.BatchSize {
+		r.flushBatchLocked()
+	}
+}
+
+// flushBatchLocked orders the pending batch to all replicas and executes it
+// locally.
+func (r *Replica) flushBatchLocked() {
+	batch := r.pendingBatch
+	auths := r.pendingAuth
+	r.pendingBatch = nil
+	r.pendingAuth = nil
+	r.lastFlush = time.Now()
+
+	r.seq++
+	r.history = authn.HashAll(r.history[:], batchDigestBytes(batch))
+	for _, other := range r.cfg.Cluster.Replicas() {
+		if other == r.cfg.Replica {
+			continue
+		}
+		or := &OrderRequest{
+			View:          r.view,
+			Seq:           r.seq,
+			Batch:         batch,
+			HistoryDigest: r.history,
+			ClientAuth:    auths,
+		}
+		or.MAC = r.cfg.Keys.MAC(r.cfg.Replica, other, orderMACBytes(r.view, r.seq, r.history))
+		r.cfg.Ops.CountMACGen(r.cfg.Replica, 1)
+		r.cfg.Endpoint.Send(other, or)
+	}
+	r.executeBatchLocked(batch)
+}
+
+// onOrder speculatively executes the primary's batch at a backup replica.
+func (r *Replica) onOrder(from ids.ProcessID, m *OrderRequest) {
+	if from != r.cfg.Cluster.Primary(r.view) {
+		return
+	}
+	r.cfg.Ops.CountMACVerify(r.cfg.Replica, 1)
+	if err := r.cfg.Keys.VerifyMAC(from, r.cfg.Replica, orderMACBytes(m.View, m.Seq, m.HistoryDigest), m.MAC); err != nil {
+		return
+	}
+	if m.Seq != r.seq+1 {
+		return
+	}
+	// Verify the clients' authenticator entries for this replica.
+	for i := range m.ClientAuth {
+		r.cfg.Ops.CountMACVerify(r.cfg.Replica, 1)
+		if i < len(m.Batch) {
+			if err := r.cfg.Keys.Verify(m.ClientAuth[i], r.cfg.Replica, requestAuthBytes(m.Batch[i])); err != nil {
+				return
+			}
+		}
+	}
+	r.seq = m.Seq
+	r.history = m.HistoryDigest
+	r.executeBatchLocked(m.Batch)
+}
+
+// executeBatchLocked speculatively executes a batch and replies to clients.
+func (r *Replica) executeBatchLocked(batch []msg.Request) {
+	for _, req := range batch {
+		if req.Timestamp <= r.lastTS[req.Client] {
+			continue
+		}
+		r.lastTS[req.Client] = req.Timestamp
+		result := r.cfg.App.Execute(req.Command)
+		resp := &SpecResponse{
+			View:          r.view,
+			Seq:           r.seq,
+			Replica:       r.cfg.Replica,
+			Client:        req.Client,
+			Timestamp:     req.Timestamp,
+			HistoryDigest: r.history,
+			Result:        result,
+			ResultDigest:  authn.Hash(result),
+		}
+		resp.MAC = r.cfg.Keys.MAC(r.cfg.Replica, req.Client, specRespMACBytes(resp))
+		r.cfg.Ops.CountMACGen(r.cfg.Replica, 1)
+		r.lastResponse[req.Client] = resp
+		r.cfg.Endpoint.Send(req.Client, resp)
+		if r.isPrimary() {
+			r.cfg.Ops.CountRequest()
+		}
+	}
+}
+
+// onCommitCertificate acknowledges a client's commit certificate (two-phase
+// path).
+func (r *Replica) onCommitCertificate(m *CommitCertificate) {
+	r.cfg.Ops.CountMACVerify(r.cfg.Replica, 1)
+	if err := r.cfg.Keys.Verify(m.Auth, r.cfg.Replica, commitCertBytes(m)); err != nil {
+		return
+	}
+	lc := &LocalCommit{Replica: r.cfg.Replica, Client: m.Client, Timestamp: m.Timestamp}
+	lc.MAC = r.cfg.Keys.MAC(r.cfg.Replica, m.Client, localCommitBytes(lc))
+	r.cfg.Ops.CountMACGen(r.cfg.Replica, 1)
+	r.cfg.Endpoint.Send(m.Client, lc)
+}
+
+func commitCertBytes(m *CommitCertificate) []byte {
+	buf := make([]byte, 20+authn.DigestSize)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(m.Client))
+	binary.BigEndian.PutUint64(buf[4:12], m.Timestamp)
+	binary.BigEndian.PutUint64(buf[12:20], m.Seq)
+	copy(buf[20:], m.HistoryDigest[:])
+	return buf
+}
+
+func localCommitBytes(m *LocalCommit) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(m.Replica))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(m.Client))
+	binary.BigEndian.PutUint64(buf[8:16], m.Timestamp)
+	return buf
+}
+
+func batchDigestBytes(batch []msg.Request) []byte {
+	d := make([]byte, 0, len(batch)*authn.DigestSize)
+	for _, r := range batch {
+		rd := r.Digest()
+		d = append(d, rd[:]...)
+	}
+	return d
+}
+
+// ClientConfig configures a Zyzzyva client.
+type ClientConfig struct {
+	Cluster  ids.Cluster
+	Keys     *authn.KeyStore
+	ID       ids.ProcessID
+	Endpoint transport.Endpoint
+	// FastTimeout is how long the client waits for all 3f+1 speculative
+	// replies before falling back to the two-phase path.
+	FastTimeout time.Duration
+	// TotalTimeout bounds a whole invocation.
+	TotalTimeout time.Duration
+	Ops          *authn.OpCounter
+}
+
+// Client is a Zyzzyva client.
+type Client struct {
+	cfg ClientConfig
+}
+
+// NewClient creates a Zyzzyva client.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.FastTimeout <= 0 {
+		cfg.FastTimeout = 50 * time.Millisecond
+	}
+	if cfg.TotalTimeout <= 0 {
+		cfg.TotalTimeout = 5 * time.Second
+	}
+	return &Client{cfg: cfg}
+}
+
+// Invoke submits a request and blocks until it commits on the fast path
+// (3f+1 matching speculative replies) or the two-phase path (2f+1 matching
+// replies plus 2f+1 local commits).
+func (c *Client) Invoke(ctx context.Context, req msg.Request) ([]byte, error) {
+	auth := c.cfg.Keys.NewAuthenticator(c.cfg.ID, c.cfg.Cluster.Replicas(), requestAuthBytes(req))
+	c.cfg.Ops.CountMACGen(c.cfg.ID, auth.NumMACs())
+	m := &RequestMessage{Req: req, Auth: auth}
+	primary := c.cfg.Cluster.Primary(0)
+	c.cfg.Endpoint.Send(primary, m)
+
+	type key struct {
+		hist   authn.Digest
+		result authn.Digest
+	}
+	votes := make(map[key]map[ids.ProcessID]*SpecResponse)
+	fast := time.NewTimer(c.cfg.FastTimeout)
+	defer fast.Stop()
+	total := time.NewTimer(c.cfg.TotalTimeout)
+	defer total.Stop()
+	certSent := false
+	commits := make(map[ids.ProcessID]bool)
+	var chosen *SpecResponse
+
+	maybeCert := func() {
+		if certSent {
+			return
+		}
+		for k, vs := range votes {
+			if len(vs) >= c.cfg.Cluster.Quorum() {
+				var replicas []ids.ProcessID
+				var any *SpecResponse
+				for r, v := range vs {
+					replicas = append(replicas, r)
+					any = v
+				}
+				cert := &CommitCertificate{
+					Client:        c.cfg.ID,
+					Timestamp:     req.Timestamp,
+					Seq:           any.Seq,
+					HistoryDigest: k.hist,
+					Replicas:      replicas,
+				}
+				cert.Auth = c.cfg.Keys.NewAuthenticator(c.cfg.ID, c.cfg.Cluster.Replicas(), commitCertBytes(cert))
+				c.cfg.Ops.CountMACGen(c.cfg.ID, cert.Auth.NumMACs())
+				transport.Multicast(c.cfg.Endpoint, c.cfg.Cluster.Replicas(), cert)
+				certSent = true
+				chosen = any
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-total.C:
+			// Retransmit and restart the fast timer: the baseline has no
+			// view change, so this only covers message loss.
+			c.cfg.Endpoint.Send(primary, m)
+			total.Reset(c.cfg.TotalTimeout)
+		case <-fast.C:
+			maybeCert()
+		case env, ok := <-c.cfg.Endpoint.Inbox():
+			if !ok {
+				return nil, fmt.Errorf("zyzzyva: client endpoint closed")
+			}
+			switch t := env.Payload.(type) {
+			case *SpecResponse:
+				if t.Client != c.cfg.ID || t.Timestamp != req.Timestamp {
+					continue
+				}
+				c.cfg.Ops.CountMACVerify(c.cfg.ID, 1)
+				if err := c.cfg.Keys.VerifyMAC(t.Replica, c.cfg.ID, specRespMACBytes(t), t.MAC); err != nil {
+					continue
+				}
+				k := key{hist: t.HistoryDigest, result: t.ResultDigest}
+				if votes[k] == nil {
+					votes[k] = make(map[ids.ProcessID]*SpecResponse)
+				}
+				votes[k][t.Replica] = t
+				if len(votes[k]) == c.cfg.Cluster.N {
+					return t.Result, nil
+				}
+			case *LocalCommit:
+				if t.Client != c.cfg.ID || t.Timestamp != req.Timestamp || !certSent {
+					continue
+				}
+				c.cfg.Ops.CountMACVerify(c.cfg.ID, 1)
+				if err := c.cfg.Keys.VerifyMAC(t.Replica, c.cfg.ID, localCommitBytes(t), t.MAC); err != nil {
+					continue
+				}
+				commits[t.Replica] = true
+				if len(commits) >= c.cfg.Cluster.Quorum() && chosen != nil {
+					return chosen.Result, nil
+				}
+			}
+		}
+	}
+}
