@@ -10,6 +10,8 @@ package main
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"abstractbft/internal/app"
 	"abstractbft/internal/authn"
 	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/core"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/experiments"
 	"abstractbft/internal/host"
@@ -176,6 +179,78 @@ func BenchmarkAblationBatching(b *testing.B) {
 				_ = perfmodel.CharacteristicsOf(p, 1, batch)
 			}
 		}
+	}
+}
+
+// BenchmarkBatchingThroughputZLight measures the real in-process ZLight
+// deployment at different batch-assembler sizes under the same multi-client
+// closed loop; the req/s metric across sub-benchmarks is the batching
+// speedup recorded by cmd/benchrunner -batching in BENCH_batching.json.
+func BenchmarkBatchingThroughputZLight(b *testing.B) {
+	for _, maxBatch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("batch-%d", maxBatch), func(b *testing.B) {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			var rps float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.MeasureBatching(ctx, experiments.BatchingConfig{
+					BatchSizes: []int{maxBatch},
+					Clients:    16,
+					Duration:   300 * time.Millisecond,
+				})
+				if err != nil {
+					b.Skipf("measure: %v", err)
+				}
+				rps = rows[0].ThroughputRPS
+			}
+			b.ReportMetric(rps, "req/s")
+		})
+	}
+}
+
+// BenchmarkPipelinedQuorumThroughput measures the Aliph Quorum path with
+// pipelining clients whose in-flight invocations coalesce into client-side
+// batches (one authenticator per batch).
+func BenchmarkPipelinedQuorumThroughput(b *testing.B) {
+	c := newBenchCluster(b, func(cl ids.Cluster) host.ProtocolFactory {
+		return aliph.ReplicaFactory(cl, aliph.Options{})
+	}, func(cfg deploy.Config) deploy.Config {
+		cfg.NewInstanceFactory = aliph.InstanceFactory
+		return cfg
+	}, nil)
+	client, err := c.NewPipelinedClient(0, core.PipelineOptions{Depth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var ts atomic.Uint64
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := ts.Add(1)
+				if t > uint64(b.N) {
+					return
+				}
+				req := msg.Request{Client: ids.Client(0), Timestamp: t, Command: []byte("p")}
+				if _, err := client.Invoke(ctx, req); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		// A partial run would report timing for less work than b.N.
+		b.Skipf("invoke: %v", err)
 	}
 }
 

@@ -4,20 +4,106 @@
 // table5, fig17, fig18).
 //
 //	go run ./cmd/benchrunner -experiment fig11
+//
+// The -batching flag instead runs the live batching measurement over the
+// in-process ZLight cluster and writes a machine-readable BENCH_batching.json
+// (req/s and p50/p99 latency per batch size), giving future changes a
+// recorded performance trajectory to compare against:
+//
+//	go run ./cmd/benchrunner -batching -out BENCH_batching.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"abstractbft/internal/experiments"
 )
 
+// batchingReport is the schema of BENCH_batching.json.
+type batchingReport struct {
+	Benchmark string `json:"benchmark"`
+	Protocol  string `json:"protocol"`
+	// Clients and Pipeline describe the workload that produced the rows.
+	Clients  int                       `json:"clients"`
+	Pipeline int                       `json:"pipeline"`
+	Seconds  float64                   `json:"seconds_per_row"`
+	Rows     []experiments.BatchingRow `json:"rows"`
+	// Speedup16x1 is the throughput ratio of MaxBatch=16 over MaxBatch=1
+	// within this run (the acceptance metric for batching).
+	Speedup16x1 float64 `json:"speedup_16_vs_1"`
+}
+
+func runBatching(out string, clients, pipeline int, seconds float64) error {
+	cfg := experiments.BatchingConfig{
+		BatchSizes: []int{1, 16, 64},
+		Clients:    clients,
+		Pipeline:   pipeline,
+		Duration:   time.Duration(seconds * float64(time.Second)),
+	}
+	// Budget the measured windows plus a generous setup margin, so a long
+	// -seconds sweep is never silently truncated mid-row.
+	budget := time.Duration(float64(len(cfg.BatchSizes))*seconds*float64(time.Second)) + 2*time.Minute
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	rows, err := experiments.MeasureBatching(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	report := batchingReport{
+		Benchmark: "batching",
+		Protocol:  "zlight (azyzzyva composition)",
+		Clients:   cfg.Clients,
+		Pipeline:  cfg.Pipeline,
+		Seconds:   seconds,
+		Rows:      rows,
+	}
+	var base, b16 float64
+	for _, r := range rows {
+		switch r.MaxBatch {
+		case 1:
+			base = r.ThroughputRPS
+		case 16:
+			b16 = r.ThroughputRPS
+		}
+	}
+	if base > 0 {
+		report.Speedup16x1 = b16 / base
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println(experiments.BatchingTable(rows).Format())
+	fmt.Printf("speedup MaxBatch=16 vs 1: %.2fx\nwrote %s\n", report.Speedup16x1, out)
+	return nil
+}
+
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or 'all', or 'list')")
+	batching := flag.Bool("batching", false, "run the live batching measurement and write a JSON report")
+	out := flag.String("out", "BENCH_batching.json", "output path for the batching JSON report")
+	clients := flag.Int("clients", 24, "closed-loop clients for -batching")
+	pipeline := flag.Int("pipeline", 1, "per-client pipeline depth for -batching")
+	seconds := flag.Float64("seconds", 1.0, "measured seconds per batch size for -batching")
 	flag.Parse()
+
+	if *batching {
+		if err := runBatching(*out, *clients, *pipeline, *seconds); err != nil {
+			fmt.Fprintf(os.Stderr, "batching: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := experiments.NewRunner()
 	switch *experiment {

@@ -24,6 +24,10 @@ import (
 )
 
 func main() {
+	// Batching is on by default (MaxBatch 16, MaxDelay 1ms): under the
+	// contended phase, Chain's head coalesces concurrent client requests
+	// into multi-request batches that cross the pipeline as one message.
+	batch := host.BatchPolicy{MaxBatch: host.DefaultMaxBatch, MaxDelay: host.DefaultMaxDelay}
 	cluster, err := deploy.New(deploy.Config{
 		F:      1,
 		NewApp: func() app.Application { return app.NewNull(0) },
@@ -33,11 +37,13 @@ func main() {
 		NewInstanceFactory: aliph.InstanceFactory,
 		Delta:              20 * time.Millisecond,
 		TickInterval:       10 * time.Millisecond,
+		Batch:              batch,
 	})
 	if err != nil {
 		log.Fatalf("deploy: %v", err)
 	}
 	defer cluster.Stop()
+	fmt.Printf("batching: MaxBatch=%d MaxDelay=%v (set MaxBatch=1 for the per-request path)\n\n", batch.MaxBatch, batch.MaxDelay)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()

@@ -19,6 +19,10 @@ import (
 )
 
 func main() {
+	// Request batching is on by default: ordering replicas coalesce up to
+	// MaxBatch requests (or whatever arrives within MaxDelay) into one
+	// protocol step. Set MaxBatch to 1 to reproduce the per-request path.
+	batch := host.BatchPolicy{MaxBatch: host.DefaultMaxBatch, MaxDelay: host.DefaultMaxDelay}
 	cluster, err := deploy.New(deploy.Config{
 		F:      1,
 		NewApp: func() app.Application { return app.NewKVStore() },
@@ -27,6 +31,7 @@ func main() {
 		},
 		NewInstanceFactory: aliph.InstanceFactory,
 		Delta:              20 * time.Millisecond,
+		Batch:              batch,
 	})
 	if err != nil {
 		log.Fatalf("deploy: %v", err)
@@ -40,7 +45,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	fmt.Println("Aliph cluster with 4 replicas (f=1) is running.")
+	fmt.Printf("Aliph cluster with 4 replicas (f=1) is running; batching MaxBatch=%d MaxDelay=%v.\n", batch.MaxBatch, batch.MaxDelay)
 	commands := []struct {
 		desc string
 		cmd  []byte

@@ -1,0 +1,3 @@
+module abstractbft
+
+go 1.24

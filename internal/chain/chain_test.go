@@ -1,0 +1,198 @@
+package chain
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+type testCluster struct {
+	cluster ids.Cluster
+	keys    *authn.KeyStore
+	net     *transport.Local
+	hosts   []*host.Host
+	checker *core.SpecChecker
+}
+
+func newTestCluster(t *testing.T, f int, policy host.BatchPolicy) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		cluster: ids.NewCluster(f),
+		keys:    authn.NewKeyStore("chain-test"),
+		net:     transport.NewLocal(transport.Options{}),
+		checker: core.NewSpecChecker(),
+	}
+	for i := 0; i < tc.cluster.N; i++ {
+		r := ids.Replica(i)
+		h := host.New(host.Config{
+			Cluster:             tc.cluster,
+			Replica:             r,
+			Keys:                tc.keys,
+			App:                 app.NewCounter(),
+			Endpoint:            tc.net.Endpoint(r),
+			FirstInstance:       1,
+			NewProtocol:         NewReplica(ReplicaConfig{}),
+			InstrumentHistories: true,
+			Batch:               policy,
+		})
+		h.Start()
+		tc.hosts = append(tc.hosts, h)
+	}
+	t.Cleanup(func() {
+		for _, h := range tc.hosts {
+			h.Stop()
+		}
+		tc.net.Close()
+	})
+	return tc
+}
+
+func (tc *testCluster) clientEnv(i int) core.ClientEnv {
+	id := ids.Client(i)
+	return core.ClientEnv{
+		Cluster:       tc.cluster,
+		Keys:          tc.keys,
+		ID:            id,
+		Endpoint:      tc.net.Endpoint(id),
+		Delta:         20 * time.Millisecond,
+		RetryInterval: 10 * time.Millisecond,
+		Checker:       tc.checker,
+	}
+}
+
+// TestChainCommitsInCommonCase drives the full pipeline — head batch
+// assembly, batch-level chain-authenticator generation and verification at
+// every hop, tail fan-out — with a single sequential client (degenerate
+// one-request batches under the delay trigger).
+func TestChainCommitsInCommonCase(t *testing.T) {
+	tc := newTestCluster(t, 1, host.BatchPolicy{})
+	env := tc.clientEnv(0)
+	client := NewClient(env, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const total = 15
+	for ts := uint64(1); ts <= total; ts++ {
+		req := msg.Request{Client: env.ID, Timestamp: ts, Command: []byte(fmt.Sprintf("c-%d", ts))}
+		out, err := client.Invoke(ctx, req, nil)
+		if err != nil {
+			t.Fatalf("invoke %d: %v", ts, err)
+		}
+		if !out.Committed {
+			t.Fatalf("request %d aborted in the common case", ts)
+		}
+		if len(out.Reply) == 0 {
+			t.Fatalf("request %d committed with empty reply", ts)
+		}
+	}
+	if errs := tc.checker.Check(); len(errs) > 0 {
+		t.Fatalf("specification violations: %v", errs)
+	}
+	// Every replica logs all requests; the last f+1 execute them.
+	deadline := time.Now().Add(2 * time.Second)
+	tail := tc.hosts[tc.cluster.N-1]
+	for tail.AppliedRequests() < total && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := tail.AppliedRequests(); got != total {
+		t.Errorf("tail applied %d requests, want %d", got, total)
+	}
+	for _, h := range tc.hosts {
+		st := h.InstanceStateFor(1)
+		for st.AbsLen() < total && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := st.AbsLen(); got != total {
+			t.Errorf("replica %v logged %d requests, want %d", h.ID(), got, total)
+		}
+	}
+}
+
+// TestChainBatchedConcurrentClients forces multi-request batches through a
+// wide assembler window: one BatchMessage per batch traverses the chain with
+// batch-level MACs, and the tail fans per-client replies back out. The
+// specification checker validates commit ordering across the whole run.
+func TestChainBatchedConcurrentClients(t *testing.T) {
+	tc := newTestCluster(t, 1, host.BatchPolicy{MaxBatch: 8, MaxDelay: 2 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	const clients = 6
+	const perClient = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env := tc.clientEnv(i)
+			client := NewClient(env, 1)
+			for ts := uint64(1); ts <= perClient; ts++ {
+				req := msg.Request{Client: env.ID, Timestamp: ts, Command: []byte(fmt.Sprintf("c%d-%d", i, ts))}
+				out, err := client.Invoke(ctx, req, nil)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d invoke %d: %w", i, ts, err)
+					return
+				}
+				if !out.Committed {
+					errCh <- fmt.Errorf("client %d request %d aborted", i, ts)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if errs := tc.checker.Check(); len(errs) > 0 {
+		t.Fatalf("specification violations: %v", errs)
+	}
+}
+
+// TestChainBatchDuplicateTimestampWithinOneWindow retransmits a request into
+// the same assembler window at the head: the batch must order it once and
+// the client must still commit.
+func TestChainBatchDuplicateTimestampWithinOneWindow(t *testing.T) {
+	tc := newTestCluster(t, 1, host.BatchPolicy{MaxBatch: 64, MaxDelay: 20 * time.Millisecond})
+	env := tc.clientEnv(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	req := msg.Request{Client: env.ID, Timestamp: 1, Command: []byte("dup")}
+	ca := authn.ChainAuthenticator{}
+	succ := env.Cluster.ChainSuccessorSet(env.ID)
+	ca = env.Keys.AppendChainMACs(ca, env.ID, succ, ClientAuthBytes(1, req))
+	m := &Message{Instance: 1, Req: req, CA: ca}
+	env.Endpoint.Send(env.Cluster.Head(), m)
+	env.Endpoint.Send(env.Cluster.Head(), m)
+
+	// Await the tail reply through the client-side verification path.
+	client := NewClient(env, 1)
+	out, committed, err := client.awaitTailReply(ctx, req)
+	if err != nil {
+		t.Fatalf("await tail reply: %v", err)
+	}
+	if !committed || !out.Committed {
+		t.Fatal("request did not commit")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	tail := tc.hosts[tc.cluster.N-1]
+	for tail.AppliedRequests() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := tail.AppliedRequests(); got != 1 {
+		t.Errorf("tail applied %d requests, want exactly 1", got)
+	}
+}

@@ -56,6 +56,44 @@ func (m *Message) AbstractInstance() core.InstanceID { return m.Instance }
 // CarriedInit implements core.InitCarrier.
 func (m *Message) CarriedInit() *core.InitHistory { return m.Init }
 
+// BatchMessage is the batched CHAIN message travelling between replicas: the
+// head coalesces client requests under the host's batch policy and forwards
+// the whole batch down the pipeline, each replica authenticating the batch to
+// its successor set with one set of MACs instead of one per request. The tail
+// fans the batch back out as one legacy Message per client, so the client
+// protocol (Step C1/C4) is unchanged.
+type BatchMessage struct {
+	Instance core.InstanceID
+	// Batch holds the ordered requests; request i occupies position Seq+i.
+	Batch msg.Batch
+	// Seq is the absolute position assigned by the head to Batch.Requests[0].
+	Seq uint64
+	// ClientCAs accumulates, per request, the chain-authenticator entries
+	// involving that request's client: the client's MACs toward the first
+	// f+1 replicas on the way in, and each executing replica's MAC toward
+	// the client on the way out.
+	ClientCAs []authn.ChainAuthenticator
+	// ReplyDigests holds D(reply) per request, set by the last f+1 replicas.
+	ReplyDigests []authn.Digest
+	// HistoryDigest is D(LH_j) of the executing replicas after the whole
+	// batch is appended.
+	HistoryDigest authn.Digest
+	// HistoryDigests optionally carries the full digest history
+	// (instrumented test runs only).
+	HistoryDigests history.DigestHistory
+	// CA is the replica-hop chain authenticator over batch-level bytes.
+	CA authn.ChainAuthenticator
+	// Init forwards an init history so uninitialized replicas can
+	// initialize.
+	Init *core.InitHistory
+}
+
+// AbstractInstance implements core.InstanceMessage.
+func (m *BatchMessage) AbstractInstance() core.InstanceID { return m.Instance }
+
+// CarriedInit implements core.InitCarrier.
+func (m *BatchMessage) CarriedInit() *core.InitHistory { return m.Init }
+
 // ClientAuthBytes returns the bytes the client authenticates towards the
 // first f+1 replicas: the instance and the request digest (the client does
 // not know the sequence number).
@@ -92,6 +130,37 @@ func TailAuthBytes(instance core.InstanceID, req msg.Request, seq uint64, replyD
 	return buf
 }
 
+// batchOrderAuthBytes returns the batch-level bytes authenticated by the
+// first 2f replicas: instance, the position of the batch's first request, and
+// the batch digest (computed once per hop by the caller).
+func batchOrderAuthBytes(instance core.InstanceID, batchDigest authn.Digest, seq uint64) []byte {
+	var buf [16 + authn.DigestSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	binary.BigEndian.PutUint64(buf[8:16], seq)
+	copy(buf[16:], batchDigest[:])
+	return buf[:]
+}
+
+// batchTailAuthBytes returns the batch-level bytes authenticated by the last
+// f+1 replicas toward their replica successors: instance, sequence, batch
+// digest (computed once per hop by the caller), the fold of the per-request
+// reply digests, and the post-batch local-history digest.
+func batchTailAuthBytes(instance core.InstanceID, batchDigest authn.Digest, seq uint64, replyDigests []authn.Digest, historyDigest authn.Digest) []byte {
+	parts := make([][]byte, 0, len(replyDigests))
+	for i := range replyDigests {
+		parts = append(parts, replyDigests[i][:])
+	}
+	repliesDigest := authn.HashAll(parts...)
+	buf := make([]byte, 16+3*authn.DigestSize)
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	binary.BigEndian.PutUint64(buf[8:16], seq)
+	copy(buf[16:], batchDigest[:])
+	copy(buf[16+authn.DigestSize:], repliesDigest[:])
+	copy(buf[16+2*authn.DigestSize:], historyDigest[:])
+	return buf
+}
+
 func init() {
 	transport.RegisterWireType(&Message{})
+	transport.RegisterWireType(&BatchMessage{})
 }

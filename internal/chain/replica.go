@@ -22,7 +22,10 @@ type ReplicaConfig struct {
 }
 
 // Replica implements the Chain pipeline steps (C2/C3) at one position of the
-// chain order.
+// chain order. The head coalesces client requests into batches under the
+// host's batch policy; a batch travels down the chain as one BatchMessage
+// with one set of replica-hop MACs, and the tail fans per-request replies
+// back out to the clients.
 type Replica struct {
 	h   *host.Host
 	st  *host.InstanceState
@@ -30,9 +33,14 @@ type Replica struct {
 
 	// index is this replica's position in the chain order.
 	index int
-	// pending buffers messages that arrived ahead of the next expected
-	// sequence number.
+	// batcher coalesces client requests at the head (Step C2).
+	batcher *host.Batcher
+	// pending buffers legacy single-request messages that arrived ahead of
+	// the next expected sequence number.
 	pending map[uint64]*Message
+	// pendingBatch buffers batches that arrived ahead of the next expected
+	// sequence number.
+	pendingBatch map[uint64]*BatchMessage
 
 	// low-load tracking.
 	activeClient   ids.ProcessID
@@ -43,13 +51,16 @@ type Replica struct {
 // NewReplica returns a host.ProtocolFactory creating Chain replicas.
 func NewReplica(cfg ReplicaConfig) host.ProtocolFactory {
 	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
-		return &Replica{
-			h:       h,
-			st:      st,
-			cfg:     cfg,
-			index:   int(h.ID()),
-			pending: make(map[uint64]*Message),
+		r := &Replica{
+			h:            h,
+			st:           st,
+			cfg:          cfg,
+			index:        int(h.ID()),
+			pending:      make(map[uint64]*Message),
+			pendingBatch: make(map[uint64]*BatchMessage),
 		}
+		r.batcher = h.NewBatcher(r.orderBatch)
+		return r
 	}
 }
 
@@ -65,10 +76,18 @@ func (r *Replica) executes() bool { return r.index >= 2*r.h.Cluster().F }
 
 // Handle implements host.ProtocolReplica.
 func (r *Replica) Handle(from ids.ProcessID, m any) {
-	cm, ok := m.(*Message)
-	if !ok {
-		return
+	switch t := m.(type) {
+	case *Message:
+		r.handleSingle(from, t)
+	case *BatchMessage:
+		r.onBatchForwarded(from, t)
 	}
+}
+
+// handleSingle processes a legacy single-request CHAIN message: a client
+// request at the head (which feeds the batch assembler) or a retransmitted /
+// duplicate message travelling the chain.
+func (r *Replica) handleSingle(from ids.ProcessID, cm *Message) {
 	if r.cfg.Feedback != nil && len(cm.Feedback) > 0 && r.isHead() {
 		r.cfg.Feedback.ClientFeedback(r.h.ID(), cm.Req.Client, cm.Feedback, []uint64{cm.Req.Timestamp})
 	}
@@ -82,8 +101,9 @@ func (r *Replica) Handle(from ids.ProcessID, m any) {
 	r.onForwarded(from, cm)
 }
 
-// onClientRequest implements Step C2 at the head: verify the client MAC,
-// assign a sequence number, log, and forward down the chain.
+// onClientRequest implements Step C2 at the head: verify the client MAC and
+// hand the request to the batch assembler, which flushes whole batches into
+// orderBatch under the size/delay policy.
 func (r *Replica) onClientRequest(from ids.ProcessID, m *Message) {
 	if !from.IsClient() || from != m.Req.Client {
 		return
@@ -102,23 +122,242 @@ func (r *Replica) onClientRequest(from ids.ProcessID, m *Message) {
 		r.forwardDuplicate(m)
 		return
 	}
-	pos, ok := r.h.Log(r.st, m.Req)
+	r.batcher.Add(host.BatchItem{Req: m.Req, CA: m.CA, Init: m.Init})
+}
+
+// orderBatch implements Step C2 for one flushed batch (head only): assign a
+// sequence-number span, log the whole batch as one history append, and send
+// it down the chain as a single BatchMessage.
+func (r *Replica) orderBatch(items []host.BatchItem) {
+	if !r.isHead() || r.st.Stopped {
+		return
+	}
+	fresh, batch, _ := host.FilterFreshItems(r.st, items)
+	if batch.Len() == 0 {
+		return
+	}
+	start, ok := r.h.LogBatch(r.st, batch)
 	if !ok {
 		return
 	}
-	out := *m
-	out.Seq = pos
-	out.HasSeq = true
-	if r.executes() {
-		reply := r.h.Execute(r.st, m.Req)
-		r.fillExecution(&out, reply)
+	out := &BatchMessage{Instance: r.st.ID, Batch: batch, Seq: start}
+	downstream := r.downstreamReplicas()
+	for _, it := range fresh {
+		keep := append(append([]ids.ProcessID{}, downstream...), it.Req.Client)
+		out.ClientCAs = append(out.ClientCAs, authn.PruneChain(it.CA, keep))
+		if out.Init == nil && it.Init != nil {
+			out.Init = it.Init
+		}
 	}
-	r.forward(&out)
-	r.h.Ops().CountRequest()
+	var replies [][]byte
+	if r.executes() {
+		replies = r.h.ExecuteBatch(r.st, batch)
+		r.fillBatchExecution(out, replies)
+	}
+	for range batch.Requests {
+		r.h.Ops().CountRequest()
+	}
+	if r.isTail() {
+		r.replyBatch(out, replies)
+		return
+	}
+	r.forwardBatch(out, batch.Digest())
 }
 
-// onForwarded implements Step C3 at every non-head position (and handles
-// retransmitted/duplicate traffic at the head).
+// onBatchForwarded implements Step C3 for a batch at every non-head position:
+// verify the predecessor-set MACs over the batch, log and (for the last f+1
+// replicas) execute the whole batch, and forward it (the tail fans replies
+// out to the clients).
+func (r *Replica) onBatchForwarded(from ids.ProcessID, m *BatchMessage) {
+	if r.isHead() || r.st.Stopped {
+		return
+	}
+	pred, hasPred := r.h.Cluster().ChainPredecessor(r.h.ID())
+	if !hasPred || from != pred {
+		return
+	}
+	if m.Batch.Len() == 0 || len(m.ClientCAs) != m.Batch.Len() {
+		return
+	}
+	// Compute the batch digest once per hop; it feeds every batch-level MAC
+	// verified and generated below.
+	bd := m.Batch.Digest()
+	if err := r.verifyBatchPredecessors(m, bd); err != nil {
+		return
+	}
+	for _, req := range m.Batch.Requests {
+		r.trackLoad(req.Client)
+	}
+	if r.st.Stopped {
+		return
+	}
+	if m.Seq > r.st.AbsLen() {
+		// Bounded buffering: the bound is on buffered *requests*, not map
+		// entries, so a Byzantine head cannot grow the reorder buffer
+		// without limit; dropped batches surface as loss.
+		if r.pendingRequests()+m.Batch.Len() <= maxPendingRequests {
+			r.pendingBatch[m.Seq] = m
+		}
+		return
+	}
+	if m.Seq < r.st.AbsLen() {
+		// Duplicate delivery of an already-logged batch: drop. Clients whose
+		// reply was lost recover through the panicking machinery (a
+		// cached-reply fast path is a recorded open item in ROADMAP.md).
+		return
+	}
+	r.processBatch(m, bd)
+	r.drainPending()
+}
+
+// processBatch logs (and for the last f+1 replicas executes) one in-order
+// batch and forwards it.
+func (r *Replica) processBatch(m *BatchMessage, bd authn.Digest) {
+	// A correct head never re-orders a logged request nor repeats one inside
+	// a batch, so any stale entry marks Byzantine traffic and the whole
+	// batch is dropped (the per-entry ClientCAs/seq alignment would break
+	// under partial logging anyway).
+	if _, stale := r.st.FilterFreshBatch(m.Batch); len(stale) > 0 {
+		return
+	}
+	if _, ok := r.h.LogBatch(r.st, m.Batch); !ok {
+		return
+	}
+	out := *m
+	out.ClientCAs = append([]authn.ChainAuthenticator(nil), m.ClientCAs...)
+	var replies [][]byte
+	if r.executes() {
+		replies = r.h.ExecuteBatch(r.st, m.Batch)
+		r.fillBatchExecution(&out, replies)
+	}
+	if r.isTail() {
+		r.replyBatch(&out, replies)
+		return
+	}
+	r.forwardBatch(&out, bd)
+}
+
+// fillBatchExecution sets the reply and history fields an executing replica
+// is responsible for, and appends this replica's per-request MAC toward each
+// client (the only per-request MACs left on the batched path).
+func (r *Replica) fillBatchExecution(out *BatchMessage, replies [][]byte) {
+	out.ReplyDigests = make([]authn.Digest, len(replies))
+	for i, reply := range replies {
+		out.ReplyDigests[i] = authn.Hash(reply)
+	}
+	out.HistoryDigest = r.st.HistoryDigest()
+	for i, req := range out.Batch.Requests {
+		data := TailAuthBytes(out.Instance, req, out.Seq+uint64(i), out.ReplyDigests[i], out.HistoryDigest)
+		out.ClientCAs[i] = r.h.Keys().AppendChainMACs(out.ClientCAs[i], r.h.ID(), []ids.ProcessID{req.Client}, data)
+		r.h.Ops().CountMACGen(r.h.ID(), 1)
+	}
+}
+
+// replyBatch fans a processed batch back out to the clients: one legacy
+// Message per request, carrying the full reply and the chain-authenticator
+// entries of the last f+1 replicas, so Step C4 at the client is unchanged.
+func (r *Replica) replyBatch(out *BatchMessage, replies [][]byte) {
+	byClient := make(map[ids.ProcessID][]any, len(out.Batch.Requests))
+	for i, req := range out.Batch.Requests {
+		reply := &Message{
+			Instance:      out.Instance,
+			Req:           req,
+			Seq:           out.Seq + uint64(i),
+			HasSeq:        true,
+			ReplyDigest:   out.ReplyDigests[i],
+			Reply:         replies[i],
+			HistoryDigest: out.HistoryDigest,
+			CA:            out.ClientCAs[i],
+		}
+		if r.h.InstrumentHistories() {
+			reply.HistoryDigests = r.st.Digests.Clone()
+		}
+		byClient[req.Client] = append(byClient[req.Client], reply)
+	}
+	// A pipelining client's replies cross the wire as one coalesced
+	// envelope, as in ZLight's and Quorum's fan-out.
+	for client, replies := range byClient {
+		r.h.SendBatch(client, replies)
+	}
+}
+
+// forwardBatch appends this replica's batch-level chain-authenticator MACs
+// and sends the batch to the successor. bd is the precomputed batch digest.
+func (r *Replica) forwardBatch(out *BatchMessage, bd authn.Digest) {
+	successors := r.h.Cluster().ChainSuccessorSet(r.h.ID())
+	downstream := r.downstreamReplicas()
+	out.CA = authn.PruneChain(out.CA, downstream)
+	out.CA = r.h.Keys().AppendChainMACs(out.CA, r.h.ID(), successors, r.batchAuthBytesFor(r.h.ID(), out, bd))
+	r.h.Ops().CountMACGen(r.h.ID(), len(successors))
+	for i, req := range out.Batch.Requests {
+		keep := append(append([]ids.ProcessID{}, downstream...), req.Client)
+		out.ClientCAs[i] = authn.PruneChain(out.ClientCAs[i], keep)
+	}
+	succ, _ := r.h.Cluster().ChainSuccessor(r.h.ID())
+	r.h.Send(succ, out)
+}
+
+// downstreamReplicas returns the replicas after this one in chain order.
+func (r *Replica) downstreamReplicas() []ids.ProcessID {
+	var out []ids.ProcessID
+	for j := r.index + 1; j < r.h.Cluster().N; j++ {
+		out = append(out, ids.Replica(j))
+	}
+	return out
+}
+
+// batchAuthBytesFor returns the batch-level bytes process p authenticates,
+// which depend on p's position in the chain: the first 2f replicas sign the
+// sequence span and batch digest, the last f+1 replicas also sign the reply
+// and history digests. bd is the precomputed batch digest.
+func (r *Replica) batchAuthBytesFor(p ids.ProcessID, m *BatchMessage, bd authn.Digest) []byte {
+	if int(p) < 2*r.h.Cluster().F {
+		return batchOrderAuthBytes(m.Instance, bd, m.Seq)
+	}
+	return batchTailAuthBytes(m.Instance, bd, m.Seq, m.ReplyDigests, m.HistoryDigest)
+}
+
+// verifyBatchPredecessors checks the batch-level MACs from every replica in
+// this replica's predecessor set, and (at the first f+1 positions) each
+// client's per-request MAC. bd is the precomputed batch digest.
+func (r *Replica) verifyBatchPredecessors(m *BatchMessage, bd authn.Digest) error {
+	cl := r.h.Cluster()
+	if r.index < cl.F+1 {
+		for i, req := range m.Batch.Requests {
+			r.h.Ops().CountMACVerify(r.h.ID(), 1)
+			if err := r.h.Keys().VerifyChain(m.ClientCAs[i], r.h.ID(), []ids.ProcessID{req.Client}, ClientAuthBytes(m.Instance, req)); err != nil {
+				return err
+			}
+		}
+	}
+	// Predecessors fall into two byte classes (order bytes for the first 2f
+	// replicas, tail bytes for the rest); compute each at most once rather
+	// than re-hashing the batch per predecessor.
+	var orderBytes, tailBytes []byte
+	for _, p := range cl.ChainPredecessorSet(r.h.ID()) {
+		var data []byte
+		if int(p) < 2*cl.F {
+			if orderBytes == nil {
+				orderBytes = batchOrderAuthBytes(m.Instance, bd, m.Seq)
+			}
+			data = orderBytes
+		} else {
+			if tailBytes == nil {
+				tailBytes = batchTailAuthBytes(m.Instance, bd, m.Seq, m.ReplyDigests, m.HistoryDigest)
+			}
+			data = tailBytes
+		}
+		r.h.Ops().CountMACVerify(r.h.ID(), 1)
+		if err := r.h.Keys().VerifyChain(m.CA, r.h.ID(), []ids.ProcessID{p}, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onForwarded handles legacy single-request traffic at non-head positions:
+// retransmitted or duplicate messages whose position is already logged; the
+// tail resends the cached reply. Fresh ordering travels as BatchMessage.
 func (r *Replica) onForwarded(from ids.ProcessID, m *Message) {
 	pred, hasPred := r.h.Cluster().ChainPredecessor(r.h.ID())
 	if hasPred && from != pred {
@@ -135,7 +374,9 @@ func (r *Replica) onForwarded(from ids.ProcessID, m *Message) {
 		return
 	}
 	if m.Seq > r.st.AbsLen() {
-		r.pending[m.Seq] = m
+		if r.pendingRequests()+1 <= maxPendingRequests {
+			r.pending[m.Seq] = m
+		}
 		return
 	}
 	if m.Seq < r.st.AbsLen() || !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
@@ -146,8 +387,8 @@ func (r *Replica) onForwarded(from ids.ProcessID, m *Message) {
 	r.drainPending()
 }
 
-// process logs (and for the last f+1 replicas executes) one in-order message
-// and forwards it.
+// process logs (and for the last f+1 replicas executes) one in-order legacy
+// message and forwards it.
 func (r *Replica) process(m *Message) {
 	if _, ok := r.h.Log(r.st, m.Req); !ok {
 		return
@@ -160,10 +401,46 @@ func (r *Replica) process(m *Message) {
 	r.forward(&out)
 }
 
+// maxPendingRequests bounds the total requests buffered out of order per
+// instance (across both the batch and legacy buffers).
+const maxPendingRequests = 1024
+
+// pendingRequests returns the number of requests currently buffered out of
+// order; the buffers are small (bounded by maxPendingRequests), so summing
+// on demand is cheap.
+func (r *Replica) pendingRequests() int {
+	n := len(r.pending)
+	for _, m := range r.pendingBatch {
+		n += m.Batch.Len()
+	}
+	return n
+}
+
 func (r *Replica) drainPending() {
 	for {
+		if r.st.Stopped {
+			return
+		}
+		// Evict spans overtaken by the history (they can never match the
+		// exact next position again) from both buffers, so stale entries
+		// cannot exhaust the caps.
+		for seq := range r.pendingBatch {
+			if seq < r.st.AbsLen() {
+				delete(r.pendingBatch, seq)
+			}
+		}
+		for seq := range r.pending {
+			if seq < r.st.AbsLen() {
+				delete(r.pending, seq)
+			}
+		}
+		if next, ok := r.pendingBatch[r.st.AbsLen()]; ok {
+			delete(r.pendingBatch, next.Seq)
+			r.processBatch(next, next.Batch.Digest())
+			continue
+		}
 		next, ok := r.pending[r.st.AbsLen()]
-		if !ok || r.st.Stopped {
+		if !ok {
 			return
 		}
 		delete(r.pending, r.st.AbsLen())
@@ -176,7 +453,7 @@ func (r *Replica) drainPending() {
 }
 
 // fillExecution sets the reply and history fields a last-f+1 replica is
-// responsible for.
+// responsible for on a legacy message.
 func (r *Replica) fillExecution(out *Message, reply []byte) {
 	out.ReplyDigest = authn.Hash(reply)
 	out.HistoryDigest = r.st.HistoryDigest()
@@ -203,15 +480,13 @@ func (r *Replica) forwardDuplicate(m *Message) {
 }
 
 // forward appends this replica's chain-authenticator MACs and sends the
-// message to the successor (or to the client when this is the tail).
+// legacy message to the successor (or to the client when this is the tail).
 func (r *Replica) forward(out *Message) {
 	successors := r.h.Cluster().ChainSuccessorSet(r.h.ID())
 	data := r.authBytesFor(r.h.ID(), out)
 	// Prune entries that are no longer needed downstream, then append ours.
 	keep := append([]ids.ProcessID{}, successors...)
-	for j := r.index + 1; j < r.h.Cluster().N; j++ {
-		keep = append(keep, ids.Replica(j))
-	}
+	keep = append(keep, r.downstreamReplicas()...)
 	keep = append(keep, out.Req.Client)
 	out.CA = authn.PruneChain(out.CA, keep)
 	out.CA = r.h.Keys().AppendChainMACs(out.CA, r.h.ID(), successors, data)
@@ -231,7 +506,7 @@ func (r *Replica) forward(out *Message) {
 	r.h.Send(succ, out)
 }
 
-// authBytesFor returns the bytes process p authenticates for the given
+// authBytesFor returns the bytes process p authenticates for a legacy
 // message, which depend on p's position in the chain: the client signs the
 // request and instance, the first 2f replicas additionally sign the sequence
 // number, and the last f+1 replicas also sign the reply and history digests.
@@ -248,7 +523,7 @@ func (r *Replica) authBytesFor(p ids.ProcessID, m *Message) []byte {
 }
 
 // verifyPredecessors checks the chain-authenticator MACs from every process
-// in this replica's predecessor set.
+// in this replica's predecessor set on a legacy message.
 func (r *Replica) verifyPredecessors(m *Message) error {
 	cl := r.h.Cluster()
 	preds := cl.ChainPredecessorSet(r.h.ID())

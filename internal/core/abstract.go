@@ -105,6 +105,17 @@ type Instance interface {
 	Invoke(ctx context.Context, req msg.Request, init *InitHistory) (Outcome, error)
 }
 
+// BatchInstance is implemented by instance clients that can invoke several
+// pipelined requests of one client as a single protocol step (one batch
+// message, one authenticator). InvokeBatch is an optimistic fast path: it
+// returns one outcome per request, in order, with Committed=false for
+// requests the commit rule did not cover in time; callers fall back to
+// per-request Invoke (and its panicking machinery) for those.
+type BatchInstance interface {
+	Instance
+	InvokeBatch(ctx context.Context, reqs []msg.Request, init *InitHistory) ([]Outcome, error)
+}
+
 // InstanceFactory creates the client-side handle for the given instance
 // number. Composed protocols (AZyzzyva, Aliph, R-Aliph) provide factories
 // that rotate through their constituent Abstract implementations.

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// PipelineOptions tunes a PipelinedComposer.
+type PipelineOptions struct {
+	// Depth bounds the number of invocations the client keeps in flight
+	// concurrently (the callers of Invoke provide the concurrency; Depth
+	// bounds how many of them proceed at once). 0 selects 8.
+	Depth int
+	// MaxBatch bounds how many queued invocations are coalesced into one
+	// client-side batch when the active instance supports batched invocation
+	// (Quorum). 0 selects Depth.
+	MaxBatch int
+	// GatherDelay is how long the batch dispatcher waits for companion
+	// invocations after the first one arrives. 0 selects 500µs; negative
+	// disables gathering (every invocation dispatches alone).
+	GatherDelay time.Duration
+}
+
+func (o PipelineOptions) withDefaults() PipelineOptions {
+	if o.Depth <= 0 {
+		o.Depth = 8
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = o.Depth
+	}
+	if o.GatherDelay == 0 {
+		o.GatherDelay = 500 * time.Microsecond
+	}
+	return o
+}
+
+// PipelinedComposer is the pipelining variant of Composer: instead of strict
+// invoke-then-wait, a client keeps up to Depth invocations in flight at once.
+// Each invocation runs on a virtual endpoint of a shared demultiplexer, so
+// concurrent receive loops never steal each other's messages; the instance
+// switching state (ACP) is shared across invocations. When the active
+// instance supports batched invocation (core.BatchInstance, implemented by
+// Quorum), queued invocations are coalesced into one batch message covered by
+// a single authenticator.
+type PipelinedComposer struct {
+	env        ClientEnv
+	newFactory func(ClientEnv) InstanceFactory
+	demux      *transport.Demux
+	opts       PipelineOptions
+
+	mu sync.Mutex
+	// activeID is the currently active instance.
+	activeID InstanceID
+	// pendingInit is the init history to attach to the next (first)
+	// invocation of the active instance; nil once delivered.
+	pendingInit *InitHistory
+	// switches counts instance switches performed by this client.
+	switches uint64
+	// batchable caches, per instance, whether its client handle implements
+	// BatchInstance.
+	batchable map[InstanceID]bool
+
+	// sem bounds concurrent in-flight invocations.
+	sem chan struct{}
+	// queue feeds the batch dispatcher.
+	queue     chan *pipelineSub
+	startOnce sync.Once
+	stop      chan struct{}
+	stopOnce  sync.Once
+}
+
+type pipelineResult struct {
+	reply []byte
+	err   error
+}
+
+type pipelineSub struct {
+	ctx  context.Context
+	req  msg.Request
+	done chan pipelineResult
+}
+
+// NewPipelinedComposer creates a pipelined composer starting at instance
+// first (normally 1). The env's endpoint is taken over by the composer's
+// demultiplexer and must not be read by anyone else afterwards.
+func NewPipelinedComposer(env ClientEnv, newFactory func(ClientEnv) InstanceFactory, first InstanceID, opts PipelineOptions) (*PipelinedComposer, error) {
+	opts = opts.withDefaults()
+	p := &PipelinedComposer{
+		env:        env,
+		newFactory: newFactory,
+		demux:      transport.NewDemux(env.Endpoint),
+		opts:       opts,
+		activeID:   first,
+		batchable:  make(map[InstanceID]bool),
+		sem:        make(chan struct{}, opts.Depth),
+		queue:      make(chan *pipelineSub),
+		stop:       make(chan struct{}),
+	}
+	// Fail fast when the factory cannot build the first instance.
+	if _, err := newFactory(env)(first); err != nil {
+		return nil, fmt.Errorf("core: creating instance %d: %w", first, err)
+	}
+	return p, nil
+}
+
+// Close stops the batch dispatcher and detaches the demultiplexer from the
+// endpoint (releasing its fan-out goroutine); in-flight invocations see
+// their virtual inboxes close and return ErrStopped.
+func (p *PipelinedComposer) Close() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.demux.Close()
+	})
+}
+
+// Switches returns the number of instance switches this client performed.
+func (p *PipelinedComposer) Switches() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.switches
+}
+
+// ActiveInstance returns the identifier of the currently active instance.
+func (p *PipelinedComposer) ActiveInstance() InstanceID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.activeID
+}
+
+// Invoke submits a request and blocks until it commits (or ctx is
+// cancelled). Aborts are handled internally by switching, as in Composer;
+// concurrency comes from callers invoking from multiple goroutines.
+func (p *PipelinedComposer) Invoke(ctx context.Context, req msg.Request) ([]byte, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-p.sem }()
+
+	if p.opts.GatherDelay >= 0 && p.isBatchable(p.ActiveInstance()) {
+		p.startOnce.Do(func() { go p.dispatch() })
+		sub := &pipelineSub{ctx: ctx, req: req, done: make(chan pipelineResult, 1)}
+		select {
+		case p.queue <- sub:
+			// sub.done is buffered, so runBatch's send cannot block even
+			// when we stop waiting on cancellation.
+			select {
+			case res := <-sub.done:
+				return res.reply, res.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		case <-p.stop:
+			// Dispatcher stopped: fall through to the direct path.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return p.invokeOne(ctx, req)
+}
+
+// isBatchable reports whether the instance's client handle supports batched
+// invocation, probing (and caching) via a throwaway handle.
+func (p *PipelinedComposer) isBatchable(id InstanceID) bool {
+	p.mu.Lock()
+	if b, ok := p.batchable[id]; ok {
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	inst, err := p.newFactory(p.env)(id)
+	_, isBatch := inst.(BatchInstance)
+	b := err == nil && isBatch
+	p.mu.Lock()
+	p.batchable[id] = b
+	p.mu.Unlock()
+	return b
+}
+
+// dispatch gathers queued invocations into batches and hands each batch to a
+// worker goroutine, so consecutive batches pipeline behind each other.
+func (p *PipelinedComposer) dispatch() {
+	for {
+		var first *pipelineSub
+		select {
+		case <-p.stop:
+			return
+		case first = <-p.queue:
+		}
+		batch := []*pipelineSub{first}
+		if p.opts.GatherDelay > 0 && p.opts.MaxBatch > 1 {
+			timer := time.NewTimer(p.opts.GatherDelay)
+		gather:
+			for len(batch) < p.opts.MaxBatch {
+				select {
+				case sub := <-p.queue:
+					batch = append(batch, sub)
+				case <-timer.C:
+					break gather
+				case <-p.stop:
+					break gather
+				}
+			}
+			timer.Stop()
+		}
+		go p.runBatch(batch)
+	}
+}
+
+// runBatch invokes one gathered batch: the batched fast path when the active
+// instance supports it, falling back to per-request invocation (with its
+// panicking and switching machinery) for anything the fast path leaves
+// uncommitted.
+func (p *PipelinedComposer) runBatch(subs []*pipelineSub) {
+	if len(subs) > 1 {
+		sort.SliceStable(subs, func(i, j int) bool { return subs[i].req.Timestamp < subs[j].req.Timestamp })
+	}
+	id, init := p.takeActiveInit()
+	env := p.env
+	vep := p.demux.Open()
+	env.Endpoint = vep
+	inst, err := p.newFactory(env)(id)
+	var outs []Outcome
+	var berr error
+	if bi, ok := inst.(BatchInstance); err == nil && ok {
+		reqs := make([]msg.Request, len(subs))
+		for i, s := range subs {
+			reqs[i] = s.req
+		}
+		// The batch runs under its own context so one caller's cancelled or
+		// short-deadline context cannot defeat the fast path for everyone
+		// else; InvokeBatch is internally bounded by the instance's commit
+		// timer, and each member's own context still governs its fallback.
+		outs, berr = bi.InvokeBatch(context.Background(), reqs, init)
+	} else {
+		// The active instance switched to a non-batchable one between
+		// enqueue and dispatch: re-arm the init and run individually.
+		p.rearmInit(id, init)
+		init = nil
+	}
+	vep.Close()
+	if berr != nil {
+		p.rearmInit(id, init)
+	}
+	// Deliver the committed outcomes, fall back individually for the rest.
+	var fallback sync.WaitGroup
+	for i, s := range subs {
+		if outs != nil && berr == nil && i < len(outs) && outs[i].Committed {
+			s.done <- pipelineResult{reply: outs[i].Reply}
+			continue
+		}
+		fallback.Add(1)
+		go func(s *pipelineSub) {
+			defer fallback.Done()
+			reply, err := p.invokeOne(s.ctx, s.req)
+			s.done <- pipelineResult{reply: reply, err: err}
+		}(s)
+	}
+	fallback.Wait()
+}
+
+// takeActiveInit returns the active instance and consumes the pending init
+// history (which must be attached to the first invocation of the instance).
+func (p *PipelinedComposer) takeActiveInit() (InstanceID, *InitHistory) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.activeID
+	init := p.pendingInit
+	p.pendingInit = nil
+	return id, init
+}
+
+// rearmInit restores an unconsumed init history so a retry still initializes
+// the instance.
+func (p *PipelinedComposer) rearmInit(id InstanceID, init *InitHistory) {
+	if init == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.activeID == id && p.pendingInit == nil {
+		p.pendingInit = init
+	}
+	p.mu.Unlock()
+}
+
+// invokeOne runs the full ACP loop for a single request on a private virtual
+// endpoint: invoke the active instance, and on an Abort indication switch to
+// next(i) carrying the abort history as the next instance's init history.
+func (p *PipelinedComposer) invokeOne(ctx context.Context, req msg.Request) ([]byte, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		id, init := p.takeActiveInit()
+		env := p.env
+		vep := p.demux.Open()
+		env.Endpoint = vep
+		inst, err := p.newFactory(env)(id)
+		if err != nil {
+			vep.Close()
+			p.rearmInit(id, init)
+			return nil, fmt.Errorf("core: creating instance %d: %w", id, err)
+		}
+		out, err := inst.Invoke(ctx, req, init)
+		vep.Close()
+		if err != nil {
+			p.rearmInit(id, init)
+			return nil, err
+		}
+		if verr := validateOutcome(out, id); verr != nil {
+			return nil, verr
+		}
+		if out.Committed {
+			return out.Reply, nil
+		}
+
+		// Abort: switch to next(i) and retry there, carrying the abort
+		// history as init history (only on the first invocation). A
+		// concurrent invocation may already have switched further.
+		next := out.Abort.Next
+		p.mu.Lock()
+		if p.activeID < next {
+			p.activeID = next
+			initCopy := out.Abort.Init
+			p.pendingInit = &initCopy
+			p.switches++
+		}
+		p.mu.Unlock()
+	}
+}

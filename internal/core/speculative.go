@@ -10,13 +10,14 @@ import (
 	"abstractbft/internal/msg"
 )
 
-// AwaitSpeculativeCommit implements the client-side commit rule shared by
-// ZLight (Step Z4) and Quorum (Step Q3): wait until all 3f+1 replicas return
-// RESP messages with identical history digests and identical replies (or
-// reply digests), within the given timeout. It returns the commit outcome and
-// true when the rule was met; otherwise it returns false and the caller
-// triggers the panicking mechanism.
-func AwaitSpeculativeCommit(ctx context.Context, env ClientEnv, instance InstanceID, req msg.Request, timeout time.Duration) (Outcome, bool, error) {
+// AwaitBatchSpeculativeCommit runs the speculative commit rule of
+// AwaitSpeculativeCommit for every request of a client-side batch in one
+// receive loop: request i commits when all 3f+1 replicas return RESP messages
+// for it with identical history digests and identical replies. It returns one
+// outcome per request (in order) and true when every request committed;
+// uncommitted requests have Committed=false and the caller decides whether to
+// panic or retry them individually.
+func AwaitBatchSpeculativeCommit(ctx context.Context, env ClientEnv, instance InstanceID, reqs []msg.Request, timeout time.Duration) ([]Outcome, bool, error) {
 	type respKey struct {
 		historyDigest authn.Digest
 		replyDigest   authn.Digest
@@ -26,24 +27,52 @@ func AwaitSpeculativeCommit(ctx context.Context, env ClientEnv, instance Instanc
 		reply    []byte
 		digests  history.DigestHistory
 	}
-	buckets := make(map[respKey]*bucket)
-	seen := make(map[ids.ProcessID]respKey)
+	type reqState struct {
+		buckets   map[respKey]*bucket
+		seen      map[ids.ProcessID]respKey
+		committed bool
+		// hopeless is set when all 3f+1 replicas answered with divergent
+		// digests: the request can no longer reach N matching replies.
+		hopeless bool
+	}
+	// Requests are identified by timestamp; duplicate timestamps within one
+	// batch (replicas answer each timestamp once) share the first
+	// occurrence's state, so a duplicate can neither stall the loop nor
+	// leave its outcome behind.
+	byTS := make(map[uint64]int, len(reqs))
+	alias := make([]int, len(reqs))
+	states := make([]reqState, 0, len(reqs))
+	for i, r := range reqs {
+		if j, dup := byTS[r.Timestamp]; dup {
+			alias[i] = alias[j]
+			continue
+		}
+		byTS[r.Timestamp] = i
+		alias[i] = len(states)
+		states = append(states, reqState{buckets: make(map[respKey]*bucket), seen: make(map[ids.ProcessID]respKey)})
+	}
+	outs := make([]Outcome, len(reqs))
+	remaining := len(states)
 
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 
-	for {
+	for remaining > 0 {
 		select {
 		case <-ctx.Done():
-			return Outcome{}, false, ctx.Err()
+			return outs, false, ctx.Err()
 		case <-timer.C:
-			return Outcome{}, false, nil
+			return outs, false, nil
 		case env2, ok := <-env.Endpoint.Inbox():
 			if !ok {
-				return Outcome{}, false, ErrStopped
+				return outs, false, ErrStopped
 			}
 			resp, isResp := env2.Payload.(*RespMessage)
-			if !isResp || resp.Instance != instance || resp.Timestamp != req.Timestamp || resp.Client != env.ID {
+			if !isResp || resp.Instance != instance || resp.Client != env.ID {
+				continue
+			}
+			i, mine := byTS[resp.Timestamp]
+			if !mine || states[alias[i]].committed {
 				continue
 			}
 			if !resp.Replica.IsReplica() || int(resp.Replica) >= env.Cluster.N {
@@ -53,45 +82,75 @@ func AwaitSpeculativeCommit(ctx context.Context, env ClientEnv, instance Instanc
 			if err := env.Keys.VerifyMAC(resp.Replica, env.ID, resp.MACBytes(), resp.MAC); err != nil {
 				continue
 			}
+			st := &states[alias[i]]
 			key := respKey{historyDigest: resp.HistoryDigest, replyDigest: resp.ReplyDigest}
-			if prev, dup := seen[resp.Replica]; dup {
-				if prev == key {
-					continue
-				}
-				// A replica changed its answer for the same request: treat
-				// as divergence and fall through to panicking.
-				return Outcome{}, false, nil
+			if prev, dup := st.seen[resp.Replica]; dup && prev != key {
+				// A replica changed its answer: divergence, give up on the
+				// whole batch (the caller falls back to panicking).
+				return outs, false, nil
 			}
-			seen[resp.Replica] = key
-			b := buckets[key]
+			st.seen[resp.Replica] = key
+			b := st.buckets[key]
 			if b == nil {
 				b = &bucket{replicas: make(map[ids.ProcessID]bool)}
-				buckets[key] = b
+				st.buckets[key] = b
 			}
 			b.replicas[resp.Replica] = true
-			// The designated replica's full reply is accepted when it hashes
-			// to the reported digest; an empty reply (e.g. the null
-			// microbenchmark application) is a valid full reply.
 			if b.reply == nil && authn.Hash(resp.Reply) == resp.ReplyDigest {
 				b.reply = append([]byte{}, resp.Reply...)
 			}
 			if len(resp.HistoryDigests) > 0 {
 				b.digests = resp.HistoryDigests.Clone()
 			}
-
 			if len(b.replicas) == env.Cluster.N && b.reply != nil {
+				st.committed = true
 				out := Outcome{Committed: true, Reply: b.reply, CommitHistory: b.digests}
-				if env.Checker != nil {
-					env.Checker.RecordCommit(instance, req, b.reply, b.digests)
+				for j := range reqs {
+					if alias[j] == alias[i] {
+						outs[j] = out
+					}
 				}
-				return out, true, nil
+				if env.Checker != nil {
+					env.Checker.RecordCommit(instance, reqs[i], b.reply, b.digests)
+				}
+				remaining--
 			}
-			// Divergent responses from all replicas cannot reach 3f+1
-			// matches any more: give up early so the panicking mechanism
-			// starts without waiting for the full timeout.
-			if len(seen) == env.Cluster.N && len(buckets) > 1 {
-				return Outcome{}, false, nil
+			if !st.committed && !st.hopeless && len(st.seen) == env.Cluster.N && len(st.buckets) > 1 {
+				st.hopeless = true
+			}
+			// Give up early once every uncommitted request is hopeless (all
+			// 3f+1 replicas answered with divergent digests), mirroring the
+			// single-request rule: the caller's fallback (and its panicking
+			// machinery) starts without waiting for the full timeout. This
+			// is re-evaluated after every state change — a commit can leave
+			// only hopeless requests behind.
+			if remaining > 0 {
+				stuck := 0
+				for j := range states {
+					if states[j].hopeless && !states[j].committed {
+						stuck++
+					}
+				}
+				if stuck == remaining {
+					return outs, false, nil
+				}
 			}
 		}
 	}
+	return outs, true, nil
+}
+
+// AwaitSpeculativeCommit implements the client-side commit rule shared by
+// ZLight (Step Z4) and Quorum (Step Q3): wait until all 3f+1 replicas return
+// RESP messages with identical history digests and identical replies (or
+// reply digests), within the given timeout. It returns the commit outcome and
+// true when the rule was met; otherwise it returns false and the caller
+// triggers the panicking mechanism. It is the degenerate one-request case of
+// AwaitBatchSpeculativeCommit, so the safety-critical rule exists once.
+func AwaitSpeculativeCommit(ctx context.Context, env ClientEnv, instance InstanceID, req msg.Request, timeout time.Duration) (Outcome, bool, error) {
+	outs, all, err := AwaitBatchSpeculativeCommit(ctx, env, instance, []msg.Request{req}, timeout)
+	if err != nil || !all {
+		return Outcome{}, false, err
+	}
+	return outs[0], true, nil
 }

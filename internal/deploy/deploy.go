@@ -31,6 +31,10 @@ type Config struct {
 	NewInstanceFactory func(env core.ClientEnv) core.InstanceFactory
 	// Delta is the synchrony bound used for client timers.
 	Delta time.Duration
+	// Batch configures the replica-side request batch assembler (ZLight's
+	// primary, Chain's head). The zero value selects the defaults; set
+	// MaxBatch to 1 to disable batching.
+	Batch host.BatchPolicy
 	// Network configures the in-process transport (loss, delay, queueing).
 	Network transport.Options
 	// CheckpointInterval is CHK (0 = default 128, negative = disabled).
@@ -100,6 +104,7 @@ func New(cfg Config) (*Cluster, error) {
 			Endpoint:            c.Net.Endpoint(r),
 			FirstInstance:       1,
 			NewProtocol:         factory,
+			Batch:               cfg.Batch,
 			CheckpointInterval:  cfg.CheckpointInterval,
 			MaxUncheckpointed:   cfg.MaxUncheckpointed,
 			InstrumentHistories: cfg.InstrumentHistories,
@@ -156,4 +161,13 @@ func (c *Cluster) NextClient() (*core.Composer, error) {
 	i := c.nextClient
 	c.nextClient++
 	return c.NewClient(i)
+}
+
+// NewPipelinedClient creates a pipelining composed-protocol client with the
+// given index: up to opts.Depth invocations stay in flight concurrently, and
+// instances supporting batched invocation (Quorum) coalesce queued
+// invocations into one batch message.
+func (c *Cluster) NewPipelinedClient(i int, opts core.PipelineOptions) (*core.PipelinedComposer, error) {
+	env := c.ClientEnv(i)
+	return core.NewPipelinedComposer(env, c.cfg.NewInstanceFactory, 1, opts)
 }

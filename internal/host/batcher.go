@@ -1,0 +1,163 @@
+package host
+
+import (
+	"sort"
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/msg"
+)
+
+// Batching defaults: a flush is triggered by the first of MaxBatch buffered
+// requests or MaxDelay elapsed since the first buffered request.
+const (
+	DefaultMaxBatch = 16
+	DefaultMaxDelay = time.Millisecond
+)
+
+// BatchPolicy configures the request batch assembler used by ordering
+// replicas (the ZLight primary and the Chain head). The zero value selects
+// the defaults; MaxBatch=1 disables batching entirely and reproduces the
+// unbatched per-request path.
+type BatchPolicy struct {
+	// MaxBatch is the maximum number of requests coalesced into one batch; a
+	// full buffer flushes immediately. 0 selects DefaultMaxBatch, 1 disables
+	// batching (every request is its own batch, flushed inline).
+	MaxBatch int
+	// MaxDelay bounds how long the first buffered request may wait for
+	// companions before the batch is flushed. 0 selects DefaultMaxDelay;
+	// negative disables the timer (size-only flushing, for tests).
+	MaxDelay time.Duration
+}
+
+// normalized returns the policy with defaults applied.
+func (p BatchPolicy) normalized() BatchPolicy {
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = DefaultMaxBatch
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	return p
+}
+
+// BatchItem is one client request buffered by the batch assembler, together
+// with the client-supplied credentials the protocol needs to forward.
+type BatchItem struct {
+	// Req is the client request.
+	Req msg.Request
+	// Auth is the client's MAC authenticator (ZLight, Quorum).
+	Auth authn.Authenticator
+	// CA is the client's chain authenticator (Chain).
+	CA authn.ChainAuthenticator
+	// Init is the init history carried by the client's first invocation.
+	Init *core.InitHistory
+}
+
+// Batcher coalesces incoming client requests into batches under a size/delay
+// policy. Add and Flush are called with the host lock held (from the host's
+// event loop); the delay timer re-acquires the lock through Host.Locked, so
+// flush callbacks always run under the same lock as protocol handlers and
+// need no extra synchronization.
+type Batcher struct {
+	h      *Host
+	policy BatchPolicy
+	flush  func(items []BatchItem)
+
+	buf   []BatchItem
+	timer *time.Timer
+	// gen invalidates pending timers when the buffer they were armed for has
+	// already been flushed by size.
+	gen uint64
+}
+
+// NewBatcher creates a batch assembler bound to this host's batch policy.
+// The flush callback is invoked with the host lock held.
+func (h *Host) NewBatcher(flush func(items []BatchItem)) *Batcher {
+	return &Batcher{h: h, policy: h.cfg.Batch.normalized(), flush: flush}
+}
+
+// Policy returns the effective (normalized) batch policy.
+func (b *Batcher) Policy() BatchPolicy { return b.policy }
+
+// Pending returns the number of buffered requests (host lock held).
+func (b *Batcher) Pending() int { return len(b.buf) }
+
+// Add buffers one request, flushing when the size trigger fires. It must be
+// called with the host lock held. Exact duplicates of an already-buffered
+// request (same client and timestamp) are dropped so a retransmission inside
+// the delay window cannot order a request twice within one batch.
+func (b *Batcher) Add(it BatchItem) {
+	id := it.Req.ID()
+	for _, have := range b.buf {
+		if have.Req.ID() == id {
+			return
+		}
+	}
+	b.buf = append(b.buf, it)
+	if len(b.buf) >= b.policy.MaxBatch {
+		b.Flush()
+		return
+	}
+	if b.timer == nil && b.policy.MaxDelay > 0 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.policy.MaxDelay, func() {
+			b.h.Locked(func() {
+				if b.gen != gen {
+					return
+				}
+				b.timer = nil
+				b.Flush()
+			})
+		})
+	}
+}
+
+// Flush emits the buffered requests as one batch (host lock held). The items
+// are ordered by (client, timestamp) so that pipelined requests of one client
+// are logged in issue order regardless of arrival interleaving.
+func (b *Batcher) Flush() {
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(b.buf) == 0 {
+		return
+	}
+	items := b.buf
+	b.buf = nil
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Req.Client != items[j].Req.Client {
+			return items[i].Req.Client < items[j].Req.Client
+		}
+		return items[i].Req.Timestamp < items[j].Req.Timestamp
+	})
+	b.flush(items)
+}
+
+// FilterFreshItems applies the instance's batch freshness rule
+// (InstanceState.FilterFreshBatch) to flushed assembler items: it returns
+// the loggable items together with their batch, and the stale remainder
+// (already ordered while the item waited in the assembler). Keeping orderers
+// and verifiers on the same rule lives here, next to the assembler.
+func FilterFreshItems(st *InstanceState, items []BatchItem) (fresh []BatchItem, batch msg.Batch, stale []BatchItem) {
+	var all msg.Batch
+	for _, it := range items {
+		all.Requests = append(all.Requests, it.Req)
+	}
+	freshBatch, _ := st.FilterFreshBatch(all)
+	keep := make(map[msg.RequestID]bool, freshBatch.Len())
+	for _, req := range freshBatch.Requests {
+		keep[req.ID()] = true
+	}
+	for _, it := range items {
+		if keep[it.Req.ID()] {
+			fresh = append(fresh, it)
+		} else {
+			stale = append(stale, it)
+		}
+	}
+	return fresh, freshBatch, stale
+}

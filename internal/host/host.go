@@ -76,6 +76,11 @@ type Config struct {
 	FirstInstance core.InstanceID
 	// NewProtocol creates protocol replicas per instance.
 	NewProtocol ProtocolFactory
+	// Batch configures the request batch assembler used by ordering replicas
+	// (ZLight's primary, Chain's head). The zero value selects the defaults
+	// (MaxBatch 16, MaxDelay 1ms); MaxBatch=1 disables batching and restores
+	// the per-request path.
+	Batch BatchPolicy
 	// CheckpointInterval is CHK; 0 selects the default (128), negative
 	// disables checkpointing.
 	CheckpointInterval int
@@ -214,6 +219,10 @@ func (h *Host) Send(to ids.ProcessID, m any) { h.ep.Send(to, m) }
 // Multicast transmits a protocol message to several processes.
 func (h *Host) Multicast(tos []ids.ProcessID, m any) { transport.Multicast(h.ep, tos, m) }
 
+// SendBatch transmits several protocol messages to one process as a single
+// coalesced wire envelope (for example the per-request replies of a batch).
+func (h *Host) SendBatch(to ids.ProcessID, ms []any) { transport.SendBatch(h.ep, to, ms) }
+
 // OtherReplicas returns the identifiers of all replicas except this one.
 func (h *Host) OtherReplicas() []ids.ProcessID {
 	var out []ids.ProcessID
@@ -347,12 +356,13 @@ func (h *Host) ActiveInstance() core.InstanceID {
 	return h.active
 }
 
-// Application returns the replica's application (for test inspection). The
-// caller must not mutate it while the host is running.
+// Application returns a point-in-time snapshot of the replica's application
+// (for test inspection): the clone is taken under the host lock so readers
+// never race with the event loop's request execution.
 func (h *Host) Application() app.Application {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.application
+	return h.application.Clone()
 }
 
 // AppliedRequests returns the number of requests applied to the application.

@@ -42,6 +42,11 @@ type InstanceState struct {
 	// the previous instance (Backup then commits a single request).
 	InitLowLoad bool
 
+	// digestCache memoizes HistoryDigest between history appends so that a
+	// batch of appends costs one digest fold instead of one per request.
+	digestCache authn.Digest
+	digestDirty bool
+
 	// pendingInit holds the init history awaiting missing request bodies.
 	pendingInit *core.InitHistory
 	// missing tracks digests whose bodies are not yet known locally.
@@ -56,13 +61,19 @@ type InstanceState struct {
 func (st *InstanceState) AbsLen() uint64 { return st.BaseSeq + uint64(len(st.Digests)) }
 
 // HistoryDigest returns D(LH_j): the digest of the local history, folding in
-// the base checkpoint when present.
+// the base checkpoint when present. The digest is memoized until the next
+// history append, so replying to every request of a batch costs one fold.
 func (st *InstanceState) HistoryDigest() authn.Digest {
-	suffix := st.Digests.Digest()
-	if st.BaseSeq == 0 {
-		return suffix
+	if !st.digestDirty {
+		return st.digestCache
 	}
-	return authn.HashAll(st.BaseDigest[:], suffix[:])
+	suffix := st.Digests.Digest()
+	if st.BaseSeq != 0 {
+		suffix = authn.HashAll(st.BaseDigest[:], suffix[:])
+	}
+	st.digestCache = suffix
+	st.digestDirty = false
+	return suffix
 }
 
 // Contains reports whether the instance's explicit history contains the
@@ -73,6 +84,29 @@ func (st *InstanceState) Contains(d authn.Digest) bool { return st.Digests.Conta
 // one logged for the client.
 func (st *InstanceState) TimestampFresh(c ids.ProcessID, ts uint64) bool {
 	return ts > st.LastTimestamp[c]
+}
+
+// FilterFreshBatch splits a received batch into the requests that may be
+// logged — fresh against the instance state AND strictly increasing per
+// client within the batch — and the stale remainder. The intra-batch rule is
+// the at-most-once invariant of batched ordering: without it, a Byzantine
+// orderer (or client, for client-side batches) repeating a request inside
+// one batch would get it logged and executed twice, since per-request
+// freshness alone only checks against already-logged history.
+func (st *InstanceState) FilterFreshBatch(batch msg.Batch) (fresh msg.Batch, stale []msg.Request) {
+	var highest map[ids.ProcessID]uint64
+	for _, req := range batch.Requests {
+		if !st.TimestampFresh(req.Client, req.Timestamp) || req.Timestamp <= highest[req.Client] {
+			stale = append(stale, req)
+			continue
+		}
+		if highest == nil {
+			highest = make(map[ids.ProcessID]uint64, batch.Len())
+		}
+		highest[req.Client] = req.Timestamp
+		fresh.Requests = append(fresh.Requests, req)
+	}
+	return fresh, stale
 }
 
 // activate creates (and initializes, when possible) the state of instance id.
@@ -90,6 +124,7 @@ func (h *Host) activate(id core.InstanceID, init *core.InitHistory) *InstanceSta
 		ID:            id,
 		LastTimestamp: make(map[ids.ProcessID]uint64),
 		Checkpoint:    history.NewCheckpointState(h.cluster.N, ckptInterval),
+		digestDirty:   true,
 	}
 
 	switch {
@@ -134,6 +169,7 @@ func (h *Host) adoptInit(st *InstanceState, init *core.InitHistory) {
 	st.BaseSeq = init.Extract.BaseSeq
 	st.BaseDigest = init.Extract.BaseDigest
 	st.Digests = init.Extract.Suffix.Clone()
+	st.digestDirty = true
 	st.Checkpoint.Reset()
 	st.NextSeq = uint64(len(st.Digests))
 	st.InitLowLoad = core.InitHasFlag(init, h.cluster.F, core.AbortFlagLowLoad)
@@ -273,30 +309,44 @@ func (h *Host) applyRequest(r msg.Request) []byte {
 }
 
 // Log appends a request to the instance's local history (Step Z3/Q2/C3
-// logging). It returns the absolute position and false when the instance
-// cannot log (stopped, uninitialized, or checkpoint backlog limit reached).
+// logging): the degenerate one-request batch. It returns the absolute
+// position and false when the instance cannot log (stopped, uninitialized,
+// or checkpoint backlog limit reached).
 func (h *Host) Log(st *InstanceState, req msg.Request) (uint64, bool) {
-	if st.Stopped || !st.Initialized {
+	return h.LogBatch(st, msg.BatchOf(req))
+}
+
+// LogBatch appends every request of a batch to the instance's local history
+// as one append span: the digests are appended in batch order, the checkpoint
+// trigger runs once at the end, and the observer sees each request at its
+// assigned position. It returns the absolute position of the batch's first
+// request and false when the instance cannot log (stopped, uninitialized, or
+// checkpoint backlog limit reached).
+func (h *Host) LogBatch(st *InstanceState, batch msg.Batch) (uint64, bool) {
+	if st.Stopped || !st.Initialized || batch.Len() == 0 {
 		return 0, false
 	}
 	if h.cfg.MaxUncheckpointed > 0 {
 		backlog := st.AbsLen() - st.Checkpoint.StableSeq()
-		if backlog >= uint64(h.cfg.MaxUncheckpointed) {
+		if backlog+uint64(batch.Len()) > uint64(h.cfg.MaxUncheckpointed) {
 			return 0, false
 		}
 	}
-	d := req.Digest()
-	h.requestStore[d] = req.Clone()
-	st.Digests = append(st.Digests, d)
-	if req.Timestamp > st.LastTimestamp[req.Client] {
-		st.LastTimestamp[req.Client] = req.Timestamp
+	start := st.AbsLen()
+	for _, req := range batch.Requests {
+		d := req.Digest()
+		h.requestStore[d] = req.Clone()
+		st.Digests = append(st.Digests, d)
+		if req.Timestamp > st.LastTimestamp[req.Client] {
+			st.LastTimestamp[req.Client] = req.Timestamp
+		}
+		if h.observer != nil {
+			h.observer.RequestLogged(st.ID, req, st.AbsLen()-1)
+		}
 	}
-	pos := st.AbsLen() - 1
-	if h.observer != nil {
-		h.observer.RequestLogged(st.ID, req, pos)
-	}
+	st.digestDirty = true
 	h.maybeCheckpoint(st)
-	return pos, true
+	return start, true
 }
 
 // Execute applies a just-logged request to the application, provided the
@@ -325,6 +375,41 @@ func (h *Host) Execute(st *InstanceState, req msg.Request) []byte {
 		return last.reply
 	}
 	return h.applyRequest(req)
+}
+
+// ExecuteBatch applies a just-logged batch to the application in one
+// speculative-execution span: the logged-but-unapplied prefix is replayed
+// once (instead of once per request) and every request of the batch is
+// applied in order. It returns the application replies in batch order.
+func (h *Host) ExecuteBatch(st *InstanceState, batch msg.Batch) [][]byte {
+	replies := make([][]byte, 0, batch.Len())
+	target := h.globalTarget(st)
+	// Replay any unapplied prefix, collecting replies for batch requests as
+	// they are reached (the batch occupies the tail of the target).
+	pending := 0
+	for int(h.appliedSeq) < len(target) && pending < batch.Len() {
+		d := target[h.appliedSeq]
+		r, ok := h.requestStore[d]
+		if !ok {
+			break
+		}
+		reply := h.applyRequest(r)
+		if r.ID() == batch.Requests[pending].ID() {
+			replies = append(replies, reply)
+			pending++
+		}
+	}
+	// Any batch requests not reached through the target (duplicates already
+	// applied, or a target gap) fall back to the per-request path.
+	for ; pending < batch.Len(); pending++ {
+		req := batch.Requests[pending]
+		if last, ok := h.lastReply[req.Client]; ok && last.timestamp == req.Timestamp {
+			replies = append(replies, last.reply)
+			continue
+		}
+		replies = append(replies, h.Execute(st, req))
+	}
+	return replies
 }
 
 // CachedReply returns the last reply sent to the given client, if it matches

@@ -1,0 +1,32 @@
+package msg
+
+import (
+	"abstractbft/internal/authn"
+)
+
+// Batch is an ordered sequence of client requests treated as one unit of the
+// request plane: protocols order, authenticate, log, and speculatively
+// execute a whole batch in a single protocol step, fanning per-request
+// replies back out to the invoking clients. A batch of one request is the
+// degenerate case and is semantically identical to the unbatched path.
+type Batch struct {
+	Requests []Request
+}
+
+// BatchOf builds a batch from the given requests.
+func BatchOf(reqs ...Request) Batch { return Batch{Requests: reqs} }
+
+// Len returns the number of requests in the batch.
+func (b Batch) Len() int { return len(b.Requests) }
+
+// Digest returns the collision-resistant digest of the batch: the fold of the
+// per-request digests. It is the value covered by batch-level MACs (one
+// authenticator per batch rather than one per request).
+func (b Batch) Digest() authn.Digest {
+	parts := make([][]byte, len(b.Requests))
+	for i := range b.Requests {
+		d := b.Requests[i].Digest()
+		parts[i] = d[:]
+	}
+	return authn.HashAll(parts...)
+}

@@ -1,0 +1,34 @@
+package msg
+
+import (
+	"testing"
+
+	"abstractbft/internal/ids"
+)
+
+func TestBatchDigestDependsOnOrder(t *testing.T) {
+	r1 := Request{Client: ids.Client(0), Timestamp: 1, Command: []byte("a")}
+	r2 := Request{Client: ids.Client(0), Timestamp: 2, Command: []byte("b")}
+	if BatchOf(r1, r2).Digest() == BatchOf(r2, r1).Digest() {
+		t.Fatal("batch digest must be order-sensitive")
+	}
+	if BatchOf(r1).Digest() == BatchOf(r2).Digest() {
+		t.Fatal("distinct batches must have distinct digests")
+	}
+	if BatchOf(r1, r2).Digest() == BatchOf(r1).Digest() {
+		t.Fatal("batch digest must cover every request")
+	}
+}
+
+func TestBatchDigestDeterministic(t *testing.T) {
+	r1 := Request{Client: ids.Client(3), Timestamp: 9, Command: []byte("cmd"), ReadOnly: true}
+	r2 := Request{Client: ids.Client(4), Timestamp: 1, Command: nil}
+	a := BatchOf(r1, r2)
+	b := BatchOf(r1.Clone(), r2.Clone())
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal batches must have equal digests")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", a.Len())
+	}
+}

@@ -41,6 +41,28 @@ func (m *RequestMessage) AbstractInstance() core.InstanceID { return m.Instance 
 // CarriedInit implements core.InitCarrier.
 func (m *RequestMessage) CarriedInit() *core.InitHistory { return m.Init }
 
+// BatchRequestMessage is the batched REQ message a pipelining client
+// multicasts to every replica: several of its own in-flight requests ordered
+// by timestamp, covered by a single MAC authenticator over the batch digest
+// (Step Q1 amortized over the batch).
+type BatchRequestMessage struct {
+	Instance core.InstanceID
+	Batch    msg.Batch
+	// Init carries the init history on the client's first invocation of the
+	// instance.
+	Init *core.InitHistory
+	// Auth is the client's MAC authenticator over the batch and instance.
+	Auth authn.Authenticator
+	// Feedback optionally piggybacks R-Aliph commit feedback.
+	Feedback []uint64
+}
+
+// AbstractInstance implements core.InstanceMessage.
+func (m *BatchRequestMessage) AbstractInstance() core.InstanceID { return m.Instance }
+
+// CarriedInit implements core.InitCarrier.
+func (m *BatchRequestMessage) CarriedInit() *core.InitHistory { return m.Init }
+
 // AuthBytes returns the bytes a client authenticates: instance number and
 // request digest.
 func AuthBytes(instance core.InstanceID, req msg.Request) []byte {
@@ -51,8 +73,20 @@ func AuthBytes(instance core.InstanceID, req msg.Request) []byte {
 	return buf[:]
 }
 
+// BatchAuthBytes returns the bytes a client authenticates for a batched
+// invocation: the instance number and the batch digest (one authenticator
+// for the whole batch).
+func BatchAuthBytes(instance core.InstanceID, batch msg.Batch) []byte {
+	var buf [8 + authn.DigestSize]byte
+	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
+	d := batch.Digest()
+	copy(buf[8:], d[:])
+	return buf[:]
+}
+
 func init() {
 	transport.RegisterWireType(&RequestMessage{})
+	transport.RegisterWireType(&BatchRequestMessage{})
 }
 
 // Replica implements Step Q2 on one replica for one Abstract instance.
@@ -72,11 +106,76 @@ func NewReplica(feedback host.FeedbackSink) host.ProtocolFactory {
 
 // Handle implements host.ProtocolReplica.
 func (r *Replica) Handle(from ids.ProcessID, m any) {
-	req, ok := m.(*RequestMessage)
-	if !ok {
+	switch t := m.(type) {
+	case *RequestMessage:
+		r.onRequest(from, t)
+	case *BatchRequestMessage:
+		r.onBatchRequest(from, t)
+	}
+}
+
+// MaxClientBatch bounds the size of a client-side batch a replica accepts:
+// one authenticated message must not buy a Byzantine client an unbounded
+// logging/execution span on the host event loop.
+const MaxClientBatch = 128
+
+// onBatchRequest implements Step Q2 for a client-side batch: verify the
+// single batch authenticator, log the whole batch as one history append
+// span, speculatively execute it in one loop, and fan the per-request RESP
+// messages back to the client as one coalesced envelope.
+func (r *Replica) onBatchRequest(from ids.ProcessID, m *BatchRequestMessage) {
+	if m.Batch.Len() == 0 || m.Batch.Len() > MaxClientBatch {
 		return
 	}
-	r.onRequest(from, req)
+	client := m.Batch.Requests[0].Client
+	if r.feedback != nil && len(m.Feedback) > 0 {
+		issued := make([]uint64, 0, m.Batch.Len())
+		for _, req := range m.Batch.Requests {
+			issued = append(issued, req.Timestamp)
+		}
+		r.feedback.ClientFeedback(r.h.ID(), client, m.Feedback, issued)
+	}
+	if r.st.Stopped {
+		return
+	}
+	// All requests of a batch belong to the invoking client; a batch mixing
+	// clients cannot be covered by one authenticator and is dropped. The
+	// authenticator must also be generated BY that client — its Sender field
+	// is attacker-chosen, so without this binding a Byzantine process could
+	// have forged requests verified under its own keys.
+	if m.Auth.Sender != client {
+		return
+	}
+	for _, req := range m.Batch.Requests {
+		if req.Client != client || (from.IsClient() && req.Client != from) {
+			return
+		}
+	}
+	if err := r.h.VerifyClientAuth(m.Auth, BatchAuthBytes(r.st.ID, m.Batch)); err != nil {
+		return
+	}
+	designated := r.h.ID() == r.h.Cluster().Head()
+	resps := make([]any, 0, m.Batch.Len())
+	fresh, stale := r.st.FilterFreshBatch(m.Batch)
+	for _, req := range stale {
+		if reply, ok := r.h.CachedReply(req.Client, req.Timestamp); ok {
+			resps = append(resps, r.h.BuildResp(r.st, req, reply, designated))
+		}
+	}
+	if fresh.Len() > 0 {
+		if _, ok := r.h.LogBatch(r.st, fresh); ok {
+			replies := r.h.ExecuteBatch(r.st, fresh)
+			for i, req := range fresh.Requests {
+				resps = append(resps, r.h.BuildResp(r.st, req, replies[i], designated))
+			}
+			if designated {
+				for range fresh.Requests {
+					r.h.Ops().CountRequest()
+				}
+			}
+		}
+	}
+	r.h.SendBatch(client, resps)
 }
 
 // onRequest implements Step Q2: verify the client MAC, log and speculatively
@@ -86,6 +185,11 @@ func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
 		r.feedback.ClientFeedback(r.h.ID(), m.Req.Client, m.Feedback, []uint64{m.Req.Timestamp})
 	}
 	if r.st.Stopped {
+		return
+	}
+	// The authenticator must be the invoking client's own (Sender is
+	// attacker-chosen otherwise).
+	if m.Auth.Sender != m.Req.Client {
 		return
 	}
 	if err := r.h.VerifyClientAuth(m.Auth, AuthBytes(r.st.ID, m.Req)); err != nil {
@@ -149,5 +253,36 @@ func (c *Client) Invoke(ctx context.Context, req msg.Request, init *core.InitHis
 	return core.PanicAndAbort(ctx, c.env, c.id, req, init)
 }
 
+// InvokeBatch implements core.BatchInstance: it multicasts several of the
+// client's in-flight requests as one BatchRequestMessage covered by a single
+// authenticator, and runs the speculative commit rule for all of them in one
+// receive loop. It is an optimistic fast path: uncommitted requests are
+// returned with Committed=false and the caller falls back to per-request
+// Invoke (and its panicking machinery).
+func (c *Client) InvokeBatch(ctx context.Context, reqs []msg.Request, init *core.InitHistory) ([]core.Outcome, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	batch := msg.BatchOf(reqs...)
+	if c.env.Checker != nil {
+		for _, req := range reqs {
+			c.env.Checker.RecordInvoke(req)
+		}
+		c.env.Checker.RecordInit(c.id, init)
+	}
+	auth := c.env.Keys.NewAuthenticator(c.env.ID, c.env.Cluster.Replicas(), BatchAuthBytes(c.id, batch))
+	c.env.Ops.CountMACGen(c.env.ID, auth.NumMACs())
+	m := &BatchRequestMessage{Instance: c.id, Batch: batch, Init: init, Auth: auth, Feedback: c.PendingFeedback}
+	c.PendingFeedback = nil
+	transport.Multicast(c.env.Endpoint, c.env.Cluster.Replicas(), m)
+
+	outs, _, err := core.AwaitBatchSpeculativeCommit(ctx, c.env, c.id, reqs, c.env.Timer(2))
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
 var _ core.Instance = (*Client)(nil)
+var _ core.BatchInstance = (*Client)(nil)
 var _ host.ProtocolReplica = (*Replica)(nil)

@@ -80,12 +80,9 @@ func (s *switcher) Switches() uint64 {
 func (s *switcher) InitiateSwitch(current core.InstanceID) {
 	start := time.Now()
 	// Stop the instance locally so it aborts subsequent requests even before
-	// other replicas receive the panic.
-	s.h.Locked(func() {
-		if st := s.h.InstanceStateFor(current); st != nil {
-			s.h.StopInstance(st)
-		}
-	})
+	// other replicas receive the panic. (InstanceStateFor takes the host lock
+	// itself, so it must not be nested inside Locked.)
+	s.h.StopInstanceByID(current)
 
 	s.mu.Lock()
 	s.nextTS++

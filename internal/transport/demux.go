@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"sync"
+
+	"abstractbft/internal/ids"
+)
+
+// Demux fans one process's inbox out to several virtual endpoints so that a
+// client can keep multiple invocations in flight concurrently: every incoming
+// envelope is broadcast to all open subscriptions, and each invocation's
+// receive loop filters the messages addressed to it (exactly as it already
+// does on a private inbox). Sends pass straight through to the underlying
+// endpoint.
+type Demux struct {
+	ep Endpoint
+
+	mu       sync.Mutex
+	subs     map[uint64]*demuxEndpoint
+	nextID   uint64
+	closed   bool
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// demuxQueueLen is the per-subscription buffer; a full subscription drops
+// messages, preserving the fair-loss model.
+const demuxQueueLen = 1024
+
+// NewDemux starts demultiplexing the endpoint's inbox. The caller must not
+// read ep.Inbox directly afterwards.
+func NewDemux(ep Endpoint) *Demux {
+	d := &Demux{ep: ep, subs: make(map[uint64]*demuxEndpoint), stop: make(chan struct{})}
+	go d.run()
+	return d
+}
+
+func (d *Demux) run() {
+	defer d.closeSubs()
+	for {
+		select {
+		case env, ok := <-d.ep.Inbox():
+			if !ok {
+				return
+			}
+			d.mu.Lock()
+			for _, sub := range d.subs {
+				select {
+				case sub.in <- env:
+				default:
+					// Subscription backlogged: drop (fair-loss links).
+				}
+			}
+			d.mu.Unlock()
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// closeSubs marks the demux closed and closes every subscription.
+func (d *Demux) closeSubs() {
+	d.mu.Lock()
+	d.closed = true
+	for id, sub := range d.subs {
+		close(sub.in)
+		delete(d.subs, id)
+	}
+	d.mu.Unlock()
+}
+
+// Close detaches the demux from the endpoint: the fan-out goroutine exits
+// and every open subscription's inbox is closed. The underlying endpoint
+// stays open for other users.
+func (d *Demux) Close() { d.stopOnce.Do(func() { close(d.stop) }) }
+
+// Open creates a virtual endpoint receiving a copy of every incoming
+// envelope. Close the returned endpoint when the invocation completes to stop
+// the copying.
+func (d *Demux) Open() Endpoint {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sub := &demuxEndpoint{d: d, id: d.nextID, in: make(chan Envelope, demuxQueueLen)}
+	d.nextID++
+	if d.closed {
+		close(sub.in)
+		return sub
+	}
+	d.subs[sub.id] = sub
+	return sub
+}
+
+type demuxEndpoint struct {
+	d  *Demux
+	id uint64
+	in chan Envelope
+}
+
+func (s *demuxEndpoint) ID() ids.ProcessID { return s.d.ep.ID() }
+
+func (s *demuxEndpoint) Send(to ids.ProcessID, payload any) { s.d.ep.Send(to, payload) }
+
+func (s *demuxEndpoint) Inbox() <-chan Envelope { return s.in }
+
+// Close unsubscribes the virtual endpoint; the underlying endpoint stays
+// open.
+func (s *demuxEndpoint) Close() {
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	if _, ok := s.d.subs[s.id]; !ok {
+		return
+	}
+	delete(s.d.subs, s.id)
+	close(s.in)
+}
+
+var _ Endpoint = (*demuxEndpoint)(nil)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -14,6 +15,10 @@ import (
 // functions so that both the in-process and TCP transports can carry them.
 func RegisterWireType(v any) { gob.Register(v) }
 
+func init() {
+	RegisterWireType(&Packed{})
+}
+
 // wireEnvelope is the on-the-wire representation of an Envelope.
 type wireEnvelope struct {
 	From    ids.ProcessID
@@ -21,18 +26,101 @@ type wireEnvelope struct {
 	Payload any
 }
 
+// tcpConn is one outbound connection with write coalescing: senders enqueue
+// envelopes on out, and a single writer goroutine drains the queue through a
+// buffered writer, flushing only when the queue is momentarily empty. A burst
+// of messages to the same peer (a batch fan-out) therefore crosses the kernel
+// as one write instead of one syscall per message.
+type tcpConn struct {
+	raw      net.Conn
+	out      chan wireEnvelope
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// tcpSendQueue is the per-connection outbound queue length.
+const tcpSendQueue = 4096
+
+func newTCPConn(raw net.Conn) *tcpConn {
+	c := &tcpConn{
+		raw:  raw,
+		out:  make(chan wireEnvelope, tcpSendQueue),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.writeLoop()
+	return c
+}
+
+func (c *tcpConn) writeLoop() {
+	defer close(c.done)
+	defer c.raw.Close()
+	bw := bufio.NewWriterSize(c.raw, 64*1024)
+	enc := gob.NewEncoder(bw)
+	for {
+		select {
+		case env := <-c.out:
+			if err := enc.Encode(&env); err != nil {
+				return
+			}
+			// Coalesce: flush only when no further messages are queued, so a
+			// burst crosses the kernel as a single write.
+			if len(c.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					return
+				}
+			}
+		case <-c.stop:
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// enqueue hands an envelope to the writer. A full queue drops the message
+// (fair-loss links); false reports a dead writer so the caller re-dials.
+func (c *tcpConn) enqueue(env wireEnvelope) bool {
+	select {
+	case <-c.done:
+		return false
+	default:
+	}
+	select {
+	case c.out <- env:
+	default:
+		// Dropped under overload; the connection is still healthy.
+	}
+	return true
+}
+
+func (c *tcpConn) close() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		// Also close the socket: a writeLoop blocked inside a write syscall
+		// (peer stopped reading) cannot observe the stop channel; failing
+		// the write is the only way to unblock it and release the fd.
+		c.raw.Close()
+	})
+}
+
 // TCP is a TCP-based network for multi-process deployments. Every process
-// listens on one address and dials peers lazily; connections are reused.
+// listens on one address and dials peers lazily; connections are reused and
+// writes are coalesced per connection.
 type TCP struct {
 	self  ids.ProcessID
 	addrs map[ids.ProcessID]string
 
 	mu     sync.Mutex
-	conns  map[ids.ProcessID]*gob.Encoder
-	raw    map[ids.ProcessID]net.Conn
+	conns  map[ids.ProcessID]*tcpConn
 	ln     net.Listener
-	in     chan Envelope
 	closed bool
+
+	// inMu guards the inbox against the Close race without serializing
+	// delivery: readLoops hold it shared, Close exclusively.
+	inMu     sync.RWMutex
+	in       chan Envelope
+	inClosed bool
 }
 
 // NewTCP creates a TCP endpoint for process self listening on
@@ -49,8 +137,7 @@ func NewTCP(self ids.ProcessID, addrs map[ids.ProcessID]string) (*TCP, error) {
 	t := &TCP{
 		self:  self,
 		addrs: addrs,
-		conns: make(map[ids.ProcessID]*gob.Encoder),
-		raw:   make(map[ids.ProcessID]net.Conn),
+		conns: make(map[ids.ProcessID]*tcpConn),
 		ln:    ln,
 		in:    make(chan Envelope, 8192),
 	}
@@ -67,50 +154,112 @@ func (t *TCP) ID() ids.ProcessID { return t.self }
 // Inbox implements Endpoint.
 func (t *TCP) Inbox() <-chan Envelope { return t.in }
 
-// Send implements Endpoint. Failures are silent (fair-loss links); the
+// Send implements Endpoint. Failures are silent (fair-loss links); a dead
 // connection is discarded so a later send re-dials.
 func (t *TCP) Send(to ids.ProcessID, payload any) {
-	enc, err := t.encoder(to)
+	conn, err := t.conn(to)
 	if err != nil {
 		return
 	}
-	env := wireEnvelope{From: t.self, To: to, Payload: payload}
-	if err := enc.Encode(&env); err != nil {
-		t.dropConn(to)
+	if !conn.enqueue(wireEnvelope{From: t.self, To: to, Payload: payload}) {
+		t.dropConn(to, conn)
 	}
 }
 
-func (t *TCP) encoder(to ids.ProcessID) (*gob.Encoder, error) {
+func (t *TCP) conn(to ids.ProcessID) (*tcpConn, error) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("transport: closed")
 	}
-	if enc, ok := t.conns[to]; ok {
-		return enc, nil
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
 	}
 	addr, ok := t.addrs[to]
 	if !ok {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("transport: no address for %v", to)
 	}
-	conn, err := net.Dial("tcp", addr)
+	t.mu.Unlock()
+	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	enc := gob.NewEncoder(conn)
-	t.conns[to] = enc
-	t.raw[to] = conn
-	return enc, nil
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		raw.Close()
+		return nil, fmt.Errorf("transport: closed")
+	}
+	if c, ok := t.conns[to]; ok {
+		// Lost a dial race; use the existing connection.
+		t.mu.Unlock()
+		raw.Close()
+		return c, nil
+	}
+	c := newTCPConn(raw)
+	t.conns[to] = c
+	t.mu.Unlock()
+	// Responses come back on the same connection (processes without a listed
+	// address — clients — cannot be dialed back).
+	go t.readLoop(raw)
+	return c, nil
 }
 
-func (t *TCP) dropConn(to ids.ProcessID) {
+// registerConn installs a write path over an accepted connection so that
+// replies can be routed back to peers with no dialable address (clients
+// behind the accept side). An existing healthy write path is kept — the
+// envelope's From field is unauthenticated, so letting any connection
+// displace (and close) another peer's live connection would hand Byzantine
+// processes an active link-severing primitive the fair-loss model does not
+// grant them. A write path whose writer already died is replaced; after a
+// genuine client reconnect, the first failed write to the stale path clears
+// it (Send drops it) and a later envelope on the new connection registers
+// it. It reports whether the peer now routes over raw, so callers keep
+// retrying until their connection wins the route.
+func (t *TCP) registerConn(peer ids.ProcessID, raw net.Conn) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if c, ok := t.raw[to]; ok {
-		c.Close()
+	if t.closed {
+		return false
 	}
-	delete(t.conns, to)
-	delete(t.raw, to)
+	if c, ok := t.conns[peer]; ok {
+		if c.raw == raw {
+			return true
+		}
+		select {
+		case <-c.done:
+			// Dead writer: fall through and replace it.
+		default:
+			return false
+		}
+		delete(t.conns, peer)
+	}
+	t.conns[peer] = newTCPConn(raw)
+	return true
+}
+
+func (t *TCP) dropConn(to ids.ProcessID, dead *tcpConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[to]; ok && c == dead {
+		c.close()
+		delete(t.conns, to)
+	}
+}
+
+// dropByRaw removes every registered write path over the given connection
+// (called when its read side dies, so a later send re-dials).
+func (t *TCP) dropByRaw(raw net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, c := range t.conns {
+		if c.raw == raw {
+			c.close()
+			delete(t.conns, id)
+		}
+	}
 }
 
 func (t *TCP) acceptLoop() {
@@ -125,23 +274,55 @@ func (t *TCP) acceptLoop() {
 
 func (t *TCP) readLoop(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	defer t.dropByRaw(conn)
+	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 64*1024))
+	// registered caches which peers this connection already routes replies
+	// for, so the global registration lock is taken once per peer rather
+	// than once per message.
+	registered := make(map[ids.ProcessID]bool)
 	for {
 		var env wireEnvelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		t.mu.Lock()
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
+		// Route replies back over this connection when the sender has no
+		// dialable address (clients); keep retrying until this connection
+		// wins the route (an older healthy connection is never displaced).
+		if _, dialable := t.addrs[env.From]; !dialable && !registered[env.From] {
+			registered[env.From] = t.registerConn(env.From, conn)
+		}
+		// Expand write-coalesced packs so inbox consumers only ever see
+		// protocol payloads.
+		if p, ok := env.Payload.(*Packed); ok {
+			for _, payload := range p.Payloads {
+				if !t.deliverLocal(Envelope{From: env.From, To: env.To, Payload: payload}) {
+					return
+				}
+			}
+			continue
+		}
+		if !t.deliverLocal(Envelope(env)) {
 			return
 		}
-		select {
-		case t.in <- Envelope(env):
-		default:
-		}
 	}
+}
+
+// deliverLocal enqueues an inbound envelope; the closed check and the send
+// happen under the read side of the lock Close holds exclusively while
+// closing the inbox, so a racing Close cannot make this send on a closed
+// channel and concurrent readLoops do not serialize against each other. It
+// reports false once the endpoint is closed.
+func (t *TCP) deliverLocal(env Envelope) bool {
+	t.inMu.RLock()
+	defer t.inMu.RUnlock()
+	if t.inClosed {
+		return false
+	}
+	select {
+	case t.in <- env:
+	default:
+	}
+	return true
 }
 
 // Close implements Endpoint.
@@ -152,12 +333,19 @@ func (t *TCP) Close() {
 		return
 	}
 	t.closed = true
-	for _, c := range t.raw {
-		c.Close()
-	}
+	conns := t.conns
+	t.conns = make(map[ids.ProcessID]*tcpConn)
 	t.mu.Unlock()
-	t.ln.Close()
+	// Close the inbox under the exclusive side of the delivery lock, so no
+	// readLoop can be between its closed-check and its send.
+	t.inMu.Lock()
+	t.inClosed = true
 	close(t.in)
+	t.inMu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	t.ln.Close()
 }
 
 var _ Endpoint = (*TCP)(nil)

@@ -214,11 +214,11 @@ func (n *Local) deliver(env Envelope) {
 
 	if delay != nil {
 		if d := delay(env.From, env.To, env.Payload); d > 0 {
-			time.AfterFunc(d, func() { dst.enqueue(env) })
+			time.AfterFunc(d, func() { dst.enqueueUnpacked(env) })
 			return
 		}
 	}
-	dst.enqueue(env)
+	dst.enqueueUnpacked(env)
 }
 
 type localEndpoint struct {
@@ -237,6 +237,18 @@ func (e *localEndpoint) Send(to ids.ProcessID, payload any) {
 }
 
 func (e *localEndpoint) Inbox() <-chan Envelope { return e.in }
+
+// enqueueUnpacked delivers an envelope, expanding write-coalesced packs into
+// individual envelopes so inbox consumers only ever see protocol payloads.
+func (e *localEndpoint) enqueueUnpacked(env Envelope) {
+	if p, ok := env.Payload.(*Packed); ok {
+		for _, payload := range p.Payloads {
+			e.enqueue(Envelope{From: env.From, To: env.To, Payload: payload})
+		}
+		return
+	}
+	e.enqueue(env)
+}
 
 func (e *localEndpoint) enqueue(env Envelope) {
 	e.mu.Lock()
@@ -275,6 +287,27 @@ func (e *localEndpoint) closeInner() {
 func Multicast(ep Endpoint, tos []ids.ProcessID, payload any) {
 	for _, to := range tos {
 		ep.Send(to, payload)
+	}
+}
+
+// Packed carries several payloads destined to one process as a single wire
+// envelope (write coalescing): the network treats the pack as one message
+// (one queue slot, one loss/filter decision, one TCP frame) and unpacks it
+// into individual envelopes on the receiving side, so inbox consumers never
+// see it.
+type Packed struct {
+	Payloads []any
+}
+
+// SendBatch transmits several payloads to one destination as a single
+// envelope. A batch of one (or zero) payloads degenerates to a plain Send.
+func SendBatch(ep Endpoint, to ids.ProcessID, payloads []any) {
+	switch len(payloads) {
+	case 0:
+	case 1:
+		ep.Send(to, payloads[0])
+	default:
+		ep.Send(to, &Packed{Payloads: payloads})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"abstractbft/internal/ids"
@@ -60,6 +61,12 @@ type ClosedLoopConfig struct {
 	RequestSize int
 	// Think is an optional delay between consecutive requests of a client.
 	Think time.Duration
+	// Pipeline is the number of invocations each client keeps in flight
+	// concurrently (0 or 1 = strict invoke-then-wait). Values above 1
+	// require a pipelining-capable invoker (core.PipelinedComposer): the
+	// goroutines of one client share its identity and draw timestamps from
+	// one counter.
+	Pipeline int
 }
 
 // Result aggregates the outcome of a closed-loop run.
@@ -105,6 +112,10 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig, newInvoker func(i 
 		defer cancel()
 	}
 
+	pipeline := cfg.Pipeline
+	if pipeline <= 0 {
+		pipeline = 1
+	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	start := time.Now()
@@ -114,36 +125,47 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig, newInvoker func(i 
 		if err != nil {
 			return res, fmt.Errorf("workload: building client %d: %w", i, err)
 		}
-		wg.Add(1)
-		go func(i int, inv Invoker, clientID ids.ProcessID) {
-			defer wg.Done()
-			payload := make([]byte, cfg.RequestSize)
-			for ts := uint64(1); cfg.RequestsPerClient == 0 || ts <= uint64(cfg.RequestsPerClient); ts++ {
-				if runCtx.Err() != nil {
-					return
-				}
-				req := msg.Request{Client: clientID, Timestamp: ts, Command: payload}
-				t0 := time.Now()
-				_, err := inv.Invoke(runCtx, req)
-				if err != nil {
-					mu.Lock()
-					res.Errors++
-					if runCtx.Err() == nil {
-						errs = append(errs, err)
+		// All pipeline streams of one client share its identity and draw
+		// timestamps from one counter, keeping them unique and increasing.
+		var nextTS atomic.Uint64
+		for s := 0; s < pipeline; s++ {
+			wg.Add(1)
+			go func(inv Invoker, clientID ids.ProcessID) {
+				defer wg.Done()
+				payload := make([]byte, cfg.RequestSize)
+				for {
+					ts := nextTS.Add(1)
+					if cfg.RequestsPerClient > 0 && ts > uint64(cfg.RequestsPerClient) {
+						return
 					}
+					if runCtx.Err() != nil {
+						return
+					}
+					req := msg.Request{Client: clientID, Timestamp: ts, Command: payload}
+					t0 := time.Now()
+					_, err := inv.Invoke(runCtx, req)
+					if err != nil {
+						// End-of-window cancellations are how duration-bounded
+						// runs stop; only genuine failures count as errors.
+						if runCtx.Err() == nil {
+							mu.Lock()
+							res.Errors++
+							errs = append(errs, err)
+							mu.Unlock()
+						}
+						return
+					}
+					res.Latency.Record(time.Since(t0))
+					res.Throughput.Record()
+					mu.Lock()
+					res.Committed++
 					mu.Unlock()
-					return
+					if cfg.Think > 0 {
+						time.Sleep(cfg.Think)
+					}
 				}
-				res.Latency.Record(time.Since(t0))
-				res.Throughput.Record()
-				mu.Lock()
-				res.Committed++
-				mu.Unlock()
-				if cfg.Think > 0 {
-					time.Sleep(cfg.Think)
-				}
-			}
-		}(i, inv, clientID)
+			}(inv, clientID)
+		}
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)

@@ -4,6 +4,11 @@
 // receives 3f+1 matching replies. ZLight guarantees progress when there are
 // no server or link failures and no Byzantine clients; outside that common
 // case it aborts through the shared panicking subprotocol.
+//
+// The request hot path is batched: the primary coalesces incoming client
+// requests under the host's batch policy and orders a whole batch with a
+// single ORDER message carrying one primary MAC, so the per-request MAC and
+// message cost at the bottleneck replica shrinks with the batch size.
 package zlight
 
 import (
@@ -34,21 +39,26 @@ func (m *RequestMessage) AbstractInstance() core.InstanceID { return m.Instance 
 func (m *RequestMessage) CarriedInit() *core.InitHistory { return m.Init }
 
 // OrderMessage is the ORDER message the primary sends to the other replicas
-// (Step Z2): the request, its sequence number, the client's authenticator
-// entries, and a MAC from the primary.
+// (Step Z2): an ordered batch of requests, the sequence number of the batch's
+// first request, the clients' authenticators (one per request, so each
+// replica can verify its own entry), and a single MAC from the primary
+// covering the whole batch. A batch of one request is the degenerate,
+// per-request case.
 type OrderMessage struct {
 	Instance core.InstanceID
-	Req      msg.Request
-	// Seq is the absolute position assigned by the primary.
+	// Batch holds the ordered requests covered by this ORDER.
+	Batch msg.Batch
+	// Seq is the absolute position assigned to Batch.Requests[0]; request i
+	// of the batch occupies position Seq+i.
 	Seq uint64
-	// ClientAuth forwards the client's authenticator so each replica can
-	// verify its own entry.
-	ClientAuth authn.Authenticator
-	// PrimaryMAC authenticates the ORDER message from the primary to the
-	// destination replica.
+	// Auths forwards, per request, the client's authenticator so each
+	// replica can verify its own entry.
+	Auths []authn.Authenticator
+	// PrimaryMAC authenticates the ORDER (instance, sequence span, and batch
+	// digest) from the primary to the destination replica.
 	PrimaryMAC authn.MAC
-	// Init forwards the init history so uninitialized replicas can
-	// initialize (Step Z3+).
+	// Init forwards an init history so uninitialized replicas can initialize
+	// (Step Z3+).
 	Init *core.InitHistory
 }
 
@@ -68,13 +78,14 @@ func AuthBytes(instance core.InstanceID, req msg.Request) []byte {
 	return buf[:]
 }
 
-// OrderBytes returns the bytes covered by the primary's MAC in an ORDER
-// message.
-func OrderBytes(instance core.InstanceID, req msg.Request, seq uint64) []byte {
+// OrderBytes returns the bytes covered by the primary's single MAC in an
+// ORDER message: the instance, the position of the batch's first request, and
+// the batch digest.
+func OrderBytes(instance core.InstanceID, batch msg.Batch, seq uint64) []byte {
 	var buf [16 + authn.DigestSize]byte
 	binary.BigEndian.PutUint64(buf[:8], uint64(instance))
 	binary.BigEndian.PutUint64(buf[8:16], seq)
-	d := req.Digest()
+	d := batch.Digest()
 	copy(buf[16:], d[:])
 	return buf[:]
 }

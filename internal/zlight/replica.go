@@ -3,16 +3,19 @@ package zlight
 import (
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
 )
 
 // Replica implements the ZLight common-case steps on one replica for one
-// Abstract instance. The shared panicking, checkpointing, and initialization
-// machinery lives in the host package.
+// Abstract instance. The shared panicking, checkpointing, initialization, and
+// batch-assembly machinery lives in the host package.
 type Replica struct {
 	h  *host.Host
 	st *host.InstanceState
 	// primary is the fixed primary of this instance (the first replica).
 	primary ids.ProcessID
+	// batcher coalesces client requests at the primary (Step Z2).
+	batcher *host.Batcher
 	// clientMACFailed is set when a client authenticator entry fails to
 	// verify; the replica then stops executing Step Z3 in this instance
 	// (per the specification of Step Z3).
@@ -20,21 +23,24 @@ type Replica struct {
 	// pending buffers ORDER messages received ahead of the next expected
 	// sequence number (reordered delivery) until the gap is filled.
 	pending map[uint64]*OrderMessage
-	// lastOrder caches, per client, the last ORDER the primary issued so
-	// that client retransmissions re-trigger replies from the backups.
+	// lastOrder caches, per client, the last ORDER that contained a request
+	// of that client so client retransmissions re-trigger replies from the
+	// backups.
 	lastOrder map[ids.ProcessID]*OrderMessage
 }
 
 // NewReplica returns a host.ProtocolFactory creating ZLight replicas.
 func NewReplica() host.ProtocolFactory {
 	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
-		return &Replica{
+		r := &Replica{
 			h:         h,
 			st:        st,
 			primary:   h.Cluster().Head(),
 			pending:   make(map[uint64]*OrderMessage),
 			lastOrder: make(map[ids.ProcessID]*OrderMessage),
 		}
+		r.batcher = h.NewBatcher(r.orderBatch)
+		return r
 	}
 }
 
@@ -51,8 +57,10 @@ func (r *Replica) Handle(from ids.ProcessID, m any) {
 	}
 }
 
-// onRequest implements Step Z2 (primary only): assign a sequence number,
-// order the request to the other replicas, and speculatively execute it.
+// onRequest implements Step Z1→Z2 at the primary: verify the client's
+// authenticator entry and hand the request to the batch assembler; the
+// assembler flushes a whole batch into orderBatch under the size/delay
+// policy (immediately when batching is disabled).
 func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
 	if !r.IsPrimary() || r.st.Stopped {
 		return
@@ -60,81 +68,142 @@ func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
 	if m.Req.Client != from && from.IsClient() {
 		return
 	}
+	// The authenticator must be the invoking client's own (Sender is
+	// attacker-chosen otherwise).
+	if m.Auth.Sender != m.Req.Client {
+		return
+	}
 	if err := r.h.VerifyClientAuth(m.Auth, AuthBytes(r.st.ID, m.Req)); err != nil {
 		return
 	}
 	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
 		// Retransmission of the last request: resend the cached reply and
-		// re-order so the backups reply again as well.
+		// re-order so the backups reply again as well — but only when the
+		// cached ORDER actually covers this timestamp, so a stale
+		// retransmission cannot re-multicast a whole unrelated batch.
 		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
 			resp := r.h.BuildResp(r.st, m.Req, reply, true)
 			r.h.Send(m.Req.Client, resp)
-			if last := r.lastOrder[m.Req.Client]; last != nil && last.Req.Timestamp == m.Req.Timestamp {
-				for _, other := range r.h.OtherReplicas() {
-					order := *last
-					order.PrimaryMAC = r.h.MACFor(other, OrderBytes(r.st.ID, order.Req, order.Seq))
-					r.h.Send(other, &order)
-				}
+			if last := r.lastOrder[m.Req.Client]; last != nil && batchContains(last.Batch, m.Req.Client, m.Req.Timestamp) {
+				r.multicastOrder(last)
 			}
 		}
 		return
 	}
+	r.batcher.Add(host.BatchItem{Req: m.Req, Auth: m.Auth, Init: m.Init})
+}
 
-	pos, ok := r.h.Log(r.st, m.Req)
+// orderBatch implements Step Z2 for one flushed batch (primary only): assign
+// a sequence-number span, log the whole batch as one history append, order it
+// to the other replicas with a single primary MAC, and speculatively execute
+// the batch, fanning one RESP per request back to the clients.
+func (r *Replica) orderBatch(items []host.BatchItem) {
+	if !r.IsPrimary() || r.st.Stopped {
+		return
+	}
+	// Re-filter staleness: a request may have been retransmitted and ordered
+	// while this one waited in the assembler.
+	fresh, batch, stale := host.FilterFreshItems(r.st, items)
+	for _, it := range stale {
+		if reply, ok := r.h.CachedReply(it.Req.Client, it.Req.Timestamp); ok {
+			r.h.Send(it.Req.Client, r.h.BuildResp(r.st, it.Req, reply, true))
+		}
+	}
+	if batch.Len() == 0 {
+		return
+	}
+	start, ok := r.h.LogBatch(r.st, batch)
 	if !ok {
 		return
 	}
-	// Forward the order to the other replicas with the client's
-	// authenticator so each can verify its own entry (Step Z2).
-	for _, other := range r.h.OtherReplicas() {
-		order := &OrderMessage{
-			Instance:   r.st.ID,
-			Req:        m.Req,
-			Seq:        pos,
-			ClientAuth: m.Auth,
-			PrimaryMAC: r.h.MACFor(other, OrderBytes(r.st.ID, m.Req, pos)),
-			Init:       m.Init,
+	order := &OrderMessage{Instance: r.st.ID, Batch: batch, Seq: start}
+	for _, it := range fresh {
+		order.Auths = append(order.Auths, it.Auth)
+		if order.Init == nil && it.Init != nil {
+			order.Init = it.Init
 		}
-		r.h.Send(other, order)
-		r.lastOrder[m.Req.Client] = order
 	}
+	for _, it := range fresh {
+		r.lastOrder[it.Req.Client] = order
+	}
+	r.multicastOrder(order)
 	// The primary speculatively executes and replies like any replica
 	// (Step Z3); it is the designated replica sending the full reply.
-	reply := r.h.Execute(r.st, m.Req)
-	resp := r.h.BuildResp(r.st, m.Req, reply, true)
-	r.h.Send(m.Req.Client, resp)
-	r.h.Ops().CountRequest()
+	replies := r.h.ExecuteBatch(r.st, batch)
+	r.fanOutResps(batch, replies, true)
+	for range batch.Requests {
+		r.h.Ops().CountRequest()
+	}
 }
 
-// onOrder implements Step Z3 (backup replicas): verify the primary and client
-// MACs, check the sequence number, then log, execute, and reply.
+// fanOutResps sends one RESP per request of a batch, coalescing the RESPs of
+// each client into a single wire envelope (pipelining clients have several
+// requests per batch).
+func (r *Replica) fanOutResps(batch msg.Batch, replies [][]byte, designated bool) {
+	byClient := make(map[ids.ProcessID][]any, len(batch.Requests))
+	for i, req := range batch.Requests {
+		byClient[req.Client] = append(byClient[req.Client], r.h.BuildResp(r.st, req, replies[i], designated))
+	}
+	for client, resps := range byClient {
+		r.h.SendBatch(client, resps)
+	}
+}
+
+// multicastOrder sends an ORDER to every backup, re-MACing the batch for each
+// destination (one MAC per destination per batch).
+func (r *Replica) multicastOrder(m *OrderMessage) {
+	data := OrderBytes(r.st.ID, m.Batch, m.Seq)
+	for _, other := range r.h.OtherReplicas() {
+		order := *m
+		order.PrimaryMAC = r.h.MACFor(other, data)
+		r.h.Send(other, &order)
+	}
+}
+
+// onOrder implements Step Z3 (backup replicas): verify the primary's batch
+// MAC and every client's authenticator entry, check the sequence span, then
+// log, execute, and reply per request.
 func (r *Replica) onOrder(from ids.ProcessID, m *OrderMessage) {
 	if r.st.Stopped || r.clientMACFailed {
 		return
 	}
-	if from != r.primary {
+	if from != r.primary || m.Batch.Len() == 0 || len(m.Auths) != m.Batch.Len() {
 		return
 	}
-	if err := r.h.VerifyMACFrom(r.primary, OrderBytes(r.st.ID, m.Req, m.Seq), m.PrimaryMAC); err != nil {
+	if err := r.h.VerifyMACFrom(r.primary, OrderBytes(r.st.ID, m.Batch, m.Seq), m.PrimaryMAC); err != nil {
 		return
 	}
-	if err := r.h.VerifyClientAuth(m.ClientAuth, AuthBytes(r.st.ID, m.Req)); err != nil {
-		// Step Z3: a failed client MAC stops this replica from executing
-		// Step Z3 for the rest of the instance; the client will eventually
-		// panic and the instance will switch.
-		r.clientMACFailed = true
+	if m.Seq+uint64(m.Batch.Len()) <= r.st.AbsLen() {
+		// Already processed (duplicate or retransmission): resend cached
+		// replies without re-verifying every client authenticator.
+		for _, req := range m.Batch.Requests {
+			if reply, ok := r.h.CachedReply(req.Client, req.Timestamp); ok {
+				r.h.Send(req.Client, r.h.BuildResp(r.st, req, reply, false))
+			}
+		}
 		return
+	}
+	for i, req := range m.Batch.Requests {
+		// The forwarded authenticator must be the request's client's own.
+		if m.Auths[i].Sender != req.Client {
+			r.clientMACFailed = true
+			return
+		}
+		if err := r.h.VerifyClientAuth(m.Auths[i], AuthBytes(r.st.ID, req)); err != nil {
+			// Step Z3: a failed client MAC stops this replica from executing
+			// Step Z3 for the rest of the instance; the client will
+			// eventually panic and the instance will switch.
+			r.clientMACFailed = true
+			return
+		}
 	}
 	if m.Seq > r.st.AbsLen() {
-		// Reordered delivery: buffer until the gap is filled.
-		r.pending[m.Seq] = m
-		return
-	}
-	if m.Seq < r.st.AbsLen() {
-		// Already processed (duplicate or retransmission).
-		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
-			resp := r.h.BuildResp(r.st, m.Req, reply, false)
-			r.h.Send(m.Req.Client, resp)
+		// Reordered delivery: buffer until the gap is filled. The buffer
+		// bounds the total buffered *requests* so a Byzantine primary cannot
+		// grow it without limit; a dropped ORDER surfaces as loss and the
+		// client panics.
+		if r.pendingRequests()+m.Batch.Len() <= maxPendingOrders {
+			r.pending[m.Seq] = m
 		}
 		return
 	}
@@ -142,28 +211,66 @@ func (r *Replica) onOrder(from ids.ProcessID, m *OrderMessage) {
 	r.drainPending()
 }
 
-// process logs, speculatively executes, and replies to one in-order ORDER.
-func (r *Replica) process(m *OrderMessage) {
-	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
-		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
-			resp := r.h.BuildResp(r.st, m.Req, reply, false)
-			r.h.Send(m.Req.Client, resp)
-		}
-		return
+// maxPendingOrders bounds the total requests buffered out of order per
+// instance.
+const maxPendingOrders = 1024
+
+// pendingRequests returns the number of requests currently buffered out of
+// order.
+func (r *Replica) pendingRequests() int {
+	n := 0
+	for _, m := range r.pending {
+		n += m.Batch.Len()
 	}
-	if _, ok := r.h.Log(r.st, m.Req); !ok {
-		return
-	}
-	reply := r.h.Execute(r.st, m.Req)
-	resp := r.h.BuildResp(r.st, m.Req, reply, false)
-	r.h.Send(m.Req.Client, resp)
+	return n
 }
 
-// drainPending processes buffered ORDER messages that have become in-order.
+// batchContains reports whether the batch holds a request with the given
+// client and timestamp.
+func batchContains(b msg.Batch, client ids.ProcessID, ts uint64) bool {
+	for _, req := range b.Requests {
+		if req.Client == client && req.Timestamp == ts {
+			return true
+		}
+	}
+	return false
+}
+
+// process logs, speculatively executes, and replies to one in-order ORDER
+// batch.
+func (r *Replica) process(m *OrderMessage) {
+	batch, stale := r.st.FilterFreshBatch(m.Batch)
+	for _, req := range stale {
+		if reply, ok := r.h.CachedReply(req.Client, req.Timestamp); ok {
+			r.h.Send(req.Client, r.h.BuildResp(r.st, req, reply, false))
+		}
+	}
+	if batch.Len() == 0 {
+		return
+	}
+	if _, ok := r.h.LogBatch(r.st, batch); !ok {
+		return
+	}
+	replies := r.h.ExecuteBatch(r.st, batch)
+	r.fanOutResps(batch, replies, false)
+}
+
+// drainPending processes buffered ORDER batches that have become in-order,
+// and evicts entries whose span was overtaken (a partially-stale batch can
+// advance the history into the middle of a buffered span, which then can
+// never match exactly).
 func (r *Replica) drainPending() {
 	for {
+		if r.st.Stopped {
+			return
+		}
+		for seq := range r.pending {
+			if seq < r.st.AbsLen() {
+				delete(r.pending, seq)
+			}
+		}
 		next, ok := r.pending[r.st.AbsLen()]
-		if !ok || r.st.Stopped {
+		if !ok {
 			return
 		}
 		delete(r.pending, r.st.AbsLen())
