@@ -56,7 +56,7 @@ func main() {
 			myAddrs[k] = v
 		}
 		myAddrs[clientID] = fmt.Sprintf("127.0.0.1:%d", *listenBase+i)
-		ep, err := transport.NewTCP(clientID, myAddrs)
+		ep, err := transport.NewTCPAuth(clientID, myAddrs, keys)
 		if err != nil {
 			return nil, 0, err
 		}

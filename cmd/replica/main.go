@@ -46,7 +46,11 @@ func main() {
 		addrMap[ids.Replica(i)] = strings.TrimSpace(a)
 	}
 	self := ids.Replica(*id)
-	ep, err := transport.NewTCP(self, addrMap)
+	keys := authn.NewKeyStore(*secret)
+	// The handshake pins connection identity (MAC over a nonce under the
+	// pairwise key), so a peer that connects first cannot squat another
+	// client's reply route.
+	ep, err := transport.NewTCPAuth(self, addrMap, keys)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
@@ -72,7 +76,7 @@ func main() {
 	h := host.New(host.Config{
 		Cluster:       cluster,
 		Replica:       self,
-		Keys:          authn.NewKeyStore(*secret),
+		Keys:          keys,
 		App:           application,
 		Endpoint:      ep,
 		FirstInstance: 1,

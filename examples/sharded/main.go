@@ -1,0 +1,93 @@
+// Sharded: start an in-process 4-replica cluster running the sharded
+// multi-leader ordering plane — four parallel ZLight compositions, one per
+// shard, each led by a different replica — replicate a key-value store
+// partitioned by key, and watch the asynchronous execution stage merge the
+// shards' ordered spans into one deterministic global sequence.
+//
+//	go run ./examples/sharded
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/shard"
+)
+
+func main() {
+	const shards = 4
+	cluster, err := deploy.NewSharded(deploy.Config{
+		F:      1,
+		NewApp: func() app.Application { return app.NewKVStore() },
+		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
+			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
+		},
+		NewInstanceFactory: azyzzyva.InstanceFactory,
+		Delta:              20 * time.Millisecond,
+		Shards:             shards,
+		KeyExtractor:       shard.KVKeyExtractor,
+		ShardEpoch:         1,
+	})
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer cluster.Stop()
+
+	fmt.Printf("sharded plane: %d shards over 4 replicas (f=1); leaders:", shards)
+	for s := 0; s < shards; s++ {
+		fmt.Printf(" shard%d→%v", s, cluster.Lead(s))
+	}
+	fmt.Println()
+
+	client, err := cluster.NextClient(nil)
+	if err != nil {
+		log.Fatalf("client: %v", err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	keys := []string{"lang", "paper", "plane", "merge", "quorum", "chain", "backup", "leader"}
+	var ts uint64
+	for i, k := range keys {
+		ts++
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: app.EncodeKVPut(k, fmt.Sprintf("value-%d", i))}
+		start := time.Now()
+		if _, err := client.Invoke(ctx, req); err != nil {
+			log.Fatalf("put %s: %v", k, err)
+		}
+		fmt.Printf("PUT %-7s -> shard %d (leader %v, %.2f ms)\n",
+			k, client.ShardFor(req), cluster.Lead(client.ShardFor(req)),
+			float64(time.Since(start).Microseconds())/1000)
+	}
+	for _, k := range keys {
+		ts++
+		req := msg.Request{Client: ids.Client(0), Timestamp: ts, Command: app.EncodeKVGet(k)}
+		reply, err := client.Invoke(ctx, req)
+		if err != nil {
+			log.Fatalf("get %s: %v", k, err)
+		}
+		fmt.Printf("GET %-7s -> %-9q (shard %d)\n", k, reply, client.ShardFor(req))
+	}
+
+	// The execution stage merges every shard's ordered span off the ordering
+	// critical path; give the last rounds a moment to drain, then show that
+	// all replicas converged to one global sequence.
+	time.Sleep(100 * time.Millisecond)
+	fmt.Println("asynchronous execution stage (per replica):")
+	for i, n := range cluster.Nodes {
+		fmt.Printf("  replica %d: merged %d requests in %d epoch rounds, digest %v\n",
+			i, n.Exec.MergedSeq(), n.Exec.Rounds(), n.Exec.MergedDigest())
+	}
+	fmt.Println("note: the merged sequence advances in full epoch rounds, so it trails")
+	fmt.Println("the per-key replies (which are served by per-shard speculative execution)")
+	fmt.Println("until every shard has filled its epoch.")
+}

@@ -124,6 +124,18 @@ func decodeKV(cmd []byte) (op byte, key, value string, err error) {
 	return op, key, value, nil
 }
 
+// KVKey extracts the key of an encoded KV command, so key-partitioned
+// deployments (the sharded ordering plane) can route every operation on one
+// key — put, get, delete alike — to the same partition. It reports false for
+// malformed commands.
+func KVKey(cmd []byte) (string, bool) {
+	_, key, _, err := decodeKV(cmd)
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}
+
 // Execute implements Application. Replies are "OK" for writes, the value (or
 // empty) for reads, and "ERR: ..." for malformed commands.
 func (s *KVStore) Execute(command []byte) []byte {

@@ -196,3 +196,75 @@ func TestChainBatchDuplicateTimestampWithinOneWindow(t *testing.T) {
 		t.Errorf("tail applied %d requests, want exactly 1", got)
 	}
 }
+
+// TestChainDuplicateBatchServesCachedReplies replays a mid-chain BatchMessage
+// (modelling a TCP retransmission) after the request committed, and expects
+// the chain to re-forward it with cached replies so the tail resends the
+// reply to the client — instead of dropping the duplicate and forcing the
+// client through the panicking machinery. Nothing may be executed twice.
+func TestChainDuplicateBatchServesCachedReplies(t *testing.T) {
+	tc := newTestCluster(t, 1, host.BatchPolicy{MaxBatch: 1})
+	env := tc.clientEnv(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Capture the head's BatchMessage to its successor.
+	var mu sync.Mutex
+	var captured *BatchMessage
+	head := tc.cluster.Head()
+	succ, _ := tc.cluster.ChainSuccessor(head)
+	tc.net.AddFilter(func(env transport.Envelope) bool {
+		if bm, ok := env.Payload.(*BatchMessage); ok && env.From == head && env.To == succ {
+			mu.Lock()
+			if captured == nil {
+				captured = bm
+			}
+			mu.Unlock()
+		}
+		return true
+	})
+
+	client := NewClient(env, 1)
+	req := msg.Request{Client: env.ID, Timestamp: 1, Command: []byte("once")}
+	out, err := client.Invoke(ctx, req, nil)
+	if err != nil || !out.Committed {
+		t.Fatalf("invoke: committed=%v err=%v", out.Committed, err)
+	}
+	mu.Lock()
+	dup := captured
+	mu.Unlock()
+	if dup == nil {
+		t.Fatal("no BatchMessage captured between head and successor")
+	}
+
+	// Replay the captured batch into the successor, as a retransmitting head
+	// would, and expect a fresh tail reply for the already-committed request.
+	tc.net.Endpoint(head).Send(succ, dup)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no cached tail reply after duplicate batch delivery")
+		}
+		select {
+		case envl := <-env.Endpoint.Inbox():
+			m, ok := envl.Payload.(*Message)
+			if !ok || !m.HasSeq || m.Req.ID() != req.ID() {
+				continue
+			}
+			if authn.Hash(m.Reply) != m.ReplyDigest {
+				t.Fatal("cached tail reply digest mismatch")
+			}
+			if !client.verifyTailMACs(m) {
+				t.Fatal("cached tail reply MACs do not verify")
+			}
+			// The duplicate must not have been executed again anywhere.
+			for i, h := range tc.hosts {
+				if tc.cluster.Pos(ids.Replica(i)) >= 2*tc.cluster.F && h.AppliedRequests() != 1 {
+					t.Fatalf("replica %d applied %d requests, want 1", i, h.AppliedRequests())
+				}
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -55,7 +55,7 @@ func NewReplica(cfg ReplicaConfig) host.ProtocolFactory {
 			h:            h,
 			st:           st,
 			cfg:          cfg,
-			index:        int(h.ID()),
+			index:        h.Cluster().Pos(h.ID()),
 			pending:      make(map[uint64]*Message),
 			pendingBatch: make(map[uint64]*BatchMessage),
 		}
@@ -201,9 +201,12 @@ func (r *Replica) onBatchForwarded(from ids.ProcessID, m *BatchMessage) {
 		return
 	}
 	if m.Seq < r.st.AbsLen() {
-		// Duplicate delivery of an already-logged batch: drop. Clients whose
-		// reply was lost recover through the panicking machinery (a
-		// cached-reply fast path is a recorded open item in ROADMAP.md).
+		// Duplicate delivery of an already-logged batch (a TCP retransmission
+		// or a recovering predecessor): re-forward it with cached replies
+		// instead of dropping, so a client whose original reply was lost
+		// commits without going through the panicking machinery. Nothing is
+		// logged or executed again.
+		r.forwardDuplicateBatch(m, bd)
 		return
 	}
 	r.processBatch(m, bd)
@@ -228,6 +231,35 @@ func (r *Replica) processBatch(m *BatchMessage, bd authn.Digest) {
 	var replies [][]byte
 	if r.executes() {
 		replies = r.h.ExecuteBatch(r.st, m.Batch)
+		r.fillBatchExecution(&out, replies)
+	}
+	if r.isTail() {
+		r.replyBatch(&out, replies)
+		return
+	}
+	r.forwardBatch(&out, bd)
+}
+
+// forwardDuplicateBatch pushes an already-logged batch down the chain serving
+// replies from the per-client cache, so the tail can resend every reply of
+// the batch. The chain links are FIFO, so each hop processes the duplicate at
+// the same history state and the executing replicas' MACs cover identical
+// tail bytes. Best effort: when any reply was already evicted from the cache
+// (the client issued a newer request since), the duplicate is dropped and the
+// affected clients recover through the panicking machinery as before.
+func (r *Replica) forwardDuplicateBatch(m *BatchMessage, bd authn.Digest) {
+	out := *m
+	out.ClientCAs = append([]authn.ChainAuthenticator(nil), m.ClientCAs...)
+	var replies [][]byte
+	if r.executes() {
+		replies = make([][]byte, m.Batch.Len())
+		for i, req := range m.Batch.Requests {
+			reply, ok := r.h.CachedReply(req.Client, req.Timestamp)
+			if !ok {
+				return
+			}
+			replies[i] = reply
+		}
 		r.fillBatchExecution(&out, replies)
 	}
 	if r.isTail() {
@@ -301,7 +333,7 @@ func (r *Replica) forwardBatch(out *BatchMessage, bd authn.Digest) {
 func (r *Replica) downstreamReplicas() []ids.ProcessID {
 	var out []ids.ProcessID
 	for j := r.index + 1; j < r.h.Cluster().N; j++ {
-		out = append(out, ids.Replica(j))
+		out = append(out, r.h.Cluster().AtPos(j))
 	}
 	return out
 }
@@ -311,7 +343,7 @@ func (r *Replica) downstreamReplicas() []ids.ProcessID {
 // sequence span and batch digest, the last f+1 replicas also sign the reply
 // and history digests. bd is the precomputed batch digest.
 func (r *Replica) batchAuthBytesFor(p ids.ProcessID, m *BatchMessage, bd authn.Digest) []byte {
-	if int(p) < 2*r.h.Cluster().F {
+	if r.h.Cluster().Pos(p) < 2*r.h.Cluster().F {
 		return batchOrderAuthBytes(m.Instance, bd, m.Seq)
 	}
 	return batchTailAuthBytes(m.Instance, bd, m.Seq, m.ReplyDigests, m.HistoryDigest)
@@ -336,7 +368,7 @@ func (r *Replica) verifyBatchPredecessors(m *BatchMessage, bd authn.Digest) erro
 	var orderBytes, tailBytes []byte
 	for _, p := range cl.ChainPredecessorSet(r.h.ID()) {
 		var data []byte
-		if int(p) < 2*cl.F {
+		if cl.Pos(p) < 2*cl.F {
 			if orderBytes == nil {
 				orderBytes = batchOrderAuthBytes(m.Instance, bd, m.Seq)
 			}
@@ -515,7 +547,7 @@ func (r *Replica) authBytesFor(p ids.ProcessID, m *Message) []byte {
 	switch {
 	case p.IsClient():
 		return ClientAuthBytes(m.Instance, m.Req)
-	case int(p) < 2*cl.F:
+	case cl.Pos(p) < 2*cl.F:
 		return OrderAuthBytes(m.Instance, m.Req, m.Seq)
 	default:
 		return TailAuthBytes(m.Instance, m.Req, m.Seq, m.ReplyDigest, m.HistoryDigest)

@@ -14,6 +14,7 @@ import (
 	"abstractbft/internal/core"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
+	"abstractbft/internal/shard"
 	"abstractbft/internal/transport"
 )
 
@@ -35,6 +36,19 @@ type Config struct {
 	// primary, Chain's head). The zero value selects the defaults; set
 	// MaxBatch to 1 to disable batching.
 	Batch host.BatchPolicy
+	// TimestampWindow is the replica-side per-client timestamp window width
+	// (0 = default 64, 1 = strict increasing timestamps).
+	TimestampWindow int
+	// Shards is the number of parallel ordering shards for NewSharded
+	// (0 or 1 = a single shard; plain New ignores it).
+	Shards int
+	// KeyExtractor maps requests to application keys for shard routing; nil
+	// selects shard.PrefixKeyExtractor(8), matching the keyed workload
+	// generators (falling back to the whole command for shorter ones).
+	KeyExtractor shard.KeyExtractor
+	// ShardEpoch is the execution stage's cross-shard merge round length
+	// (0 = shard.DefaultEpoch).
+	ShardEpoch int
 	// Network configures the in-process transport (loss, delay, queueing).
 	Network transport.Options
 	// CheckpointInterval is CHK (0 = default 128, negative = disabled).
@@ -105,6 +119,7 @@ func New(cfg Config) (*Cluster, error) {
 			FirstInstance:       1,
 			NewProtocol:         factory,
 			Batch:               cfg.Batch,
+			TimestampWindow:     cfg.TimestampWindow,
 			CheckpointInterval:  cfg.CheckpointInterval,
 			MaxUncheckpointed:   cfg.MaxUncheckpointed,
 			InstrumentHistories: cfg.InstrumentHistories,

@@ -105,18 +105,23 @@ func (h *History) Truncate(n int) {
 // DigestHistory is a sequence of request digests.
 type DigestHistory []authn.Digest
 
-// Digest folds the digest history into a single digest. The empty history has
-// the zero digest.
+// DigestStep extends a running history digest chain by one entry: the digest
+// of a history is the left fold of DigestStep over its entries starting from
+// the zero digest. The chained structure lets holders of an append-only
+// history (InstanceState) maintain the digest incrementally — one step per
+// appended request instead of re-folding the whole history per batch.
+func DigestStep(acc, next authn.Digest) authn.Digest {
+	return authn.HashAll(acc[:], next[:])
+}
+
+// Digest folds the digest history into a single digest (the DigestStep
+// chain). The empty history has the zero digest.
 func (d DigestHistory) Digest() authn.Digest {
-	if len(d) == 0 {
-		return authn.Digest{}
+	var acc authn.Digest
+	for _, x := range d {
+		acc = DigestStep(acc, x)
 	}
-	parts := make([][]byte, len(d))
-	for i := range d {
-		di := d[i]
-		parts[i] = di[:]
-	}
-	return authn.HashAll(parts...)
+	return acc
 }
 
 // IsPrefixOf reports whether d is a (non-strict) prefix of other.

@@ -147,7 +147,7 @@ func (h *Host) checkpointDigest(st *InstanceState, cc uint64) authn.Digest {
 	if idx > uint64(len(st.Digests)) {
 		idx = uint64(len(st.Digests))
 	}
-	prefix := st.Digests[:idx].Digest()
+	prefix := st.PrefixDigest(int(idx))
 	if st.BaseSeq == 0 {
 		return prefix
 	}

@@ -59,6 +59,20 @@ type Observer interface {
 	InstanceActivated(inst core.InstanceID)
 }
 
+// HistoryAdopter is an optional Observer extension: when an instance
+// initializes from an adopted init history, the observer receives every
+// adopted request body at its absolute position. The sharded plane's
+// execution feed needs this — a replica that adopts entries it never logged
+// (missed ORDERs before a switch) would otherwise leave a permanent gap in
+// its per-shard sequencer and stall its merged mirror forever. RequestLogged
+// deliberately does not fire for adopted entries, so R-Aliph's
+// progress/fairness monitoring keeps counting only locally ordered requests.
+type HistoryAdopter interface {
+	// RequestAdopted is called under the host lock for each adopted request
+	// whose body is known, in history order; pos is the absolute position.
+	RequestAdopted(inst core.InstanceID, req msg.Request, pos uint64)
+}
+
 // Config configures a replica host.
 type Config struct {
 	// Cluster describes the replica group.
@@ -81,6 +95,14 @@ type Config struct {
 	// (MaxBatch 16, MaxDelay 1ms); MaxBatch=1 disables batching and restores
 	// the per-request path.
 	Batch BatchPolicy
+	// TimestampWindow is the per-client timestamp window width (PBFT-style):
+	// a replica logs a request whose timestamp lies up to this far below the
+	// client's high-water mark when that timestamp was never logged, so
+	// pipelined clients whose in-flight requests overtake each other on the
+	// network are not spuriously rejected as stale. 0 selects
+	// DefaultTimestampWindow (64, also the cap); 1 restores the strict
+	// increasing-timestamp rule.
+	TimestampWindow int
 	// CheckpointInterval is CHK; 0 selects the default (128), negative
 	// disables checkpointing.
 	CheckpointInterval int

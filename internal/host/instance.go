@@ -8,6 +8,53 @@ import (
 	"abstractbft/internal/msg"
 )
 
+// DefaultTimestampWindow is the default per-client timestamp window width: a
+// replica accepts a request whose timestamp lies up to this far below the
+// client's high-water mark, provided that exact timestamp was never logged.
+// Width 1 restores the strict high-water rule (only increasing timestamps).
+const DefaultTimestampWindow = 64
+
+// tsState is one client's timestamp window: the high-water mark (the highest
+// timestamp logged) plus a bitmask of which recent lower timestamps were also
+// logged (bit d set means high-d was logged). Pipelined clients race their
+// in-flight timestamps across the network, so a replica can see t=5 before
+// t=3; the window logs both instead of rejecting the late-arriving one, while
+// still rejecting every duplicate (PBFT-style at-most-once).
+type tsState struct {
+	high, mask uint64
+}
+
+// fresh reports whether ts may still be logged under a window of the given
+// width. The high-water mark itself is always logged by construction, so
+// ts == high is stale even when the mask bit is unset (states built before
+// the window machinery carry an empty mask).
+func (w tsState) fresh(width int, ts uint64) bool {
+	if ts > w.high {
+		return true
+	}
+	if ts == w.high || w.high-ts >= uint64(width) {
+		return false
+	}
+	return w.mask&(1<<(w.high-ts)) == 0
+}
+
+// mark records ts as logged and returns the updated window.
+func (w tsState) mark(ts uint64) tsState {
+	if ts > w.high {
+		if shift := ts - w.high; shift >= 64 {
+			w.mask = 1
+		} else {
+			w.mask = w.mask<<shift | 1
+		}
+		w.high = ts
+		return w
+	}
+	if d := w.high - ts; d < 64 {
+		w.mask |= 1 << d
+	}
+	return w
+}
+
 // InstanceState is the per-Abstract-instance replica state shared by every
 // protocol implementation: the local history LH_j (as digests, with bodies
 // kept in the host's request store), the per-client timestamps t_j[c], the
@@ -25,8 +72,15 @@ type InstanceState struct {
 	// Digests is the local history from BaseSeq on (digest per request).
 	Digests history.DigestHistory
 	// LastTimestamp is t_j[c]: the highest request timestamp logged per
-	// client.
+	// client (the window high-water mark; tsMask tracks which timestamps
+	// within the window below it were also logged).
 	LastTimestamp map[ids.ProcessID]uint64
+	// tsMask holds, per client, the logged-timestamp bitmask of the window
+	// below LastTimestamp (bit d set means LastTimestamp-d was logged).
+	tsMask map[ids.ProcessID]uint64
+	// tsWidth is the configured window width (0 selects
+	// DefaultTimestampWindow; 1 is the strict high-water rule).
+	tsWidth int
 	// Stopped is set when the instance aborts (stops executing requests).
 	Stopped bool
 	// Initialized is true once the instance adopted its init history (or is
@@ -42,10 +96,20 @@ type InstanceState struct {
 	// the previous instance (Backup then commits a single request).
 	InitLowLoad bool
 
-	// digestCache memoizes HistoryDigest between history appends so that a
-	// batch of appends costs one digest fold instead of one per request.
+	// digestCache memoizes HistoryDigest between history appends; chainAcc
+	// and chainLen hold the running DigestStep fold of Digests[:chainLen],
+	// so a batch of appends costs one chain step per new request instead of
+	// a re-fold of the whole history (which would make replying O(n²) over a
+	// run).
 	digestCache authn.Digest
 	digestDirty bool
+	chainAcc    authn.Digest
+	chainLen    int
+	// ckptAcc/ckptLen memoize the checkpoint-prefix chain fold the same
+	// way: checkpoint boundaries only move forward, so each LCS round
+	// advances the fold instead of re-folding the whole prefix.
+	ckptAcc authn.Digest
+	ckptLen int
 
 	// pendingInit holds the init history awaiting missing request bodies.
 	pendingInit *core.InitHistory
@@ -61,13 +125,18 @@ type InstanceState struct {
 func (st *InstanceState) AbsLen() uint64 { return st.BaseSeq + uint64(len(st.Digests)) }
 
 // HistoryDigest returns D(LH_j): the digest of the local history, folding in
-// the base checkpoint when present. The digest is memoized until the next
-// history append, so replying to every request of a batch costs one fold.
+// the base checkpoint when present. The underlying DigestStep chain is
+// advanced only over entries appended since the last call, so a batch of
+// appends costs one chain step per request regardless of history length.
 func (st *InstanceState) HistoryDigest() authn.Digest {
 	if !st.digestDirty {
 		return st.digestCache
 	}
-	suffix := st.Digests.Digest()
+	for st.chainLen < len(st.Digests) {
+		st.chainAcc = history.DigestStep(st.chainAcc, st.Digests[st.chainLen])
+		st.chainLen++
+	}
+	suffix := st.chainAcc
 	if st.BaseSeq != 0 {
 		suffix = authn.HashAll(st.BaseDigest[:], suffix[:])
 	}
@@ -80,30 +149,85 @@ func (st *InstanceState) HistoryDigest() authn.Digest {
 // request digest.
 func (st *InstanceState) Contains(d authn.Digest) bool { return st.Digests.Contains(d) }
 
-// TimestampFresh reports whether a request timestamp is newer than the last
-// one logged for the client.
+// PrefixDigest returns the chain digest of Digests[:idx], advancing the
+// memoized checkpoint fold when the prefix moved forward (the common case —
+// checkpoint boundaries are monotone) and re-folding only on a backward
+// move (which only instance re-initialization can cause).
+func (st *InstanceState) PrefixDigest(idx int) authn.Digest {
+	if idx > len(st.Digests) {
+		idx = len(st.Digests)
+	}
+	if idx < st.ckptLen {
+		return st.Digests[:idx].Digest()
+	}
+	for st.ckptLen < idx {
+		st.ckptAcc = history.DigestStep(st.ckptAcc, st.Digests[st.ckptLen])
+		st.ckptLen++
+	}
+	return st.ckptAcc
+}
+
+// width returns the effective window width.
+func (st *InstanceState) width() int {
+	w := st.tsWidth
+	if w <= 0 {
+		w = DefaultTimestampWindow
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// windowOf returns client c's current timestamp window.
+func (st *InstanceState) windowOf(c ids.ProcessID) tsState {
+	return tsState{high: st.LastTimestamp[c], mask: st.tsMask[c]}
+}
+
+// markLogged records a logged request timestamp in client c's window.
+func (st *InstanceState) markLogged(c ids.ProcessID, ts uint64) {
+	w := st.windowOf(c).mark(ts)
+	st.LastTimestamp[c] = w.high
+	if st.tsMask == nil {
+		st.tsMask = make(map[ids.ProcessID]uint64)
+	}
+	st.tsMask[c] = w.mask
+}
+
+// TimestampFresh reports whether a request timestamp may still be logged for
+// the client: newer than the high-water mark, or within the window below it
+// and never logged. A correct client keeps at most its pipeline depth (which
+// is bounded by the window width) requests in flight, so every duplicate it
+// can produce is caught; a Byzantine client skipping far ahead can only get
+// its own old requests re-executed, harming no one else (the PBFT window
+// argument).
 func (st *InstanceState) TimestampFresh(c ids.ProcessID, ts uint64) bool {
-	return ts > st.LastTimestamp[c]
+	return st.windowOf(c).fresh(st.width(), ts)
 }
 
 // FilterFreshBatch splits a received batch into the requests that may be
-// logged — fresh against the instance state AND strictly increasing per
-// client within the batch — and the stale remainder. The intra-batch rule is
+// logged — fresh against the instance state AND against the requests already
+// accepted from this batch — and the stale remainder. The intra-batch rule is
 // the at-most-once invariant of batched ordering: without it, a Byzantine
 // orderer (or client, for client-side batches) repeating a request inside
 // one batch would get it logged and executed twice, since per-request
 // freshness alone only checks against already-logged history.
 func (st *InstanceState) FilterFreshBatch(batch msg.Batch) (fresh msg.Batch, stale []msg.Request) {
-	var highest map[ids.ProcessID]uint64
+	width := st.width()
+	var sim map[ids.ProcessID]tsState
 	for _, req := range batch.Requests {
-		if !st.TimestampFresh(req.Client, req.Timestamp) || req.Timestamp <= highest[req.Client] {
+		w, ok := sim[req.Client]
+		if !ok {
+			w = st.windowOf(req.Client)
+		}
+		if !w.fresh(width, req.Timestamp) {
 			stale = append(stale, req)
 			continue
 		}
-		if highest == nil {
-			highest = make(map[ids.ProcessID]uint64, batch.Len())
+		if sim == nil {
+			sim = make(map[ids.ProcessID]tsState, batch.Len())
 		}
-		highest[req.Client] = req.Timestamp
+		sim[req.Client] = w.mark(req.Timestamp)
 		fresh.Requests = append(fresh.Requests, req)
 	}
 	return fresh, stale
@@ -123,6 +247,8 @@ func (h *Host) activate(id core.InstanceID, init *core.InitHistory) *InstanceSta
 	st := &InstanceState{
 		ID:            id,
 		LastTimestamp: make(map[ids.ProcessID]uint64),
+		tsMask:        make(map[ids.ProcessID]uint64),
+		tsWidth:       h.cfg.TimestampWindow,
 		Checkpoint:    history.NewCheckpointState(h.cluster.N, ckptInterval),
 		digestDirty:   true,
 	}
@@ -170,6 +296,11 @@ func (h *Host) adoptInit(st *InstanceState, init *core.InitHistory) {
 	st.BaseDigest = init.Extract.BaseDigest
 	st.Digests = init.Extract.Suffix.Clone()
 	st.digestDirty = true
+	// The history was replaced wholesale: restart the digest chains.
+	st.chainAcc = authn.Digest{}
+	st.chainLen = 0
+	st.ckptAcc = authn.Digest{}
+	st.ckptLen = 0
 	st.Checkpoint.Reset()
 	st.NextSeq = uint64(len(st.Digests))
 	st.InitLowLoad = core.InitHasFlag(init, h.cluster.F, core.AbortFlagLowLoad)
@@ -220,12 +351,14 @@ func (h *Host) finishInit(st *InstanceState) {
 	st.missing = nil
 	st.Initialized = true
 
-	// Update per-client timestamps from the adopted history so duplicate
-	// requests are rejected.
-	for _, d := range st.Digests {
+	// Update per-client timestamp windows from the adopted history so
+	// duplicate requests are rejected.
+	adopter, _ := h.observer.(HistoryAdopter)
+	for i, d := range st.Digests {
 		if r, ok := h.requestStore[d]; ok {
-			if r.Timestamp > st.LastTimestamp[r.Client] {
-				st.LastTimestamp[r.Client] = r.Timestamp
+			st.markLogged(r.Client, r.Timestamp)
+			if adopter != nil {
+				adopter.RequestAdopted(st.ID, r, st.BaseSeq+uint64(i))
 			}
 		}
 	}
@@ -337,9 +470,7 @@ func (h *Host) LogBatch(st *InstanceState, batch msg.Batch) (uint64, bool) {
 		d := req.Digest()
 		h.requestStore[d] = req.Clone()
 		st.Digests = append(st.Digests, d)
-		if req.Timestamp > st.LastTimestamp[req.Client] {
-			st.LastTimestamp[req.Client] = req.Timestamp
-		}
+		st.markLogged(req.Client, req.Timestamp)
 		if h.observer != nil {
 			h.observer.RequestLogged(st.ID, req, st.AbsLen()-1)
 		}

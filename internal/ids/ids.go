@@ -42,7 +42,26 @@ type Cluster struct {
 	// N is the total number of replicas. For the protocols in this
 	// repository N is 3F+1, except Q/U which uses 5F+1.
 	N int
+	// Lead rotates the logical chain/leader order: position i in chain order
+	// is replica (Lead+i) mod N, so the head (ZLight's primary, Chain's head,
+	// PBFT's view-0 primary) is replica Lead instead of replica 0. The sharded
+	// ordering plane gives every shard a different Lead so the S leaders
+	// spread across the replica group. Zero is the classic order.
+	Lead int
 }
+
+// WithLead returns the cluster with its chain/leader order rotated so that
+// replica (lead mod N) occupies position 0.
+func (c Cluster) WithLead(lead int) Cluster {
+	c.Lead = ((lead % c.N) + c.N) % c.N
+	return c
+}
+
+// Pos returns replica r's position in the rotated chain order.
+func (c Cluster) Pos(r ProcessID) int { return (int(r) - c.Lead + c.N) % c.N }
+
+// AtPos returns the replica occupying position i of the rotated chain order.
+func (c Cluster) AtPos(i int) ProcessID { return Replica((c.Lead + i) % c.N) }
 
 // NewCluster returns the standard 3f+1 cluster configuration.
 func NewCluster(f int) Cluster {
@@ -78,35 +97,36 @@ func (c Cluster) Quorum() int { return 2*c.F + 1 }
 func (c Cluster) WeakQuorum() int { return c.F + 1 }
 
 // Primary returns the primary replica for the given view number
-// (view mod N), as used by PBFT-style protocols.
+// (position view mod N of the rotated order), as used by PBFT-style
+// protocols.
 func (c Cluster) Primary(view uint64) ProcessID {
-	return Replica(int(view % uint64(c.N)))
+	return c.AtPos(int(view % uint64(c.N)))
 }
 
-// Head returns the head of the chain order (replica 0).
-func (c Cluster) Head() ProcessID { return Replica(0) }
+// Head returns the head of the chain order (position 0).
+func (c Cluster) Head() ProcessID { return c.AtPos(0) }
 
-// Tail returns the tail of the chain order (replica N-1).
-func (c Cluster) Tail() ProcessID { return Replica(c.N - 1) }
+// Tail returns the tail of the chain order (position N-1).
+func (c Cluster) Tail() ProcessID { return c.AtPos(c.N - 1) }
 
 // ChainSuccessor returns the successor of replica r in chain order, and
 // whether r is the tail (in which case the successor is the client).
 func (c Cluster) ChainSuccessor(r ProcessID) (ProcessID, bool) {
-	i := int(r)
+	i := c.Pos(r)
 	if i >= c.N-1 {
 		return -1, false
 	}
-	return Replica(i + 1), true
+	return c.AtPos(i + 1), true
 }
 
 // ChainPredecessor returns the predecessor of replica r in chain order, and
 // whether r is the head (in which case the predecessor is the client).
 func (c Cluster) ChainPredecessor(r ProcessID) (ProcessID, bool) {
-	i := int(r)
+	i := c.Pos(r)
 	if i <= 0 {
 		return -1, false
 	}
-	return Replica(i - 1), true
+	return c.AtPos(i - 1), true
 }
 
 // ChainSuccessorSet returns the successor set of process p as defined by the
@@ -118,20 +138,20 @@ func (c Cluster) ChainSuccessorSet(p ProcessID) []ProcessID {
 	if p.IsClient() {
 		out := make([]ProcessID, 0, c.F+1)
 		for i := 0; i < c.F+1 && i < c.N; i++ {
-			out = append(out, Replica(i))
+			out = append(out, c.AtPos(i))
 		}
 		return out
 	}
-	i := int(p)
+	i := c.Pos(p)
 	var out []ProcessID
 	if i < 2*c.F {
 		for j := i + 1; j <= i+c.F+1 && j < c.N; j++ {
-			out = append(out, Replica(j))
+			out = append(out, c.AtPos(j))
 		}
 		return out
 	}
 	for j := i + 1; j < c.N; j++ {
-		out = append(out, Replica(j))
+		out = append(out, c.AtPos(j))
 	}
 	return out
 }
@@ -142,7 +162,7 @@ func (c Cluster) ChainSuccessorSet(p ProcessID) []ProcessID {
 func (c Cluster) ChainPredecessorSet(p ProcessID) []ProcessID {
 	var out []ProcessID
 	for j := 0; j < c.N; j++ {
-		q := Replica(j)
+		q := c.AtPos(j)
 		if q == p {
 			continue
 		}
@@ -161,7 +181,7 @@ func (c Cluster) ChainPredecessorSet(p ProcessID) []ProcessID {
 func (c Cluster) LastReplicas() []ProcessID {
 	out := make([]ProcessID, 0, c.F+1)
 	for i := 2 * c.F; i < c.N; i++ {
-		out = append(out, Replica(i))
+		out = append(out, c.AtPos(i))
 	}
 	return out
 }

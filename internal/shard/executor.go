@@ -1,0 +1,243 @@
+package shard
+
+import (
+	"sync"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/msg"
+)
+
+// DefaultEpoch is the default number of per-shard positions merged per shard
+// epoch round.
+const DefaultEpoch = 8
+
+// ExecutorConfig configures the asynchronous execution stage of one replica.
+type ExecutorConfig struct {
+	// Shards is the number of shards merged.
+	Shards int
+	// Epoch is E, the number of positions each shard contributes per merge
+	// round; 0 selects DefaultEpoch. Smaller epochs reduce merge latency,
+	// larger ones amortize the round bookkeeping.
+	Epoch int
+	// NewApp builds the merged application the global sequence is applied
+	// to; nil skips application execution (the merged digest chain is still
+	// maintained).
+	NewApp func() app.Application
+}
+
+// Executor is the asynchronous execution stage: it consumes the ordered
+// spans of every shard off the ordering critical path (fed by the host
+// observer on each sub-host, see Node) and merges them into one
+// deterministic global sequence using shard epoch rounds. Round r emits
+// positions [r*E, (r+1)*E) of shard 0, then shard 1, …, then shard S-1, so
+// the merged sequence — and the merged application state and digest chain
+// built from it — is a pure function of the per-shard ordered histories:
+// every replica converges to the same global order with no cross-shard
+// coordination.
+//
+// A round is emitted once every shard has ordered its E positions, so the
+// merged sequence trails an idle shard (Mencius-style null-op filling is a
+// recorded follow-on); per-key replies never wait for it, because they are
+// served by the per-shard speculative execution.
+type Executor struct {
+	shards, epoch int
+
+	// intake decouples the ordering hot path from the merge loop: observers
+	// append under a lock held only for the append.
+	mu     sync.Mutex
+	intake []loggedRequest
+	wake   chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+
+	// merge-loop-owned per-shard sequencer state.
+	pending [][]msg.Request          // in-order spans awaiting their round
+	popped  []uint64                 // positions already merged per shard
+	ooo     []map[uint64]msg.Request // out-of-order buffer per shard
+
+	// merged state, guarded by stateMu.
+	stateMu      sync.Mutex
+	mergedSeq    uint64
+	mergedDigest authn.Digest
+	mergedApp    app.Application
+	rounds       uint64
+}
+
+type loggedRequest struct {
+	shard int
+	pos   uint64
+	req   msg.Request
+}
+
+// NewExecutor creates and starts the execution stage.
+func NewExecutor(cfg ExecutorConfig) *Executor {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = DefaultEpoch
+	}
+	e := &Executor{
+		shards:  cfg.Shards,
+		epoch:   cfg.Epoch,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		pending: make([][]msg.Request, cfg.Shards),
+		popped:  make([]uint64, cfg.Shards),
+		ooo:     make([]map[uint64]msg.Request, cfg.Shards),
+	}
+	for s := range e.ooo {
+		e.ooo[s] = make(map[uint64]msg.Request)
+	}
+	if cfg.NewApp != nil {
+		e.mergedApp = cfg.NewApp()
+	}
+	go e.run()
+	return e
+}
+
+// Stop terminates the merge loop after draining any completed rounds.
+func (e *Executor) Stop() {
+	close(e.stop)
+	<-e.done
+}
+
+// OnLogged feeds one ordered request at its absolute per-shard position. It
+// is called from the host event loop (under the host lock) and only appends
+// to the intake, keeping the ordering critical path free of execution work.
+func (e *Executor) OnLogged(shard int, pos uint64, req msg.Request) {
+	if shard < 0 || shard >= e.shards {
+		return
+	}
+	e.mu.Lock()
+	e.intake = append(e.intake, loggedRequest{shard: shard, pos: pos, req: req})
+	e.mu.Unlock()
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// MergedSeq returns the number of requests merged into the global sequence.
+func (e *Executor) MergedSeq() uint64 {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.mergedSeq
+}
+
+// MergedDigest returns the digest chain over the merged global sequence; two
+// replicas that merged the same rounds report equal digests.
+func (e *Executor) MergedDigest() authn.Digest {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.mergedDigest
+}
+
+// Rounds returns the number of completed shard epoch rounds.
+func (e *Executor) Rounds() uint64 {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.rounds
+}
+
+// MergedApp returns a snapshot of the merged application (nil when the
+// executor was configured without one).
+func (e *Executor) MergedApp() app.Application {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.mergedApp == nil {
+		return nil
+	}
+	return e.mergedApp.Clone()
+}
+
+func (e *Executor) run() {
+	defer close(e.done)
+	for {
+		select {
+		case <-e.wake:
+			e.drainIntake()
+			e.mergeRounds()
+		case <-e.stop:
+			e.drainIntake()
+			e.mergeRounds()
+			return
+		}
+	}
+}
+
+// drainIntake moves fed requests into the per-shard sequencers, restoring
+// per-shard position order: a request logged at the next expected position
+// extends the in-order span (and unblocks buffered successors); positions
+// already consumed or already buffered are ignored (duplicate deliveries, or
+// a post-switch re-log of a speculative tail — the merge keeps the first
+// value it saw; re-syncing the mirror after an instance switch is a recorded
+// follow-on).
+func (e *Executor) drainIntake() {
+	e.mu.Lock()
+	batch := e.intake
+	e.intake = nil
+	e.mu.Unlock()
+	for _, lr := range batch {
+		s := lr.shard
+		next := e.popped[s] + uint64(len(e.pending[s]))
+		switch {
+		case lr.pos < next:
+			continue
+		case lr.pos > next:
+			if _, ok := e.ooo[s][lr.pos]; !ok && len(e.ooo[s]) < 4096 {
+				e.ooo[s][lr.pos] = lr.req
+			}
+			continue
+		}
+		e.pending[s] = append(e.pending[s], lr.req)
+		for {
+			next = e.popped[s] + uint64(len(e.pending[s]))
+			req, ok := e.ooo[s][next]
+			if !ok {
+				break
+			}
+			delete(e.ooo[s], next)
+			e.pending[s] = append(e.pending[s], req)
+		}
+	}
+}
+
+// mergeRounds emits every complete shard epoch round: E requests of each
+// shard in shard order, executed against the merged application and folded
+// into the merged digest chain.
+func (e *Executor) mergeRounds() {
+	for {
+		ready := true
+		for s := 0; s < e.shards; s++ {
+			if len(e.pending[s]) < e.epoch {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			return
+		}
+		round := make([]msg.Request, 0, e.shards*e.epoch)
+		for s := 0; s < e.shards; s++ {
+			round = append(round, e.pending[s][:e.epoch]...)
+			e.pending[s] = e.pending[s][e.epoch:]
+			e.popped[s] += uint64(e.epoch)
+		}
+		// Execute and fold outside any lock contended by the ordering path;
+		// stateMu only serializes against snapshot readers.
+		e.stateMu.Lock()
+		for _, req := range round {
+			d := req.Digest()
+			e.mergedDigest = authn.HashAll(e.mergedDigest[:], d[:])
+			if e.mergedApp != nil {
+				e.mergedApp.Execute(req.Command)
+			}
+			e.mergedSeq++
+		}
+		e.rounds++
+		e.stateMu.Unlock()
+	}
+}

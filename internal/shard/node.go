@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"log"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// NodeConfig configures one physical replica of the sharded ordering plane.
+type NodeConfig struct {
+	// Shards is the number of parallel shards (S).
+	Shards int
+	// Cluster describes the replica group (unrotated; every shard rotates
+	// its own lead from it).
+	Cluster ids.Cluster
+	// Replica is this replica's identifier.
+	Replica ids.ProcessID
+	// Keys is the cryptographic key store.
+	Keys *authn.KeyStore
+	// Endpoint attaches the replica to the network; the node's router owns
+	// its inbox.
+	Endpoint transport.Endpoint
+	// NewApp builds one application partition per shard plus the merged
+	// application of the execution stage; nil selects a null application.
+	NewApp func() app.Application
+	// NewProtocol builds the per-instance protocol factory of one shard,
+	// given the shard's rotated cluster (composition packages provide it,
+	// e.g. azyzzyva.ReplicaFactory).
+	NewProtocol func(shard int, cluster ids.Cluster) host.ProtocolFactory
+	// Batch is the per-shard batch assembler policy.
+	Batch host.BatchPolicy
+	// TimestampWindow is the per-client timestamp window width per shard.
+	TimestampWindow int
+	// Epoch is the execution stage's merge round length (0 = DefaultEpoch).
+	Epoch int
+	// CheckpointInterval, MaxUncheckpointed, InstrumentHistories,
+	// TickInterval, Ops, and Logger are forwarded to every sub-host.
+	CheckpointInterval  int
+	MaxUncheckpointed   int
+	InstrumentHistories bool
+	TickInterval        time.Duration
+	Ops                 *authn.OpCounter
+	Logger              *log.Logger
+}
+
+// Node is one physical replica of the sharded plane: S sub-hosts (one
+// complete Abstract composition replica per shard, each with a different
+// leader assignment) over one network endpoint, plus the asynchronous
+// execution stage merging the shards' ordered spans.
+type Node struct {
+	cfg    NodeConfig
+	Router *Router
+	// Hosts holds the per-shard replica hosts (index = shard).
+	Hosts []*host.Host
+	// Exec is the node's asynchronous execution stage.
+	Exec *Executor
+}
+
+// Lead returns the replica leading shard s (position 0 of the shard's
+// rotated chain order): replica s mod N.
+func Lead(cluster ids.Cluster, s int) ids.ProcessID {
+	return cluster.WithLead(s % cluster.N).Head()
+}
+
+// NewNode builds a sharded replica. Start must be called to begin
+// processing.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.NewApp == nil {
+		cfg.NewApp = func() app.Application { return app.NewNull(0) }
+	}
+	n := &Node{
+		cfg:    cfg,
+		Router: NewRouter(cfg.Endpoint, cfg.Shards),
+		Exec: NewExecutor(ExecutorConfig{
+			Shards: cfg.Shards,
+			Epoch:  cfg.Epoch,
+			NewApp: cfg.NewApp,
+		}),
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		cl := cfg.Cluster.WithLead(s % cfg.Cluster.N)
+		h := host.New(host.Config{
+			Cluster:             cl,
+			Replica:             cfg.Replica,
+			Keys:                cfg.Keys,
+			App:                 cfg.NewApp(),
+			Endpoint:            n.Router.Endpoint(s),
+			FirstInstance:       1,
+			NewProtocol:         cfg.NewProtocol(s, cl),
+			Batch:               cfg.Batch,
+			TimestampWindow:     cfg.TimestampWindow,
+			CheckpointInterval:  cfg.CheckpointInterval,
+			MaxUncheckpointed:   cfg.MaxUncheckpointed,
+			InstrumentHistories: cfg.InstrumentHistories,
+			TickInterval:        cfg.TickInterval,
+			Ops:                 cfg.Ops,
+			Logger:              cfg.Logger,
+		})
+		h.SetObserver(&execFeed{exec: n.Exec, shard: s})
+		n.Hosts = append(n.Hosts, h)
+	}
+	return n
+}
+
+// Start launches every sub-host's event loop.
+func (n *Node) Start() {
+	for _, h := range n.Hosts {
+		h.Start()
+	}
+}
+
+// Stop terminates the sub-hosts, the router, and the execution stage.
+func (n *Node) Stop() {
+	for _, h := range n.Hosts {
+		h.Stop()
+	}
+	n.Router.Close()
+	n.Exec.Stop()
+}
+
+// Host returns the sub-host of shard s.
+func (n *Node) Host(s int) *host.Host { return n.Hosts[s] }
+
+// execFeed adapts the host observer to the execution stage: every logged
+// request is handed to the executor at its absolute per-shard position.
+type execFeed struct {
+	exec  *Executor
+	shard int
+}
+
+func (f *execFeed) RequestLogged(inst core.InstanceID, req msg.Request, pos uint64) {
+	f.exec.OnLogged(f.shard, pos, req)
+}
+
+// RequestAdopted implements host.HistoryAdopter: entries adopted from an
+// init history during an instance switch fill any per-shard sequencer gap
+// left by ORDERs this replica never received (positions already merged are
+// ignored by the executor's first-win rule).
+func (f *execFeed) RequestAdopted(inst core.InstanceID, req msg.Request, pos uint64) {
+	f.exec.OnLogged(f.shard, pos, req)
+}
+
+func (f *execFeed) InstanceStopped(inst core.InstanceID)   {}
+func (f *execFeed) InstanceActivated(inst core.InstanceID) {}
+
+var (
+	_ host.Observer       = (*execFeed)(nil)
+	_ host.HistoryAdopter = (*execFeed)(nil)
+)

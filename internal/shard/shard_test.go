@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/authn"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// Key partitioning must be a pure function of the key: stable across calls,
+// independent of who computes it, and every shard reachable.
+func TestShardOfDeterministicAndCovering(t *testing.T) {
+	const shards = 4
+	hit := make([]int, shards)
+	for i := 0; i < 1024; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		s := ShardOf(key, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("ShardOf out of range: %d", s)
+		}
+		if again := ShardOf(key, shards); again != s {
+			t.Fatalf("ShardOf not deterministic: %d then %d", s, again)
+		}
+		hit[s]++
+	}
+	for s, n := range hit {
+		if n == 0 {
+			t.Fatalf("shard %d unreachable over 1024 distinct keys", s)
+		}
+	}
+	if ShardOf([]byte("anything"), 1) != 0 {
+		t.Fatal("single-shard planes must route everything to shard 0")
+	}
+}
+
+// Operations of one KV key must land on one shard regardless of the
+// operation type, or per-key linearizability breaks.
+func TestKVKeyExtractorRoutesOperationsTogether(t *testing.T) {
+	put := msg.Request{Command: app.EncodeKVPut("lang", "go")}
+	get := msg.Request{Command: app.EncodeKVGet("lang")}
+	del := msg.Request{Command: app.EncodeKVDelete("lang")}
+	const shards = 7
+	want := ShardOf(KVKeyExtractor(put), shards)
+	for _, req := range []msg.Request{get, del} {
+		if got := ShardOf(KVKeyExtractor(req), shards); got != want {
+			t.Fatalf("operation routed to shard %d, put went to %d", got, want)
+		}
+	}
+}
+
+func TestKeyedCommandRoundTrip(t *testing.T) {
+	cmd := KeyedCommand(42, []byte("payload"))
+	extract := PrefixKeyExtractor(8)
+	key := extract(msg.Request{Command: cmd})
+	if len(key) != 8 {
+		t.Fatalf("prefix key has %d bytes, want 8", len(key))
+	}
+	other := extract(msg.Request{Command: KeyedCommand(42, []byte("different"))})
+	if string(key) != string(other) {
+		t.Fatal("same key must extract identically regardless of payload")
+	}
+}
+
+func reqOf(client, ts uint64, payload string) msg.Request {
+	return msg.Request{Client: ids.Client(int(client)), Timestamp: ts, Command: []byte(payload)}
+}
+
+// referenceMerge computes the documented merge: round r carries positions
+// [r*E, (r+1)*E) of shard 0, then shard 1, ….
+func referenceMerge(perShard [][]msg.Request, epoch int) (uint64, authn.Digest) {
+	rounds := -1
+	for _, h := range perShard {
+		r := len(h) / epoch
+		if rounds < 0 || r < rounds {
+			rounds = r
+		}
+	}
+	var acc authn.Digest
+	var n uint64
+	for r := 0; r < rounds; r++ {
+		for _, h := range perShard {
+			for _, req := range h[r*epoch : (r+1)*epoch] {
+				d := req.Digest()
+				acc = authn.HashAll(acc[:], d[:])
+				n++
+			}
+		}
+	}
+	return n, acc
+}
+
+// The cross-shard merge must be a pure function of the per-shard histories:
+// whatever order spans arrive in (even per-shard out of order), the merged
+// sequence and digest chain converge to the epoch-round reference.
+func TestExecutorCrossShardMergeOrdering(t *testing.T) {
+	const shards, epoch = 3, 2
+	perShard := make([][]msg.Request, shards)
+	for s := 0; s < shards; s++ {
+		for p := 0; p < 6; p++ {
+			perShard[s] = append(perShard[s], reqOf(uint64(s), uint64(p+1), fmt.Sprintf("s%dp%d", s, p)))
+		}
+	}
+	wantSeq, wantDigest := referenceMerge(perShard, epoch)
+	if wantSeq != shards*6 {
+		t.Fatalf("reference covers %d, want %d", wantSeq, shards*6)
+	}
+
+	feedOrders := [][3]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}}
+	for _, order := range feedOrders {
+		e := NewExecutor(ExecutorConfig{Shards: shards, Epoch: epoch})
+		for _, s := range order {
+			// Feed this shard's span with its tail first (out of order), so
+			// the per-shard sequencer has to restore position order.
+			for p := len(perShard[s]) - 1; p >= 0; p-- {
+				e.OnLogged(s, uint64(p), perShard[s][p])
+			}
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for e.MergedSeq() < wantSeq && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if got := e.MergedSeq(); got != wantSeq {
+			t.Fatalf("order %v: merged %d requests, want %d", order, got, wantSeq)
+		}
+		if got := e.MergedDigest(); got != wantDigest {
+			t.Fatalf("order %v: merged digest diverged from the epoch-round reference", order)
+		}
+		e.Stop()
+	}
+}
+
+// Duplicate deliveries of a position must not advance the merge twice.
+func TestExecutorIgnoresDuplicatePositions(t *testing.T) {
+	e := NewExecutor(ExecutorConfig{Shards: 1, Epoch: 1})
+	defer e.Stop()
+	r := reqOf(0, 1, "once")
+	e.OnLogged(0, 0, r)
+	e.OnLogged(0, 0, r)
+	e.OnLogged(0, 1, reqOf(0, 2, "two"))
+	deadline := time.Now().Add(2 * time.Second)
+	for e.MergedSeq() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := e.MergedSeq(); got != 2 {
+		t.Fatalf("merged %d, want 2", got)
+	}
+	want := history.DigestHistory{r.Digest(), reqOf(0, 2, "two").Digest()}.Digest()
+	if e.MergedDigest() != want {
+		t.Fatal("duplicate delivery changed the merged sequence")
+	}
+}
+
+// The router must deliver each shard's traffic only to that shard's
+// endpoint, wrap outgoing sends, and expand coalesced packs.
+func TestRouterShardIsolation(t *testing.T) {
+	// Executor/merge not involved: pure routing.
+	netw := newLoopEndpoint()
+	r := NewRouter(netw, 2)
+	defer r.Close()
+	netw.inject(&Mark{Shard: 1, Payload: "for-one"})
+	netw.inject("unmarked-goes-to-zero")
+	select {
+	case env := <-r.Endpoint(1).Inbox():
+		if env.Payload != "for-one" {
+			t.Fatalf("shard 1 received %v", env.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("shard 1 message not routed")
+	}
+	select {
+	case env := <-r.Endpoint(0).Inbox():
+		if env.Payload != "unmarked-goes-to-zero" {
+			t.Fatalf("shard 0 received %v", env.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("unmarked message not routed to shard 0")
+	}
+	r.Endpoint(1).Send(ids.Replica(0), "out")
+	sent := netw.lastSent()
+	mk, ok := sent.(*Mark)
+	if !ok || mk.Shard != 1 || mk.Payload != "out" {
+		t.Fatalf("outgoing send not wrapped with the shard mark: %#v", sent)
+	}
+}
+
+// loopEndpoint is a minimal transport.Endpoint test double: inject feeds the
+// inbox, lastSent records the most recent outgoing payload.
+type loopEndpoint struct {
+	mu   sync.Mutex
+	in   chan transport.Envelope
+	sent []any
+}
+
+func newLoopEndpoint() *loopEndpoint {
+	return &loopEndpoint{in: make(chan transport.Envelope, 64)}
+}
+
+func (l *loopEndpoint) ID() ids.ProcessID { return ids.Replica(0) }
+
+func (l *loopEndpoint) Send(to ids.ProcessID, payload any) {
+	l.mu.Lock()
+	l.sent = append(l.sent, payload)
+	l.mu.Unlock()
+}
+
+func (l *loopEndpoint) Inbox() <-chan transport.Envelope { return l.in }
+
+func (l *loopEndpoint) Close() {}
+
+func (l *loopEndpoint) inject(payload any) {
+	l.in <- transport.Envelope{From: ids.Client(0), To: ids.Replica(0), Payload: payload}
+}
+
+func (l *loopEndpoint) lastSent() any {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.sent) == 0 {
+		return nil
+	}
+	return l.sent[len(l.sent)-1]
+}

@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+)
+
+// TestTCPHandshakePinsReplyRoute models the reply-route squatting attack: a
+// Byzantine peer connects to a replica first, claiming a victim client's
+// identity in its envelopes' From field. Without the handshake the replica
+// would route the victim's replies over the attacker's connection; with the
+// handshake only the peer that MACs the acceptor's nonce under the pairwise
+// key wins the route, so the victim still receives its replies.
+func TestTCPHandshakePinsReplyRoute(t *testing.T) {
+	keys := authn.NewKeyStore("handshake-test")
+	replica := ids.Replica(0)
+	victim := ids.Client(0)
+	attacker := ids.Client(1)
+
+	addrs := map[ids.ProcessID]string{replica: "127.0.0.1:0"}
+	server, err := NewTCPAuth(replica, addrs, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	RegisterWireType("")
+
+	// The attacker connects first and spoofs the victim's From. Its endpoint
+	// has the real key store, but it proves as itself (the handshake MAC is
+	// over the pairwise key of the *proving* identity, which it cannot forge
+	// for the victim).
+	attackerAddrs := map[ids.ProcessID]string{replica: server.Addr(), attacker: "127.0.0.1:0"}
+	att, err := NewTCPAuth(attacker, attackerAddrs, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer att.Close()
+	// Forge envelopes claiming to be the victim. Send repeatedly so the
+	// squat attempt happens both before and after the handshake completes.
+	for i := 0; i < 5; i++ {
+		att.sendAs(victim, replica, "squat")
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The honest victim connects afterwards and invokes.
+	victimAddrs := map[ids.ProcessID]string{replica: server.Addr(), victim: "127.0.0.1:0"}
+	vic, err := NewTCPAuth(victim, victimAddrs, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vic.Close()
+	vic.Send(replica, "request")
+
+	// Drain the replica's inbox until the victim's request arrives.
+	deadline := time.After(2 * time.Second)
+	for seen := false; !seen; {
+		select {
+		case env := <-server.Inbox():
+			if env.From == victim && env.Payload == "request" {
+				seen = true
+			}
+		case <-deadline:
+			t.Fatal("victim request not delivered")
+		}
+	}
+	// Allow the victim's proof to land before the reply (the proof races the
+	// first request on the connection).
+	time.Sleep(50 * time.Millisecond)
+
+	// The replica replies to the victim; it must arrive on the victim's
+	// connection, not the attacker's.
+	server.Send(victim, "reply")
+	select {
+	case env := <-vic.Inbox():
+		if env.Payload != "reply" {
+			t.Fatalf("victim received %v, want reply", env.Payload)
+		}
+	case env := <-att.Inbox():
+		t.Fatalf("attacker received the victim's reply: %v", env.Payload)
+	case <-time.After(2 * time.Second):
+		t.Fatal("reply not delivered to the victim (route squatted or never registered)")
+	}
+}
+
+// sendAs enqueues an envelope with a forged From field over the connection to
+// dst (test-only attacker behaviour).
+func (t *TCP) sendAs(from, dst ids.ProcessID, payload any) {
+	conn, err := t.conn(dst)
+	if err != nil {
+		return
+	}
+	conn.enqueue(wireEnvelope{From: from, To: dst, Payload: payload})
+}
+
+// TestTCPHandshakeNoProofOracle models the relay attack on the handshake
+// itself: the attacker harvests a replica's challenge nonce, forwards it to
+// a victim endpoint over a connection the attacker initiated, and hopes the
+// victim MACs it (which the attacker could then replay to the replica to
+// squat the victim's reply route). Endpoints must answer challenges only on
+// connections they dialed themselves, for the peer they dialed.
+func TestTCPHandshakeNoProofOracle(t *testing.T) {
+	keys := authn.NewKeyStore("oracle-test")
+	replica := ids.Replica(0)
+	victim := ids.Client(0)
+
+	// The victim listens (clients do, for symmetric deployments).
+	victimAddrs := map[ids.ProcessID]string{victim: "127.0.0.1:0"}
+	vic, err := NewTCPAuth(victim, victimAddrs, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vic.Close()
+
+	// The attacker speaks raw gob on its own connection to the victim and
+	// forwards a (fabricated) challenge claiming to come from the replica.
+	raw, err := net.Dial("tcp", vic.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	enc := gob.NewEncoder(raw)
+	dec := gob.NewDecoder(raw)
+	nonce := make([]byte, 32)
+	if err := enc.Encode(&wireEnvelope{From: replica, To: victim, Payload: &connChallenge{Nonce: nonce}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim's own challenge (it accepted our connection) may arrive;
+	// a connProof from the victim must not.
+	raw.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+	for {
+		var env wireEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return // deadline or close: no proof leaked
+		}
+		if _, leaked := env.Payload.(*connProof); leaked {
+			t.Fatal("victim answered a challenge on a connection it did not dial: MAC oracle")
+		}
+	}
+}

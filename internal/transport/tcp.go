@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bufio"
+	"crypto/rand"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 
+	"abstractbft/internal/authn"
 	"abstractbft/internal/ids"
 )
 
@@ -17,6 +19,28 @@ func RegisterWireType(v any) { gob.Register(v) }
 
 func init() {
 	RegisterWireType(&Packed{})
+	RegisterWireType(&connChallenge{})
+	RegisterWireType(&connProof{})
+}
+
+// connChallenge is the first frame an authenticated acceptor sends on every
+// accepted connection: a fresh random nonce the dialer must MAC to prove its
+// claimed identity before the acceptor routes replies over the connection.
+type connChallenge struct {
+	Nonce []byte
+}
+
+// connProof answers a connChallenge: a MAC over the nonce under the pairwise
+// key of (dialer, acceptor). The dialer's identity is the envelope's From
+// field; the MAC pins it, because only the two key holders can produce it and
+// the fresh nonce defeats replays.
+type connProof struct {
+	Proof authn.MAC
+}
+
+// connProofBytes is the domain-separated input of the handshake MAC.
+func connProofBytes(nonce []byte) []byte {
+	return append([]byte("tcp-conn-proof:"), nonce...)
 }
 
 // wireEnvelope is the on-the-wire representation of an Envelope.
@@ -110,6 +134,13 @@ func (c *tcpConn) close() {
 type TCP struct {
 	self  ids.ProcessID
 	addrs map[ids.ProcessID]string
+	// keys, when non-nil, enables the connection handshake: accepted
+	// connections are challenged with a nonce, and reply routes toward
+	// address-less peers (clients) are installed only after the dialer proves
+	// its identity with a MAC over the nonce under the pairwise key. This
+	// closes the reply-route squatting hole of the unauthenticated From
+	// field (a liveness-only attack; protocol MACs protect safety).
+	keys *authn.KeyStore
 
 	mu     sync.Mutex
 	conns  map[ids.ProcessID]*tcpConn
@@ -123,9 +154,19 @@ type TCP struct {
 	inClosed bool
 }
 
-// NewTCP creates a TCP endpoint for process self listening on
-// addrs[self]; addrs maps every process to its listen address.
+// NewTCP creates an unauthenticated TCP endpoint for process self listening
+// on addrs[self]; addrs maps every process to its listen address. Reply
+// routes are pinned by the envelope's unauthenticated From field; use
+// NewTCPAuth in deployments.
 func NewTCP(self ids.ProcessID, addrs map[ids.ProcessID]string) (*TCP, error) {
+	return NewTCPAuth(self, addrs, nil)
+}
+
+// NewTCPAuth creates a TCP endpoint with the connection handshake enabled:
+// accepted connections must answer a nonce challenge with a MAC under the
+// pairwise key from keys before replies are routed over them. A nil keys
+// value disables the handshake (NewTCP behaviour).
+func NewTCPAuth(self ids.ProcessID, addrs map[ids.ProcessID]string, keys *authn.KeyStore) (*TCP, error) {
 	addr, ok := addrs[self]
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for %v", self)
@@ -137,6 +178,7 @@ func NewTCP(self ids.ProcessID, addrs map[ids.ProcessID]string) (*TCP, error) {
 	t := &TCP{
 		self:  self,
 		addrs: addrs,
+		keys:  keys,
 		conns: make(map[ids.ProcessID]*tcpConn),
 		ln:    ln,
 		in:    make(chan Envelope, 8192),
@@ -203,29 +245,31 @@ func (t *TCP) conn(to ids.ProcessID) (*tcpConn, error) {
 	t.mu.Unlock()
 	// Responses come back on the same connection (processes without a listed
 	// address — clients — cannot be dialed back).
-	go t.readLoop(raw)
+	go t.readLoop(raw, c, nil, to)
 	return c, nil
 }
 
-// registerConn installs a write path over an accepted connection so that
-// replies can be routed back to peers with no dialable address (clients
-// behind the accept side). An existing healthy write path is kept — the
-// envelope's From field is unauthenticated, so letting any connection
+// noPeer marks a connection with no dialed peer (accepted connections).
+const noPeer = ids.ProcessID(-1)
+
+// registerConn installs a write path over a connection so that replies can be
+// routed back to peers with no dialable address (clients behind the accept
+// side). An existing healthy write path is kept — letting any connection
 // displace (and close) another peer's live connection would hand Byzantine
 // processes an active link-severing primitive the fair-loss model does not
 // grant them. A write path whose writer already died is replaced; after a
 // genuine client reconnect, the first failed write to the stale path clears
 // it (Send drops it) and a later envelope on the new connection registers
-// it. It reports whether the peer now routes over raw, so callers keep
+// it. It reports whether the peer now routes over wconn, so callers keep
 // retrying until their connection wins the route.
-func (t *TCP) registerConn(peer ids.ProcessID, raw net.Conn) bool {
+func (t *TCP) registerConn(peer ids.ProcessID, wconn *tcpConn) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return false
 	}
 	if c, ok := t.conns[peer]; ok {
-		if c.raw == raw {
+		if c == wconn {
 			return true
 		}
 		select {
@@ -236,7 +280,7 @@ func (t *TCP) registerConn(peer ids.ProcessID, raw net.Conn) bool {
 		}
 		delete(t.conns, peer)
 	}
-	t.conns[peer] = newTCPConn(raw)
+	t.conns[peer] = wconn
 	return true
 }
 
@@ -268,28 +312,83 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go t.readLoop(conn)
+		// Every connection gets exactly one writer (one gob stream) created
+		// up front; the acceptor challenges the dialer over it when the
+		// handshake is enabled.
+		wconn := newTCPConn(conn)
+		var nonce []byte
+		if t.keys != nil {
+			nonce = make([]byte, 32)
+			if _, err := rand.Read(nonce); err != nil {
+				wconn.close()
+				conn.Close()
+				continue
+			}
+			wconn.enqueue(wireEnvelope{From: t.self, Payload: &connChallenge{Nonce: nonce}})
+		}
+		go t.readLoop(conn, wconn, nonce, noPeer)
 	}
 }
 
-func (t *TCP) readLoop(conn net.Conn) {
+// readLoop drains one connection. wconn is the connection's single writer;
+// nonce is non-nil on accepted connections of an authenticated endpoint and
+// holds the challenge the dialer must answer before this connection can win
+// reply routes; dialed is the peer this endpoint dialed (noPeer for accepted
+// connections).
+func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.ProcessID) {
 	defer conn.Close()
+	defer wconn.close()
 	defer t.dropByRaw(conn)
 	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 64*1024))
 	// registered caches which peers this connection already routes replies
 	// for, so the global registration lock is taken once per peer rather
 	// than once per message.
 	registered := make(map[ids.ProcessID]bool)
+	// proven is the peer that answered the challenge on this connection.
+	proven := ids.ProcessID(-1)
 	for {
 		var env wireEnvelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
+		switch hs := env.Payload.(type) {
+		case *connChallenge:
+			// The acceptor challenges us: prove our identity with a MAC over
+			// the nonce under the pairwise key shared with it. Only answer on
+			// a connection we dialed, and only for the peer we dialed —
+			// answering arbitrary challenges would turn this endpoint into a
+			// MAC oracle (an attacker could forward another acceptor's nonce
+			// here, harvest the proof, and replay it to squat our reply
+			// route at that acceptor).
+			if t.keys != nil && dialed != noPeer && env.From == dialed {
+				wconn.enqueue(wireEnvelope{From: t.self, To: env.From, Payload: &connProof{
+					Proof: t.keys.MAC(t.self, env.From, connProofBytes(hs.Nonce)),
+				}})
+			}
+			continue
+		case *connProof:
+			if t.keys != nil && nonce != nil && proven < 0 {
+				if t.keys.VerifyMAC(env.From, t.self, connProofBytes(nonce), hs.Proof) == nil {
+					proven = env.From
+					// Install the reply route right away for address-less
+					// peers: their proof may be the only frame after the
+					// initial request burst.
+					if _, dialable := t.addrs[proven]; !dialable {
+						registered[proven] = t.registerConn(proven, wconn)
+					}
+				}
+			}
+			continue
+		}
 		// Route replies back over this connection when the sender has no
 		// dialable address (clients); keep retrying until this connection
 		// wins the route (an older healthy connection is never displaced).
+		// With the handshake enabled, only the proven peer may win routes —
+		// an unauthenticated From cannot squat another client's replies.
 		if _, dialable := t.addrs[env.From]; !dialable && !registered[env.From] {
-			registered[env.From] = t.registerConn(env.From, conn)
+			if t.keys == nil || (nonce != nil && env.From == proven) {
+				registered[env.From] = t.registerConn(env.From, wconn)
+			}
 		}
 		// Expand write-coalesced packs so inbox consumers only ever see
 		// protocol payloads.

@@ -14,6 +14,7 @@ import (
 	"abstractbft/internal/ids"
 	"abstractbft/internal/metrics"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/shard"
 )
 
 // Invoker abstracts a closed-loop client of any protocol in the repository:
@@ -67,6 +68,14 @@ type ClosedLoopConfig struct {
 	// goroutines of one client share its identity and draw timestamps from
 	// one counter.
 	Pipeline int
+	// KeySpace, when positive, makes the generators keyed: every command
+	// carries an 8-byte big-endian key prefix (shard.KeyedCommand) drawn
+	// from [0, KeySpace), so the sharded plane can partition the requests by
+	// key. KeyOf picks the key per request; 0 leaves commands unkeyed.
+	KeySpace int
+	// KeyOf selects the key of client i's request with timestamp ts; nil
+	// selects round-robin over the key space, offset per client.
+	KeyOf func(client int, ts uint64) uint64
 }
 
 // Result aggregates the outcome of a closed-loop run.
@@ -116,6 +125,12 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig, newInvoker func(i 
 	if pipeline <= 0 {
 		pipeline = 1
 	}
+	keyOf := cfg.KeyOf
+	if keyOf == nil && cfg.KeySpace > 0 {
+		keyOf = func(client int, ts uint64) uint64 {
+			return (uint64(client) + ts) % uint64(cfg.KeySpace)
+		}
+	}
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	start := time.Now()
@@ -130,6 +145,7 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig, newInvoker func(i 
 		var nextTS atomic.Uint64
 		for s := 0; s < pipeline; s++ {
 			wg.Add(1)
+			clientIndex := i
 			go func(inv Invoker, clientID ids.ProcessID) {
 				defer wg.Done()
 				payload := make([]byte, cfg.RequestSize)
@@ -141,7 +157,11 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig, newInvoker func(i 
 					if runCtx.Err() != nil {
 						return
 					}
-					req := msg.Request{Client: clientID, Timestamp: ts, Command: payload}
+					command := payload
+					if keyOf != nil {
+						command = shard.KeyedCommand(keyOf(clientIndex, ts), payload)
+					}
+					req := msg.Request{Client: clientID, Timestamp: ts, Command: command}
 					t0 := time.Now()
 					_, err := inv.Invoke(runCtx, req)
 					if err != nil {
