@@ -254,6 +254,35 @@ func BenchmarkPipelinedQuorumThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkHistoryGC measures the retained memory of a replica host over
+// ≥100k logged-and-executed requests with history garbage collection on
+// versus off: with GC on (the default), heap growth and retained storage
+// stay bounded by the checkpoint interval; with GC off they grow linearly
+// with the run. The direct-driven host (no network, no crypto) isolates the
+// history-plane cost.
+func BenchmarkHistoryGC(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		disableGC bool
+	}{{"on", false}, {"off", true}} {
+		b.Run("gc="+mode.name, func(b *testing.B) {
+			const requests = 100_000
+			b.ResetTimer()
+			var perReq, retained float64
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.MeasureHistoryGC(requests, mode.disableGC)
+				if err != nil {
+					b.Fatalf("MeasureHistoryGC: %v", err)
+				}
+				perReq += row.BytesPerRequest
+				retained += float64(row.RetainedDigests)
+			}
+			b.ReportMetric(perReq/float64(b.N), "heapB/req")
+			b.ReportMetric(retained/float64(b.N), "retained-digests")
+		})
+	}
+}
+
 // BenchmarkAblationClosedLoopThroughput measures the real in-process Aliph
 // deployment under a short closed-loop multi-client workload.
 func BenchmarkAblationClosedLoopThroughput(b *testing.B) {

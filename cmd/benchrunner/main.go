@@ -149,6 +149,64 @@ func runSharding(out string, clients, pipeline int, seconds float64) error {
 	return nil
 }
 
+// recoveryReport is the schema of BENCH_recovery.json: the measured
+// crash-restart catch-up (statesync) plus the history-GC memory rows.
+type recoveryReport struct {
+	Benchmark string `json:"benchmark"`
+	Protocol  string `json:"protocol"`
+	// Clients and Seconds describe the workload bursts around the restart.
+	Clients  int                     `json:"clients"`
+	Seconds  float64                 `json:"seconds_per_burst"`
+	Recovery experiments.RecoveryRow `json:"recovery"`
+	// GCRows compare the same direct-driven request sequence with history
+	// garbage collection on vs off; with GC on the retained digests/bodies
+	// and heap growth stay bounded by the checkpoint interval.
+	GCRequests int                 `json:"gc_requests"`
+	GCRows     []experiments.GCRow `json:"gc_rows"`
+}
+
+func runRecovery(out string, clients int, seconds float64, gcRequests int) error {
+	cfg := experiments.RecoveryConfig{
+		Clients:  clients,
+		Duration: time.Duration(seconds * float64(time.Second)),
+	}
+	budget := 2*cfg.Duration + 2*time.Minute
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	row, err := experiments.MeasureRecovery(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	var gcRows []experiments.GCRow
+	for _, off := range []bool{false, true} {
+		g, err := experiments.MeasureHistoryGC(gcRequests, off)
+		if err != nil {
+			return err
+		}
+		gcRows = append(gcRows, g)
+	}
+	report := recoveryReport{
+		Benchmark:  "recovery",
+		Protocol:   "zlight (azyzzyva composition), kv store",
+		Clients:    cfg.Clients,
+		Seconds:    seconds,
+		Recovery:   row,
+		GCRequests: gcRequests,
+		GCRows:     gcRows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println(experiments.RecoveryTable(row, gcRows).Format())
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 // batchingReport is the schema of BENCH_batching.json.
 type batchingReport struct {
 	Benchmark string `json:"benchmark"`
@@ -216,12 +274,37 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or 'all', or 'list')")
 	batching := flag.Bool("batching", false, "run the live batching measurement and write a JSON report")
 	sharding := flag.Bool("sharding", false, "run the live sharding measurement and write a JSON report")
-	out := flag.String("out", "", "output path for the JSON report (default BENCH_batching.json / BENCH_sharding.json)")
-	clients := flag.Int("clients", 24, "closed-loop clients for -batching/-sharding")
+	recovery := flag.Bool("recovery", false, "run the live crash-restart recovery measurement and write a JSON report")
+	out := flag.String("out", "", "output path for the JSON report (default BENCH_<benchmark>.json)")
+	clients := flag.Int("clients", 24, "closed-loop clients for -batching/-sharding (8 for -recovery)")
 	pipeline := flag.Int("pipeline", 1, "per-client pipeline depth for -batching (default 4 for -sharding)")
-	seconds := flag.Float64("seconds", 1.0, "measured seconds per row for -batching/-sharding")
+	seconds := flag.Float64("seconds", 1.0, "measured seconds per row/burst")
+	gcRequests := flag.Int("gc-requests", 100000, "requests per history-GC memory row for -recovery")
 	flag.Parse()
 
+	if *recovery {
+		path := *out
+		if path == "" {
+			path = "BENCH_recovery.json"
+		}
+		// -recovery defaults to 8 clients; an explicitly passed -clients
+		// value (even one equal to the shared default) is honored.
+		clientsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "clients" {
+				clientsSet = true
+			}
+		})
+		n := *clients
+		if !clientsSet {
+			n = 8
+		}
+		if err := runRecovery(path, n, *seconds, *gcRequests); err != nil {
+			fmt.Fprintf(os.Stderr, "recovery: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sharding {
 		path := *out
 		if path == "" {

@@ -21,15 +21,27 @@ import (
 )
 
 // Application is a deterministic state machine. Execute applies a command
-// and returns the application-level reply; Snapshot returns a digest of the
-// current state (used by checkpoints); Clone returns an independent copy with
-// the same state (used when initializing a new Abstract instance replica from
-// the state of the previous one).
+// and returns the application-level reply; Snapshot serializes the full
+// application state (used by the checkpoint state-transfer plane,
+// internal/statesync); Restore replaces the state from a Snapshot-produced
+// serialization; Clone returns an independent copy with the same state (used
+// when initializing a new Abstract instance replica from the state of the
+// previous one).
+//
+// Snapshot must be deterministic: two applications that executed the same
+// command sequence serialize to identical bytes, so StateDigest values agree
+// across replicas.
 type Application interface {
 	Execute(command []byte) []byte
-	Snapshot() authn.Digest
+	Snapshot() []byte
+	Restore(data []byte) error
 	Clone() Application
 }
+
+// StateDigest returns the collision-resistant digest of an application's
+// serialized state: the value replicas agree on (f+1 matching digests) before
+// a transferred snapshot is accepted.
+func StateDigest(a Application) authn.Digest { return authn.Hash(a.Snapshot()) }
 
 // Null is the microbenchmark application: every command returns a fixed-size
 // zero-filled reply.
@@ -49,12 +61,23 @@ func (n *Null) Execute(command []byte) []byte {
 	return make([]byte, n.ReplySize)
 }
 
-// Snapshot implements Application; the state is just the execution count.
-func (n *Null) Snapshot() authn.Digest {
-	var buf [16]byte
+// Snapshot implements Application; the state is just the execution count and
+// the reply size.
+func (n *Null) Snapshot() []byte {
+	buf := make([]byte, 16)
 	binary.BigEndian.PutUint64(buf[:8], n.executed)
 	binary.BigEndian.PutUint64(buf[8:], uint64(n.ReplySize))
-	return authn.Hash(buf[:])
+	return buf
+}
+
+// Restore implements Application.
+func (n *Null) Restore(data []byte) error {
+	if len(data) != 16 {
+		return fmt.Errorf("app: null snapshot must be 16 bytes, have %d", len(data))
+	}
+	n.executed = binary.BigEndian.Uint64(data[:8])
+	n.ReplySize = int(binary.BigEndian.Uint64(data[8:]))
+	return nil
 }
 
 // Clone implements Application.
@@ -157,18 +180,66 @@ func (s *KVStore) Execute(command []byte) []byte {
 	}
 }
 
-// Snapshot implements Application: a digest over the sorted key/value pairs.
-func (s *KVStore) Snapshot() authn.Digest {
+// Snapshot implements Application: the sorted key/value pairs, each encoded
+// with the KV length-prefixed layout, so equal stores serialize identically.
+func (s *KVStore) Snapshot() []byte {
 	keys := make([]string, 0, len(s.data))
 	for k := range s.data {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	parts := make([][]byte, 0, 2*len(keys))
+	var buf bytes.Buffer
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(keys)))
+	buf.Write(l[:])
 	for _, k := range keys {
-		parts = append(parts, []byte(k), []byte(s.data[k]))
+		binary.BigEndian.PutUint32(l[:], uint32(len(k)))
+		buf.Write(l[:])
+		buf.WriteString(k)
+		binary.BigEndian.PutUint32(l[:], uint32(len(s.data[k])))
+		buf.Write(l[:])
+		buf.WriteString(s.data[k])
 	}
-	return authn.HashAll(parts...)
+	return buf.Bytes()
+}
+
+// Restore implements Application.
+func (s *KVStore) Restore(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("app: kv snapshot too short (%d bytes)", len(data))
+	}
+	n := binary.BigEndian.Uint32(data[:4])
+	rest := data[4:]
+	out := make(map[string]string, n)
+	readString := func() (string, error) {
+		if len(rest) < 4 {
+			return "", fmt.Errorf("app: kv snapshot truncated")
+		}
+		l := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < l {
+			return "", fmt.Errorf("app: kv snapshot truncated")
+		}
+		v := string(rest[:l])
+		rest = rest[l:]
+		return v, nil
+	}
+	for i := uint32(0); i < n; i++ {
+		k, err := readString()
+		if err != nil {
+			return err
+		}
+		v, err := readString()
+		if err != nil {
+			return err
+		}
+		out[k] = v
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("app: kv snapshot has %d trailing bytes", len(rest))
+	}
+	s.data = out
+	return nil
 }
 
 // Clone implements Application.
@@ -205,10 +276,19 @@ func (c *Counter) Execute(command []byte) []byte {
 }
 
 // Snapshot implements Application.
-func (c *Counter) Snapshot() authn.Digest {
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], c.value)
-	return authn.Hash(buf[:])
+func (c *Counter) Snapshot() []byte {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, c.value)
+	return buf
+}
+
+// Restore implements Application.
+func (c *Counter) Restore(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("app: counter snapshot must be 8 bytes, have %d", len(data))
+	}
+	c.value = binary.BigEndian.Uint64(data)
+	return nil
 }
 
 // Clone implements Application.

@@ -13,7 +13,7 @@ func TestNullApplication(t *testing.T) {
 	}
 	before := n.Snapshot()
 	n.Execute(nil)
-	if n.Snapshot() == before {
+	if bytes.Equal(n.Snapshot(), before) {
 		t.Fatalf("snapshot should change as commands execute")
 	}
 	clone := n.Clone().(*Null)
@@ -42,7 +42,7 @@ func TestKVStore(t *testing.T) {
 	if kv.Get("k") != "" || kv.Len() != 0 {
 		t.Fatalf("delete did not remove the key")
 	}
-	if kv.Snapshot() == snapshotWithK {
+	if bytes.Equal(kv.Snapshot(), snapshotWithK) {
 		t.Fatalf("snapshot should change after delete")
 	}
 	// Clone must be unaffected by the delete on the original.
@@ -66,8 +66,42 @@ func TestKVStoreDeterminism(t *testing.T) {
 			t.Fatalf("same command produced different replies")
 		}
 	}
-	if a.Snapshot() != b.Snapshot() {
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
 		t.Fatalf("same command sequence produced different snapshots")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	kv := NewKVStore()
+	kv.Execute(EncodeKVPut("a", "1"))
+	kv.Execute(EncodeKVPut("b", "2"))
+	n := NewNull(32)
+	n.Execute(nil)
+	n.Execute(nil)
+	c := NewCounter()
+	c.Execute(nil)
+	fresh := []Application{NewKVStore(), NewNull(0), NewCounter()}
+	for i, a := range []Application{kv, n, c} {
+		if err := fresh[i].Restore(a.Snapshot()); err != nil {
+			t.Fatalf("restore %T: %v", a, err)
+		}
+		if StateDigest(fresh[i]) != StateDigest(a) {
+			t.Fatalf("%T: restored state digest diverges", a)
+		}
+	}
+	if got := fresh[0].(*KVStore).Get("b"); got != "2" {
+		t.Fatalf("restored kv value %q, want 2", got)
+	}
+	if got := fresh[1].(*Null).ReplySize; got != 32 {
+		t.Fatalf("restored null reply size %d, want 32", got)
+	}
+	if got := fresh[2].(*Counter).Value(); got != 1 {
+		t.Fatalf("restored counter %d, want 1", got)
+	}
+	for _, a := range fresh {
+		if err := a.Restore([]byte{1}); err == nil {
+			t.Fatalf("%T: truncated snapshot accepted", a)
+		}
 	}
 }
 
@@ -83,7 +117,7 @@ func TestCounter(t *testing.T) {
 	if c.Value() != 2 || clone.Value() != 3 {
 		t.Fatalf("clone shares state")
 	}
-	if c.Snapshot() == clone.Snapshot() {
+	if bytes.Equal(c.Snapshot(), clone.Snapshot()) {
 		t.Fatalf("different states share a snapshot")
 	}
 }

@@ -53,6 +53,13 @@ type Config struct {
 	Network transport.Options
 	// CheckpointInterval is CHK (0 = default 128, negative = disabled).
 	CheckpointInterval int
+	// DisableGC keeps whole histories and request bodies in memory for the
+	// lifetime of every replica (the pre-statesync behaviour); by default
+	// replicas garbage-collect below their last stable checkpoint.
+	DisableGC bool
+	// ShardNullOpInterval is the sharded plane's idle-shard null-op probe
+	// period (0 = shard.DefaultNullOpInterval, negative = disabled).
+	ShardNullOpInterval time.Duration
 	// MaxUncheckpointed bounds the uncheckpointed history (R-Aliph).
 	MaxUncheckpointed int
 	// InstrumentHistories enables the specification checker instrumentation.
@@ -121,6 +128,7 @@ func New(cfg Config) (*Cluster, error) {
 			Batch:               cfg.Batch,
 			TimestampWindow:     cfg.TimestampWindow,
 			CheckpointInterval:  cfg.CheckpointInterval,
+			DisableGC:           cfg.DisableGC,
 			MaxUncheckpointed:   cfg.MaxUncheckpointed,
 			InstrumentHistories: cfg.InstrumentHistories,
 			Ops:                 cfg.Ops,
@@ -137,6 +145,46 @@ func New(cfg Config) (*Cluster, error) {
 		h.Start()
 	}
 	return c, nil
+}
+
+// RestartReplica crash-restarts replica i: the old host is stopped and
+// discarded (its history, application state, and snapshots die with it), a
+// fresh host comes up under the same identity with an empty application and
+// a clean endpoint, and state-syncs from its peers — the FETCH-STATE/STATE
+// transfer restores the application snapshot at the cluster's stable
+// checkpoint plus the history suffix beyond it, accepted only under f+1
+// digest agreement. The returned host replaces Hosts[i]; catch-up completes
+// asynchronously (poll Host.Syncing / Host.AppliedState).
+func (c *Cluster) RestartReplica(i int) *host.Host {
+	old := c.Hosts[i]
+	old.Stop()
+	r := ids.Replica(i)
+	h := host.New(host.Config{
+		Cluster:             c.Cluster,
+		Replica:             r,
+		Keys:                c.Keys,
+		App:                 c.cfg.NewApp(),
+		Endpoint:            c.Net.ResetEndpoint(r),
+		FirstInstance:       1,
+		NewProtocol:         c.cfg.NewReplicaFactory(c.Cluster),
+		Batch:               c.cfg.Batch,
+		TimestampWindow:     c.cfg.TimestampWindow,
+		CheckpointInterval:  c.cfg.CheckpointInterval,
+		DisableGC:           c.cfg.DisableGC,
+		MaxUncheckpointed:   c.cfg.MaxUncheckpointed,
+		InstrumentHistories: c.cfg.InstrumentHistories,
+		Ops:                 c.cfg.Ops,
+		TickInterval:        c.cfg.TickInterval,
+	})
+	if c.cfg.Observer != nil {
+		if obs := c.cfg.Observer(r, h); obs != nil {
+			h.SetObserver(obs)
+		}
+	}
+	c.Hosts[i] = h
+	h.Start()
+	h.SyncState(0)
+	return h
 }
 
 // Stop shuts down every replica and the network.

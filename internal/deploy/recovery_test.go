@@ -1,0 +1,233 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/host"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/shard"
+)
+
+// newRecoveryKV builds a plain (unsharded) ZLight KV cluster with a small
+// checkpoint interval so short runs cross several boundaries and GC runs.
+func newRecoveryKV(t *testing.T) *Cluster {
+	t.Helper()
+	cluster, err := New(Config{
+		F:      1,
+		NewApp: func() app.Application { return app.NewKVStore() },
+		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
+			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
+		},
+		NewInstanceFactory: azyzzyva.InstanceFactory,
+		Delta:              50 * time.Millisecond,
+		CheckpointInterval: 8,
+		Batch:              host.BatchPolicy{MaxBatch: 1},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(cluster.Stop)
+	return cluster
+}
+
+// waitConverged polls until the restarted host's applied state matches the
+// reference host exactly.
+func waitConverged(t *testing.T, restarted, ref *host.Host, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		seq, dig := restarted.AppliedState()
+		refSeq, refDig := ref.AppliedState()
+		if !restarted.Syncing() && seq == refSeq && dig == refDig && seq > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica did not converge: applied %d (ref %d)", seq, refSeq)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCrashRestartCatchUp is the crash-restart e2e: a replica is killed
+// mid-run and restarted with empty state. The live replicas have
+// garbage-collected the request bodies below their stable checkpoint, so
+// only the FETCH-STATE/STATE snapshot transfer can restore it; afterwards it
+// must serve commits again (ZLight needs matching RESPs from all 3f+1
+// replicas, so post-restart commits certify digest convergence end to end).
+func TestCrashRestartCatchUp(t *testing.T) {
+	cluster := newRecoveryKV(t)
+	client, err := cluster.NextClient()
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var ts uint64
+	put := func(k, v string) {
+		ts++
+		if _, err := client.Invoke(ctx, msg.Request{Client: ids.Client(0), Timestamp: ts, Command: app.EncodeKVPut(k, v)}); err != nil {
+			t.Fatalf("put %s at ts %d: %v", k, ts, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		put(fmt.Sprintf("key-%d", i%16), fmt.Sprintf("v%d", i))
+	}
+
+	// GC must have run on the live replicas: the stable checkpoint covers
+	// at least one interval and bodies below it are gone.
+	stableSeq, trimmed := cluster.Host(0).CheckpointStatus()
+	if stableSeq == 0 {
+		t.Fatal("no stable checkpoint before the crash")
+	}
+	if trimmed == 0 {
+		t.Fatal("live replicas did not garbage-collect below the stable checkpoint")
+	}
+
+	restarted := cluster.RestartReplica(3)
+	waitConverged(t, restarted, cluster.Host(0), 10*time.Second)
+
+	// The replica must have restored from a snapshot, not a from-zero
+	// replay: the bodies below the stable checkpoint no longer exist.
+	seq, _ := restarted.AppliedState()
+	_, appliedDigests, _, _ := restarted.GCStats()
+	if snapshotSeq := seq - uint64(appliedDigests); snapshotSeq == 0 {
+		t.Fatal("restarted replica replayed from zero instead of adopting a snapshot")
+	}
+	// Its application state matches a live replica bit for bit.
+	if got := restarted.Application().(*app.KVStore).Get("key-3"); got == "" {
+		t.Fatal("restored KV store is missing pre-crash state")
+	}
+	want := cluster.Host(0).Application().(*app.KVStore)
+	have := restarted.Application().(*app.KVStore)
+	if want.Len() != have.Len() {
+		t.Fatalf("restored store has %d keys, live store %d", have.Len(), want.Len())
+	}
+
+	// Post-restart commits prove the replica serves consistent RESPs again.
+	for i := 0; i < 20; i++ {
+		put(fmt.Sprintf("after-%d", i), "x")
+	}
+	if got := restarted.Application().(*app.KVStore).Get("after-19"); got != "x" {
+		t.Fatalf("restarted replica did not execute post-restart traffic: %q", got)
+	}
+}
+
+// TestShardedNodeRestart is the sharded crash-restart e2e: a whole node (all
+// per-shard sub-hosts plus the merged mirror) is killed and restarted. It
+// adopts the f+1-agreed merged boundary, state-syncs every shard, and
+// converges to the same MergedSeq/MergedDigest and application state as the
+// live replicas.
+func TestShardedNodeRestart(t *testing.T) {
+	cluster, err := NewSharded(Config{
+		F:      1,
+		NewApp: func() app.Application { return app.NewKVStore() },
+		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
+			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
+		},
+		NewInstanceFactory: azyzzyva.InstanceFactory,
+		Delta:              50 * time.Millisecond,
+		Shards:             2,
+		KeyExtractor:       shard.KVKeyExtractor,
+		ShardEpoch:         1,
+		CheckpointInterval: 8,
+	})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	t.Cleanup(cluster.Stop)
+	client, err := cluster.NextClient(nil)
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var ts uint64
+	put := func(k, v string) {
+		ts++
+		if _, err := client.Invoke(ctx, msg.Request{Client: ids.Client(0), Timestamp: ts, Command: app.EncodeKVPut(k, v)}); err != nil {
+			t.Fatalf("put %s at ts %d: %v", k, ts, err)
+		}
+	}
+	for i := 0; i < 48; i++ {
+		put(fmt.Sprintf("key-%d", i%24), fmt.Sprintf("v%d", i))
+	}
+
+	// Let the merged mirrors settle at one common boundary across nodes
+	// (the merge is asynchronous).
+	waitMergedEqual := func(nodes []*shard.Node, timeout time.Duration) (uint64, bool) {
+		deadline := time.Now().Add(timeout)
+		for {
+			seq0, dig0, _ := nodes[0].Exec.MergedSnapshot()
+			equal := seq0 > 0
+			for _, n := range nodes[1:] {
+				seq, dig, _ := n.Exec.MergedSnapshot()
+				if seq != seq0 || dig != dig0 {
+					equal = false
+				}
+			}
+			if equal {
+				return seq0, true
+			}
+			if time.Now().After(deadline) {
+				return seq0, false
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	preSeq, ok := waitMergedEqual(cluster.Nodes, 5*time.Second)
+	if !ok {
+		t.Fatalf("live nodes did not settle on one merged boundary (node0 at %d)", preSeq)
+	}
+
+	restarted, err := cluster.RestartNode(3)
+	if err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	// Every sub-host must state-sync and the restored merged mirror must
+	// match the live ones.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		syncing := false
+		for _, h := range restarted.Hosts {
+			if h.Syncing() {
+				syncing = true
+			}
+		}
+		if !syncing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted node still state-syncing")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := waitMergedEqual(cluster.Nodes, 5*time.Second); !ok {
+		t.Fatal("restarted node's merged mirror did not converge")
+	}
+
+	// Post-restart traffic commits (per-shard ZLight needs all 3f+1
+	// replicas) and the merged mirrors keep agreeing.
+	for i := 0; i < 24; i++ {
+		put(fmt.Sprintf("key-%d", i%24), fmt.Sprintf("w%d", i))
+	}
+	if _, ok := waitMergedEqual(cluster.Nodes, 5*time.Second); !ok {
+		t.Fatal("merged mirrors diverged after post-restart traffic")
+	}
+	seq3, dig3, app3 := restarted.Exec.MergedSnapshot()
+	seq0, dig0, app0 := cluster.Nodes[0].Exec.MergedSnapshot()
+	if seq3 != seq0 || dig3 != dig0 {
+		t.Fatalf("merged state diverged: %d vs %d", seq3, seq0)
+	}
+	if string(app3) != string(app0) {
+		t.Fatal("merged application state diverged")
+	}
+}

@@ -60,32 +60,90 @@ func NewSharded(cfg Config) (*Sharded, error) {
 		Net:     transport.NewLocal(cfg.Network),
 	}
 	for i := 0; i < cluster.N; i++ {
-		r := ids.Replica(i)
-		n := shard.NewNode(shard.NodeConfig{
-			Shards:   cfg.Shards,
-			Cluster:  cluster,
-			Replica:  r,
-			Keys:     s.Keys,
-			Endpoint: s.Net.Endpoint(r),
-			NewApp:   cfg.NewApp,
-			NewProtocol: func(sh int, cl ids.Cluster) host.ProtocolFactory {
-				return cfg.NewReplicaFactory(cl)
-			},
-			Batch:               cfg.Batch,
-			TimestampWindow:     cfg.TimestampWindow,
-			Epoch:               cfg.ShardEpoch,
-			CheckpointInterval:  cfg.CheckpointInterval,
-			MaxUncheckpointed:   cfg.MaxUncheckpointed,
-			InstrumentHistories: cfg.InstrumentHistories,
-			TickInterval:        cfg.TickInterval,
-			Ops:                 cfg.Ops,
-		})
-		s.Nodes = append(s.Nodes, n)
+		s.Nodes = append(s.Nodes, s.buildNode(ids.Replica(i)))
 	}
 	for _, n := range s.Nodes {
 		n.Start()
 	}
 	return s, nil
+}
+
+// buildNode assembles one replica node of the plane (shared by the initial
+// deployment and crash-restarts).
+func (s *Sharded) buildNode(r ids.ProcessID) *shard.Node {
+	cfg := s.cfg
+	return shard.NewNode(shard.NodeConfig{
+		Shards:   cfg.Shards,
+		Cluster:  s.Cluster,
+		Replica:  r,
+		Keys:     s.Keys,
+		Endpoint: s.Net.Endpoint(r),
+		NewApp:   cfg.NewApp,
+		NewProtocol: func(sh int, cl ids.Cluster) host.ProtocolFactory {
+			return cfg.NewReplicaFactory(cl)
+		},
+		Batch:               cfg.Batch,
+		TimestampWindow:     cfg.TimestampWindow,
+		Epoch:               cfg.ShardEpoch,
+		NullOpInterval:      cfg.ShardNullOpInterval,
+		CheckpointInterval:  cfg.CheckpointInterval,
+		DisableGC:           cfg.DisableGC,
+		MaxUncheckpointed:   cfg.MaxUncheckpointed,
+		InstrumentHistories: cfg.InstrumentHistories,
+		TickInterval:        cfg.TickInterval,
+		Ops:                 cfg.Ops,
+	})
+}
+
+// RestartNode crash-restarts replica node i: the old node is stopped and
+// discarded, a fresh node comes up under the same identity, adopts the
+// merged-mirror state agreed by f+1 live peers (equal merged sequence and
+// digest), and state-syncs every per-shard sub-host from its peers, pinned
+// at or below the restored merge boundary so the mirror's suffix feeds
+// without a gap. It fails when fewer than f+1 live peers agree on a merged
+// boundary yet.
+func (s *Sharded) RestartNode(i int) (*shard.Node, error) {
+	// The vote key covers the serialized merged-app bytes (by hash) as well:
+	// a peer agreeing on (seq, digest) but shipping different bytes forms its
+	// own group and cannot sneak a forged application state into an honest
+	// agreement.
+	type merged struct {
+		seq     uint64
+		dig     authn.Digest
+		appHash authn.Digest
+	}
+	votes := make(map[merged]int)
+	states := make(map[merged][]byte)
+	for j, peer := range s.Nodes {
+		if j == i {
+			continue
+		}
+		seq, dig, app := peer.Exec.MergedSnapshot()
+		k := merged{seq: seq, dig: dig, appHash: authn.Hash(app)}
+		votes[k]++
+		states[k] = app
+	}
+	var best merged
+	found := false
+	for k, n := range votes {
+		if n >= s.Cluster.F+1 && (!found || k.seq > best.seq) {
+			best = k
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("deploy: no f+1-agreed merged boundary among live nodes")
+	}
+
+	old := s.Nodes[i]
+	old.Stop()
+	s.Net.ResetEndpoint(ids.Replica(i))
+	n := s.buildNode(ids.Replica(i))
+	s.Nodes[i] = n
+	if err := n.Recover(best.seq, best.dig, states[best]); err != nil {
+		return n, err
+	}
+	return n, nil
 }
 
 // Stop shuts down every node and the network.

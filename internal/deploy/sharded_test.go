@@ -177,6 +177,32 @@ func TestShardedAbortIndependence(t *testing.T) {
 	if client.Switches(0) != 0 {
 		t.Fatal("shard 0 performed switches although only shard 1 was stopped")
 	}
+
+	// The merged mirrors re-sync across the switch: the adopted history
+	// replaced shard 1's speculative tail in every executor (HistoryReset +
+	// re-feed), so all replicas converge to one merged boundary and digest.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		seq0, dig0, _ := cluster.Nodes[0].Exec.MergedSnapshot()
+		equal := seq0 > 0
+		for _, n := range cluster.Nodes[1:] {
+			seq, dig, _ := n.Exec.MergedSnapshot()
+			if seq != seq0 || dig != dig0 {
+				equal = false
+			}
+		}
+		if equal {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, n := range cluster.Nodes {
+				seq, dig, _ := n.Exec.MergedSnapshot()
+				t.Logf("replica %d merged %d digest %x", i, seq, dig[:4])
+			}
+			t.Fatal("merged mirrors did not converge after the instance switch")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // TestShardedConcurrentClientsRace exercises the asynchronous execution

@@ -102,8 +102,34 @@ func (c *CheckpointState) Record(r ids.ProcessID, cc uint64, digest authn.Digest
 	c.lastCounter = cc
 	c.lastStableSeq = cc * uint64(c.Interval)
 	c.lastStableDigest = want
-	delete(c.pending, cc)
+	// Prune every pending exchange at or below the new stable counter: a
+	// boundary crossed while a replica was down never completes (its vote is
+	// gone for good) and would otherwise linger forever.
+	for k := range c.pending {
+		if k <= cc {
+			delete(c.pending, k)
+		}
+	}
 	return true
+}
+
+// AdoptStable installs a transferred stable checkpoint (checkpoint state
+// transfer, internal/statesync): a recovering replica that accepted an
+// f+1-agreed snapshot at counter cc adopts it as its last stable checkpoint
+// so garbage collection and abort reports line up with the live replicas.
+// Older adoptions than the current stable checkpoint are ignored.
+func (c *CheckpointState) AdoptStable(cc uint64, digest authn.Digest) {
+	if cc <= c.lastCounter {
+		return
+	}
+	c.lastCounter = cc
+	c.lastStableSeq = cc * uint64(c.Interval)
+	c.lastStableDigest = digest
+	for k := range c.pending {
+		if k <= cc {
+			delete(c.pending, k)
+		}
+	}
 }
 
 // Reset clears all checkpoint state; used when a new Abstract instance is

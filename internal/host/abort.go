@@ -71,13 +71,12 @@ func (h *Host) signedAbort(st *InstanceState) *core.SignedAbort {
 		report.CheckpointSeq = st.BaseSeq
 		report.CheckpointDigest = st.BaseDigest
 	}
-	// Suffix holds the digests from the reported checkpoint onward.
-	start := int(report.CheckpointSeq - st.BaseSeq)
-	if start < 0 {
-		start = 0
-	}
-	if start <= len(st.Digests) {
-		report.Suffix = st.Digests[start:].Clone()
+	// Suffix holds the digests from the reported checkpoint onward. GC only
+	// ever trims below the stable checkpoint, so the materialized history
+	// always covers the reported suffix.
+	start := report.CheckpointSeq - st.BaseSeq
+	if idx := start - st.Trimmed(); start >= st.Trimmed() && idx <= uint64(len(st.Digests)) {
+		report.Suffix = st.Digests[idx:].Clone()
 	}
 	abort := core.AbortMessage{
 		Instance: st.ID,
@@ -130,7 +129,9 @@ func (h *Host) maybeCheckpoint(st *InstanceState) {
 	digest := h.checkpointDigest(st, cc)
 	m := &core.CheckpointMessage{From: h.id, AbstractID: st.ID, Counter: cc, StateDigest: digest}
 	// Record our own contribution, then broadcast to the other replicas.
-	st.Checkpoint.Record(h.id, cc, digest)
+	if st.Checkpoint.Record(h.id, cc, digest) {
+		h.onStableCheckpoint(st)
+	}
 	h.Multicast(h.OtherReplicas(), m)
 }
 
@@ -144,10 +145,7 @@ func (h *Host) checkpointDigest(st *InstanceState, cc uint64) authn.Digest {
 		return st.BaseDigest
 	}
 	idx := pos - st.BaseSeq
-	if idx > uint64(len(st.Digests)) {
-		idx = uint64(len(st.Digests))
-	}
-	prefix := st.PrefixDigest(int(idx))
+	prefix := st.PrefixDigest(idx)
 	if st.BaseSeq == 0 {
 		return prefix
 	}
@@ -160,7 +158,9 @@ func (h *Host) handleCheckpoint(m *core.CheckpointMessage) {
 	if st == nil || !st.Initialized {
 		return
 	}
-	st.Checkpoint.Record(m.From, m.Counter, m.StateDigest)
+	if st.Checkpoint.Record(m.From, m.Counter, m.StateDigest) {
+		h.onStableCheckpoint(st)
+	}
 }
 
 // handleFetchRequest returns the request bodies this replica knows for the

@@ -23,6 +23,7 @@ import (
 	"abstractbft/internal/history"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/statesync"
 	"abstractbft/internal/transport"
 )
 
@@ -73,6 +74,19 @@ type HistoryAdopter interface {
 	RequestAdopted(inst core.InstanceID, req msg.Request, pos uint64)
 }
 
+// HistoryResetter is an optional Observer extension: when an instance
+// replaces its history wholesale (adopting an init history at a switch), the
+// observer learns the position the adopted history starts from before the
+// adopted entries are replayed. The sharded plane's execution feed uses it
+// to drop buffered speculative entries the adoption rolled back, so the
+// merged mirror adopts the agreed values instead of keeping first-logged
+// stale ones.
+type HistoryResetter interface {
+	// HistoryReset is called under the host lock when instance inst adopts
+	// a history starting at absolute position baseSeq.
+	HistoryReset(inst core.InstanceID, baseSeq uint64)
+}
+
 // Config configures a replica host.
 type Config struct {
 	// Cluster describes the replica group.
@@ -106,6 +120,25 @@ type Config struct {
 	// CheckpointInterval is CHK; 0 selects the default (128), negative
 	// disables checkpointing.
 	CheckpointInterval int
+	// DisableGC keeps the pre-statesync behaviour of retaining the whole
+	// logged history and every request body for the lifetime of the replica.
+	// With GC enabled (the default), the host trims digest storage and
+	// request bodies below the last stable checkpoint once a snapshot covers
+	// them, bounding memory for long runs; InstrumentHistories implies
+	// DisableGC because the specification checker needs full histories.
+	DisableGC bool
+	// RetainFloor, when non-nil, bounds garbage collection from below: the
+	// host never trims storage (or prunes snapshots) at or above the
+	// returned position even when a stable checkpoint covers it. The sharded
+	// plane points it at the merged mirror's consumed position, so a
+	// recovering node can always fetch a snapshot aligned with the mirror it
+	// restores — the mirror legitimately trails the per-shard checkpoints.
+	// Called under the host lock; it must not call back into the host.
+	RetainFloor func() uint64
+	// SnapshotRetain is the number of checkpoint-boundary application
+	// snapshots the replica retains for state transfer
+	// (statesync.DefaultStoreCapacity when 0).
+	SnapshotRetain int
 	// MaxUncheckpointed bounds the number of requests a replica logs beyond
 	// its last stable checkpoint (R-Aliph uses 384); 0 means unbounded.
 	MaxUncheckpointed int
@@ -138,19 +171,32 @@ type Host struct {
 	// active is the highest activated instance.
 	active core.InstanceID
 
-	// application execution state.
+	// application execution state. appliedDigs stores the digests of the
+	// applied requests from position appliedTrim on (the prefix below it was
+	// garbage-collected once a stable checkpoint covered it); appliedAcc is
+	// the digest chain fold over the whole applied sequence, which snapshots
+	// record as their history digest.
 	application app.Application
 	appliedSeq  uint64
 	appliedDigs history.DigestHistory
-	lastReply   map[ids.ProcessID]clientReply
+	appliedTrim uint64
+	appliedAcc  authn.Digest
+	lastReply   map[ids.ProcessID]*replyRing
 	// snapshot taken at the last instance activation, for speculative
 	// rollback.
 	snapApp  app.Application
 	snapSeq  uint64
 	snapDigs history.DigestHistory
+	snapTrim uint64
+	snapAcc  authn.Digest
 
 	// requestStore maps request digests to bodies across instances.
 	requestStore map[authn.Digest]msg.Request
+
+	// snaps retains recent application snapshots taken at checkpoint
+	// boundaries; sync tracks an in-flight state transfer (statesync plane).
+	snaps *statesync.Store
+	sync  *syncState
 
 	observer Observer
 
@@ -160,11 +206,6 @@ type Host struct {
 
 	stopCh chan struct{}
 	doneCh chan struct{}
-}
-
-type clientReply struct {
-	timestamp uint64
-	reply     []byte
 }
 
 // New creates a replica host. Start must be called to begin processing.
@@ -181,8 +222,9 @@ func New(cfg Config) *Host {
 		instances:    make(map[core.InstanceID]*InstanceState),
 		protocols:    make(map[core.InstanceID]ProtocolReplica),
 		application:  cfg.App,
-		lastReply:    make(map[ids.ProcessID]clientReply),
+		lastReply:    make(map[ids.ProcessID]*replyRing),
 		requestStore: make(map[authn.Digest]msg.Request),
+		snaps:        statesync.NewStore(cfg.SnapshotRetain),
 		stopCh:       make(chan struct{}),
 		doneCh:       make(chan struct{}),
 	}
@@ -301,6 +343,7 @@ func (h *Host) tickProtocols() {
 			t.ProtocolTick()
 		}
 	}
+	h.tickSync()
 }
 
 func (h *Host) dispatch(env transport.Envelope) {
@@ -327,6 +370,10 @@ func (h *Host) dispatch(env transport.Envelope) {
 		h.handleFetchRequest(m)
 	case *core.FetchResponse:
 		h.handleFetchResponse(m)
+	case *statesync.FetchState:
+		h.handleFetchState(env.From, m)
+	case *statesync.State:
+		h.handleState(env.From, m)
 	default:
 		h.routeProtocol(env.From, env.Payload)
 	}
@@ -392,6 +439,15 @@ func (h *Host) AppliedRequests() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.appliedSeq
+}
+
+// Bootstrap activates the host's first instance without any network traffic
+// and returns its state: direct-drive benchmarks and tests log and execute
+// against the instance through Locked without standing up a protocol.
+func (h *Host) Bootstrap() *InstanceState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.activate(h.cfg.FirstInstance, nil)
 }
 
 // InstanceStateFor returns the state of the given instance (nil when the

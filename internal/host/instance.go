@@ -69,7 +69,14 @@ type InstanceState struct {
 	BaseSeq uint64
 	// BaseDigest is the state digest of the base checkpoint.
 	BaseDigest authn.Digest
-	// Digests is the local history from BaseSeq on (digest per request).
+	// Digests is the materialized part of the local history from BaseSeq on
+	// (digest per request). Garbage collection trims entries below the last
+	// stable checkpoint: the first `trimmed` entries after BaseSeq are then
+	// represented only by their running digest fold (trimAcc), so Digests[i]
+	// holds the digest of the request at absolute position
+	// BaseSeq+trimmed+i. HistoryDigest is unaffected by trimming — the
+	// digest chain is a left fold, so dropping the storage of an
+	// already-folded prefix changes nothing observable.
 	Digests history.DigestHistory
 	// LastTimestamp is t_j[c]: the highest request timestamp logged per
 	// client (the window high-water mark; tsMask tracks which timestamps
@@ -97,19 +104,24 @@ type InstanceState struct {
 	InitLowLoad bool
 
 	// digestCache memoizes HistoryDigest between history appends; chainAcc
-	// and chainLen hold the running DigestStep fold of Digests[:chainLen],
-	// so a batch of appends costs one chain step per new request instead of
-	// a re-fold of the whole history (which would make replying O(n²) over a
-	// run).
+	// and chainLen hold the running DigestStep fold of the first chainLen
+	// history entries after BaseSeq (trimmed entries included), so a batch
+	// of appends costs one chain step per new request instead of a re-fold
+	// of the whole history (which would make replying O(n²) over a run).
 	digestCache authn.Digest
 	digestDirty bool
 	chainAcc    authn.Digest
-	chainLen    int
+	chainLen    uint64
 	// ckptAcc/ckptLen memoize the checkpoint-prefix chain fold the same
 	// way: checkpoint boundaries only move forward, so each LCS round
 	// advances the fold instead of re-folding the whole prefix.
 	ckptAcc authn.Digest
-	ckptLen int
+	ckptLen uint64
+	// trimmed is the number of history entries after BaseSeq whose storage
+	// was garbage-collected; trimAcc is the digest fold over exactly those
+	// entries, the re-fold base for prefix queries above the trim boundary.
+	trimmed uint64
+	trimAcc authn.Digest
 
 	// pendingInit holds the init history awaiting missing request bodies.
 	pendingInit *core.InitHistory
@@ -121,8 +133,19 @@ type InstanceState struct {
 	NextSeq uint64
 }
 
-// AbsLen returns the absolute length of the local history.
-func (st *InstanceState) AbsLen() uint64 { return st.BaseSeq + uint64(len(st.Digests)) }
+// AbsLen returns the absolute length of the local history (trimmed entries
+// included).
+func (st *InstanceState) AbsLen() uint64 {
+	return st.BaseSeq + st.trimmed + uint64(len(st.Digests))
+}
+
+// Trimmed returns the number of history entries after BaseSeq whose storage
+// was garbage-collected.
+func (st *InstanceState) Trimmed() uint64 { return st.trimmed }
+
+// relLen returns the number of history entries after BaseSeq (trimmed
+// included).
+func (st *InstanceState) relLen() uint64 { return st.trimmed + uint64(len(st.Digests)) }
 
 // HistoryDigest returns D(LH_j): the digest of the local history, folding in
 // the base checkpoint when present. The underlying DigestStep chain is
@@ -132,8 +155,8 @@ func (st *InstanceState) HistoryDigest() authn.Digest {
 	if !st.digestDirty {
 		return st.digestCache
 	}
-	for st.chainLen < len(st.Digests) {
-		st.chainAcc = history.DigestStep(st.chainAcc, st.Digests[st.chainLen])
+	for st.chainLen < st.relLen() {
+		st.chainAcc = history.DigestStep(st.chainAcc, st.Digests[st.chainLen-st.trimmed])
 		st.chainLen++
 	}
 	suffix := st.chainAcc
@@ -145,31 +168,78 @@ func (st *InstanceState) HistoryDigest() authn.Digest {
 	return suffix
 }
 
-// Contains reports whether the instance's explicit history contains the
-// request digest.
+// Contains reports whether the instance's materialized history contains the
+// request digest (trimmed entries, all below the last stable checkpoint, are
+// not consulted).
 func (st *InstanceState) Contains(d authn.Digest) bool { return st.Digests.Contains(d) }
 
-// PrefixDigest returns the chain digest of Digests[:idx], advancing the
-// memoized checkpoint fold when the prefix moved forward (the common case —
-// checkpoint boundaries are monotone) and re-folding only on a backward
-// move (which only instance re-initialization can cause).
-func (st *InstanceState) PrefixDigest(idx int) authn.Digest {
-	if idx > len(st.Digests) {
-		idx = len(st.Digests)
+// PrefixDigest returns the chain digest of the first idx history entries
+// after BaseSeq, advancing the memoized checkpoint fold when the prefix
+// moved forward (the common case — checkpoint boundaries are monotone) and
+// re-folding from the trim boundary only on a backward move (which only
+// instance re-initialization can cause; prefixes inside the trimmed region
+// are no longer materialized and report the trim fold).
+func (st *InstanceState) PrefixDigest(idx uint64) authn.Digest {
+	if idx > st.relLen() {
+		idx = st.relLen()
+	}
+	if idx <= st.trimmed {
+		return st.trimAcc
 	}
 	if idx < st.ckptLen {
-		return st.Digests[:idx].Digest()
+		acc := st.trimAcc
+		for j := st.trimmed; j < idx; j++ {
+			acc = history.DigestStep(acc, st.Digests[j-st.trimmed])
+		}
+		return acc
 	}
 	for st.ckptLen < idx {
-		st.ckptAcc = history.DigestStep(st.ckptAcc, st.Digests[st.ckptLen])
+		st.ckptAcc = history.DigestStep(st.ckptAcc, st.Digests[st.ckptLen-st.trimmed])
 		st.ckptLen++
 	}
 	return st.ckptAcc
 }
 
-// width returns the effective window width.
-func (st *InstanceState) width() int {
-	w := st.tsWidth
+// TrimTo garbage-collects the materialized history below absolute position
+// seq (exclusive), which must be covered by a stable checkpoint: the dropped
+// entries stay represented by their digest fold, so HistoryDigest, AbsLen,
+// and abort reports from the stable checkpoint onward are unchanged. It
+// returns the dropped digests so the host can release the request bodies
+// they name.
+func (st *InstanceState) TrimTo(seq uint64) history.DigestHistory {
+	if seq <= st.BaseSeq {
+		return nil
+	}
+	rel := seq - st.BaseSeq
+	if rel > st.relLen() {
+		rel = st.relLen()
+	}
+	if rel <= st.trimmed {
+		return nil
+	}
+	// Advance both memoized folds past the new boundary so the dropped
+	// entries remain represented. HistoryDigest advances the chain fold to
+	// the full history; PrefixDigest advances the checkpoint fold to rel and
+	// returns it — the new trim fold.
+	st.HistoryDigest()
+	st.trimAcc = st.PrefixDigest(rel)
+	k := rel - st.trimmed
+	dropped := st.Digests[:k].Clone()
+	st.Digests = append(history.DigestHistory(nil), st.Digests[k:]...)
+	st.trimmed = rel
+	if st.ckptLen < rel {
+		st.ckptLen = rel
+		st.ckptAcc = st.trimAcc
+	}
+	return dropped
+}
+
+// normalizeWindow returns the effective per-client timestamp window width
+// for a configured value: 0 selects DefaultTimestampWindow, the bitmask
+// implementation caps it at 64. The instance timestamp windows and the
+// per-client reply rings must use the same normalization — the ring serves
+// exactly the retransmissions the window can re-admit.
+func normalizeWindow(w int) int {
 	if w <= 0 {
 		w = DefaultTimestampWindow
 	}
@@ -178,6 +248,9 @@ func (st *InstanceState) width() int {
 	}
 	return w
 }
+
+// width returns the effective window width.
+func (st *InstanceState) width() int { return normalizeWindow(st.tsWidth) }
 
 // windowOf returns client c's current timestamp window.
 func (st *InstanceState) windowOf(c ids.ProcessID) tsState {
@@ -292,6 +365,9 @@ func (h *Host) activate(id core.InstanceID, init *core.InitHistory) *InstanceSta
 // replicas, and (when complete) reconciles the application state with the
 // adopted history.
 func (h *Host) adoptInit(st *InstanceState, init *core.InitHistory) {
+	if resetter, ok := h.observer.(HistoryResetter); ok {
+		resetter.HistoryReset(st.ID, init.Extract.BaseSeq)
+	}
 	st.BaseSeq = init.Extract.BaseSeq
 	st.BaseDigest = init.Extract.BaseDigest
 	st.Digests = init.Extract.Suffix.Clone()
@@ -301,6 +377,8 @@ func (h *Host) adoptInit(st *InstanceState, init *core.InitHistory) {
 	st.chainLen = 0
 	st.ckptAcc = authn.Digest{}
 	st.ckptLen = 0
+	st.trimmed = 0
+	st.trimAcc = authn.Digest{}
 	st.Checkpoint.Reset()
 	st.NextSeq = uint64(len(st.Digests))
 	st.InitLowLoad = core.InitHasFlag(init, h.cluster.F, core.AbortFlagLowLoad)
@@ -364,6 +442,15 @@ func (h *Host) finishInit(st *InstanceState) {
 	}
 
 	h.reconcileApplication(st)
+	if h.appliedSeq < st.BaseSeq {
+		// The adopted init history starts at a base checkpoint this replica
+		// never executed up to (it missed the ORDERs below it, and their
+		// bodies are unknown cluster-wide — the init carries only digests
+		// above the base). Fetch the checkpoint state from the peers; until
+		// the transfer completes, the instance logs and replies but the
+		// application stalls at the gap.
+		h.startStateSync(st.ID, st.BaseSeq)
+	}
 	h.takeActivationSnapshot()
 	if h.observer != nil {
 		h.observer.InstanceActivated(st.ID)
@@ -377,6 +464,8 @@ func (h *Host) takeActivationSnapshot() {
 	h.snapApp = h.application.Clone()
 	h.snapSeq = h.appliedSeq
 	h.snapDigs = h.appliedDigs.Clone()
+	h.snapTrim = h.appliedTrim
+	h.snapAcc = h.appliedAcc
 }
 
 // reconcileApplication brings the replica's application state in line with
@@ -384,23 +473,30 @@ func (h *Host) takeActivationSnapshot() {
 // when the locally applied tail diverges from the adopted history, then
 // applies any missing suffix.
 func (h *Host) reconcileApplication(st *InstanceState) {
-	target := h.globalTarget(st)
+	base, target := h.globalTarget(st)
 
-	// Find the longest common prefix between what has been applied and the
-	// target.
-	common := 0
-	for common < len(h.appliedDigs) && common < len(target) && h.appliedDigs[common] == target[common] {
+	// Find the longest absolute common prefix between what has been applied
+	// and the target; positions below base are covered by a stable
+	// checkpoint and agree by construction.
+	common := base
+	for common-base < uint64(len(h.appliedDigs)) && common-base < uint64(len(target)) &&
+		h.appliedDigs[common-h.appliedTrim] == target[common-base] {
 		common++
 	}
-	if uint64(common) < h.appliedSeq && h.snapApp != nil && h.snapSeq <= uint64(common) {
+	if common < h.appliedSeq && h.snapApp != nil && h.snapSeq <= common {
 		// Divergence within the speculative tail: roll back to the snapshot.
 		h.application = h.snapApp.Clone()
 		h.appliedSeq = h.snapSeq
 		h.appliedDigs = h.snapDigs.Clone()
+		h.appliedTrim = h.snapTrim
+		h.appliedAcc = h.snapAcc
+		// Checkpoint-boundary snapshots taken inside the rolled-back tail
+		// describe state that never committed.
+		h.snaps.DropAbove(h.appliedSeq)
 	}
 	// Apply the remaining target suffix for which bodies are known.
-	for int(h.appliedSeq) < len(target) {
-		d := target[h.appliedSeq]
+	for h.appliedSeq < base+uint64(len(target)) {
+		d := target[h.appliedSeq-base]
 		r, ok := h.requestStore[d]
 		if !ok {
 			break
@@ -409,35 +505,58 @@ func (h *Host) reconcileApplication(st *InstanceState) {
 	}
 }
 
-// globalTarget reconstructs the absolute digest sequence the instance's
-// history denotes, reusing the host's previously applied prefix for the
-// positions covered by the base checkpoint.
-func (h *Host) globalTarget(st *InstanceState) history.DigestHistory {
+// globalTarget reconstructs the digest sequence the instance's history
+// denotes as a suffix starting at the absolute position base (the host's
+// applied-history trim point — everything below it is covered by a stable
+// checkpoint and already applied): target[i] is the digest at absolute
+// position base+i. Positions the instance no longer materializes (below its
+// base checkpoint, or trimmed by GC) are reused from the host's applied
+// sequence; positions below an adopted base checkpoint that were never
+// applied locally cannot be reconstructed and are left zero — execution
+// stalls there until checkpoint state transfer (statesync) fills the gap.
+func (h *Host) globalTarget(st *InstanceState) (uint64, history.DigestHistory) {
+	base := h.appliedTrim
 	var target history.DigestHistory
-	if st.BaseSeq > 0 {
-		if uint64(len(h.appliedDigs)) >= st.BaseSeq {
-			target = append(target, h.appliedDigs[:st.BaseSeq]...)
-		} else {
-			// The replica is behind the base checkpoint: reuse what it has;
-			// the remaining gap cannot be reconstructed and execution will
-			// resume from the available suffix (state transfer of
-			// application snapshots is outside the paper's scope).
-			target = append(target, h.appliedDigs...)
-			for uint64(len(target)) < st.BaseSeq {
+	instStart := st.BaseSeq + st.Trimmed()
+	if instStart > base {
+		for p := base; p < instStart; p++ {
+			if p-h.appliedTrim < uint64(len(h.appliedDigs)) {
+				target = append(target, h.appliedDigs[p-h.appliedTrim])
+			} else {
 				target = append(target, authn.Digest{})
 			}
 		}
 	}
+	if instStart < base {
+		// The instance materializes history below the host's trim point (an
+		// old instance not garbage-collected with the active one): skip the
+		// already-covered prefix.
+		skip := base - instStart
+		if skip > uint64(len(st.Digests)) {
+			skip = uint64(len(st.Digests))
+		}
+		target = append(target, st.Digests[skip:]...)
+		return base, target
+	}
 	target = append(target, st.Digests...)
-	return target
+	return base, target
 }
 
-// applyRequest applies one request to the application and records it.
+// applyRequest applies one request to the application and records it. Null
+// operations (Mencius-style fillers ordered by idle shard leaders) advance
+// the sequence and the digest chain but execute nothing and leave no reply.
+// Crossing a checkpoint boundary captures a serialized application snapshot
+// for the state-transfer plane.
 func (h *Host) applyRequest(r msg.Request) []byte {
-	reply := h.application.Execute(r.Command)
+	var reply []byte
+	if r.Client != ids.NullOp {
+		reply = h.application.Execute(r.Command)
+		h.replyRingFor(r.Client).add(r.Timestamp, reply)
+	}
 	h.appliedDigs = append(h.appliedDigs, r.Digest())
 	h.appliedSeq++
-	h.lastReply[r.Client] = clientReply{timestamp: r.Timestamp, reply: reply}
+	h.appliedAcc = history.DigestStep(h.appliedAcc, r.Digest())
+	h.maybeSnapshot()
 	return reply
 }
 
@@ -488,12 +607,25 @@ func (h *Host) Execute(st *InstanceState, req msg.Request) []byte {
 	// Replay any logged-but-unapplied prefix first (e.g. after adopting an
 	// init history whose bodies arrived late, or for Chain replicas that
 	// start executing mid-stream).
-	target := h.globalTarget(st)
-	for int(h.appliedSeq) < len(target) {
-		d := target[h.appliedSeq]
+	base, target := h.globalTarget(st)
+	for h.appliedSeq < base+uint64(len(target)) {
+		d := target[h.appliedSeq-base]
 		r, ok := h.requestStore[d]
 		if !ok {
-			break
+			// A body is missing at the applied position (a gap below an
+			// adopted base checkpoint awaiting state transfer, or a body
+			// still being fetched): the application must NOT execute past
+			// it. Applying newly ordered requests at the gap position would
+			// diverge the applied mirror from the agreed sequence — and a
+			// diverged mirror can never be repaired, because the pending
+			// transfer restores only above the current applied position.
+			// Serve from cache when possible; reply empty otherwise (the
+			// client cannot commit against this replica until the transfer
+			// fills the gap, which is the honest state of affairs).
+			if reply, ok := h.CachedReply(req.Client, req.Timestamp); ok {
+				return reply
+			}
+			return nil
 		}
 		if r.ID() == req.ID() {
 			return h.applyRequest(r)
@@ -501,9 +633,9 @@ func (h *Host) Execute(st *InstanceState, req msg.Request) []byte {
 		h.applyRequest(r)
 	}
 	// Already applied (duplicate execution request): return the cached
-	// reply when it is the latest one for this client.
-	if last, ok := h.lastReply[req.Client]; ok && last.timestamp == req.Timestamp {
-		return last.reply
+	// reply when the client's reply ring still holds it.
+	if reply, ok := h.CachedReply(req.Client, req.Timestamp); ok {
+		return reply
 	}
 	return h.applyRequest(req)
 }
@@ -514,12 +646,12 @@ func (h *Host) Execute(st *InstanceState, req msg.Request) []byte {
 // applied in order. It returns the application replies in batch order.
 func (h *Host) ExecuteBatch(st *InstanceState, batch msg.Batch) [][]byte {
 	replies := make([][]byte, 0, batch.Len())
-	target := h.globalTarget(st)
+	base, target := h.globalTarget(st)
 	// Replay any unapplied prefix, collecting replies for batch requests as
 	// they are reached (the batch occupies the tail of the target).
 	pending := 0
-	for int(h.appliedSeq) < len(target) && pending < batch.Len() {
-		d := target[h.appliedSeq]
+	for h.appliedSeq < base+uint64(len(target)) && pending < batch.Len() {
+		d := target[h.appliedSeq-base]
 		r, ok := h.requestStore[d]
 		if !ok {
 			break
@@ -534,8 +666,8 @@ func (h *Host) ExecuteBatch(st *InstanceState, batch msg.Batch) [][]byte {
 	// applied, or a target gap) fall back to the per-request path.
 	for ; pending < batch.Len(); pending++ {
 		req := batch.Requests[pending]
-		if last, ok := h.lastReply[req.Client]; ok && last.timestamp == req.Timestamp {
-			replies = append(replies, last.reply)
+		if reply, ok := h.CachedReply(req.Client, req.Timestamp); ok {
+			replies = append(replies, reply)
 			continue
 		}
 		replies = append(replies, h.Execute(st, req))
@@ -543,11 +675,13 @@ func (h *Host) ExecuteBatch(st *InstanceState, batch msg.Batch) [][]byte {
 	return replies
 }
 
-// CachedReply returns the last reply sent to the given client, if it matches
-// the timestamp.
+// CachedReply returns the reply sent to the given client at the given
+// timestamp, as long as the client's reply ring (of timestamp-window width)
+// still holds it — so a retransmission of a request that was overtaken by
+// later pipelined requests of the same client is still served from cache.
 func (h *Host) CachedReply(client ids.ProcessID, ts uint64) ([]byte, bool) {
-	if last, ok := h.lastReply[client]; ok && last.timestamp == ts {
-		return last.reply, true
+	if ring, ok := h.lastReply[client]; ok {
+		return ring.get(ts)
 	}
 	return nil, false
 }

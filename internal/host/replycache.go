@@ -1,0 +1,71 @@
+package host
+
+import "abstractbft/internal/ids"
+
+// replyRing is one client's reply cache: a ring of the last `width` replies,
+// keyed by request timestamp. The per-client timestamp window
+// (Config.TimestampWindow) accepts out-of-order timestamps from pipelining
+// clients, so a retransmission may name a request that was overtaken by up to
+// width-1 later requests of the same client; a single last-reply slot would
+// miss it and push the client into the panicking machinery. The ring is as
+// wide as the timestamp window, so every retransmission the window can admit
+// is served from cache. It also bounds reply memory per client, which the
+// history garbage collector relies on for long runs.
+type replyRing struct {
+	ts      []uint64
+	replies [][]byte
+	filled  []bool
+	next    int
+}
+
+func newReplyRing(width int) *replyRing {
+	if width < 1 {
+		width = 1
+	}
+	return &replyRing{
+		ts:      make([]uint64, width),
+		replies: make([][]byte, width),
+		filled:  make([]bool, width),
+	}
+}
+
+// add records the reply for the request at timestamp ts, evicting the oldest
+// cached reply. An existing entry for the same timestamp is overwritten in
+// place: a speculative rollback can re-execute a request after an adopted
+// prefix changed, and serving the stale pre-rollback reply to a
+// retransmission would leave the client unable to assemble matching RESPs.
+func (r *replyRing) add(ts uint64, reply []byte) {
+	for i, ok := range r.filled {
+		if ok && r.ts[i] == ts {
+			r.replies[i] = reply
+			return
+		}
+	}
+	r.ts[r.next] = ts
+	r.replies[r.next] = reply
+	r.filled[r.next] = true
+	r.next = (r.next + 1) % len(r.ts)
+}
+
+// get returns the cached reply for timestamp ts.
+func (r *replyRing) get(ts uint64) ([]byte, bool) {
+	for i, ok := range r.filled {
+		if ok && r.ts[i] == ts {
+			return r.replies[i], true
+		}
+	}
+	return nil, false
+}
+
+// replyRingFor returns (creating on first use) the reply ring of one client,
+// sized to the effective timestamp window width — the same normalization the
+// instance timestamp windows use, so every retransmission the window can
+// admit has a cached reply.
+func (h *Host) replyRingFor(c ids.ProcessID) *replyRing {
+	ring, ok := h.lastReply[c]
+	if !ok {
+		ring = newReplyRing(normalizeWindow(h.cfg.TimestampWindow))
+		h.lastReply[c] = ring
+	}
+	return ring
+}

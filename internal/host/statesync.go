@@ -1,0 +1,393 @@
+package host
+
+import (
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/statesync"
+)
+
+// This file wires the checkpoint state-transfer and recovery plane
+// (internal/statesync) into the replica host:
+//
+//   - applyRequest captures a serialized application snapshot whenever the
+//     applied sequence crosses a checkpoint boundary (maybeSnapshot);
+//   - a checkpoint becoming stable garbage-collects history storage and
+//     request bodies below it (onStableCheckpoint), bounding memory;
+//   - FETCH-STATE requests are answered with the snapshot plus the applied
+//     history suffix (handleFetchState);
+//   - a lagging or restarted replica runs one state transfer at a time
+//     (startStateSync / handleState), accepting a snapshot only under the
+//     collector's f+1 digest-agreement rule, then adopting it
+//     (adoptSyncedState).
+
+// syncState is one in-flight state transfer.
+type syncState struct {
+	// inst is the instance the transfer was started for (the suffix is
+	// installed into its state when the replica's own history is behind).
+	inst core.InstanceID
+	// seq pins the accepted snapshot to boundaries at or below it; 0 asks
+	// for the peers' last stable checkpoint.
+	seq uint64
+	col *statesync.Collector
+	// ticksSinceAsk drives periodic re-multicast of the FETCH-STATE until
+	// enough peers answered.
+	ticksSinceAsk int
+}
+
+// syncRetryTicks is how many protocol ticks pass between FETCH-STATE
+// retransmissions of an unfinished transfer.
+const syncRetryTicks = 10
+
+// checkpointEvery returns the effective checkpoint interval (0 when
+// checkpointing is disabled).
+func (h *Host) checkpointEvery() uint64 {
+	iv := h.cfg.CheckpointInterval
+	if iv == 0 {
+		iv = history.DefaultCheckpointInterval
+	}
+	if iv < 0 {
+		return 0
+	}
+	return uint64(iv)
+}
+
+// maybeSnapshot captures a serialized application snapshot when the applied
+// sequence sits on a checkpoint boundary. The snapshot records the applied
+// digest chain fold as its history digest, so two replicas that executed the
+// same prefix produce snapshots agreeing on (Seq, HistDigest, AppDigest) —
+// the identity the transfer protocol requires f+1 matching votes on.
+func (h *Host) maybeSnapshot() {
+	iv := h.checkpointEvery()
+	if iv == 0 || h.appliedSeq == 0 || h.appliedSeq%iv != 0 {
+		return
+	}
+	if h.cfg.RetainFloor != nil {
+		h.snaps.SetFloor(h.cfg.RetainFloor())
+	}
+	state := h.application.Snapshot()
+	h.snaps.Add(statesync.Snapshot{
+		Seq:        h.appliedSeq,
+		HistDigest: h.appliedAcc,
+		AppDigest:  authn.Hash(state),
+		AppState:   state,
+	})
+	// A checkpoint can stabilize before the application executes up to it
+	// (logging runs ahead of execution within a batch): garbage collection
+	// deferred then runs now that the application crossed the boundary.
+	if st := h.instances[h.active]; st != nil {
+		h.onStableCheckpoint(st)
+	}
+}
+
+// onStableCheckpoint garbage-collects replica state below a newly stable
+// checkpoint: the active instance's materialized digest prefix, the host's
+// applied digest prefix, the request bodies only that prefix named, and
+// snapshots older than the stable one. The digest chains are left folds, so
+// trimming storage changes no observable digest; abort reports only ever
+// carry the suffix from the stable checkpoint, which is retained.
+func (h *Host) onStableCheckpoint(st *InstanceState) {
+	if h.cfg.DisableGC || h.cfg.InstrumentHistories {
+		return
+	}
+	s := st.Checkpoint.StableSeq()
+	if h.cfg.RetainFloor != nil {
+		if floor := h.cfg.RetainFloor(); floor < s {
+			s = floor
+		}
+	}
+	// Quantize the trim point down to a retained snapshot boundary: a
+	// FETCH-STATE pinned anywhere at or above the trim point must always be
+	// answerable with a snapshot plus a complete suffix, so storage may only
+	// ever be released below a boundary that is still served.
+	if sn, ok := h.snaps.LatestAtOrBelow(s); ok {
+		s = sn.Seq
+	} else {
+		return
+	}
+	if st.ID != h.active || h.appliedSeq < s {
+		// The application has not yet executed up to the stable point
+		// (bodies missing below an adopted base checkpoint): keep storage
+		// until it catches up; the next stable checkpoint retries.
+		return
+	}
+	dropped := st.TrimTo(s)
+	var appliedDropped history.DigestHistory
+	if s > h.appliedTrim {
+		k := s - h.appliedTrim
+		if k > uint64(len(h.appliedDigs)) {
+			k = uint64(len(h.appliedDigs))
+		}
+		appliedDropped = h.appliedDigs[:k]
+		h.appliedDigs = append(history.DigestHistory(nil), h.appliedDigs[k:]...)
+		h.appliedTrim += k
+	}
+	// Superseded (stopped, non-active) instances would otherwise pin their
+	// whole pre-switch history and every body it names for the life of the
+	// replica. Freeze each one's signed abort first — late panickers still
+	// get the full report, whose suffix the cached abort holds its own copy
+	// of — then release the storage entirely.
+	for id, inst := range h.instances {
+		if id == h.active || !inst.Stopped || !inst.Initialized {
+			continue
+		}
+		if inst.cachedAbort == nil {
+			h.signedAbort(inst)
+		}
+		dropped = append(dropped, inst.TrimTo(inst.AbsLen())...)
+	}
+	if len(dropped) == 0 && len(appliedDropped) == 0 {
+		return
+	}
+	// Release request bodies named only by the dropped prefixes.
+	retained := make(map[authn.Digest]bool)
+	for _, inst := range h.instances {
+		for _, d := range inst.Digests {
+			retained[d] = true
+		}
+	}
+	for _, d := range h.appliedDigs {
+		retained[d] = true
+	}
+	release := func(ds history.DigestHistory) {
+		for _, d := range ds {
+			if !retained[d] {
+				delete(h.requestStore, d)
+			}
+		}
+	}
+	release(dropped)
+	release(appliedDropped)
+	h.snaps.PruneBelow(s)
+}
+
+// handleFetchState answers a peer's FETCH-STATE: the snapshot the request
+// selects plus the applied history suffix (digests and known bodies) beyond
+// it. A replica that garbage-collected past the requested boundary cannot
+// serve the suffix and stays silent; the fetcher's f+1 rule tolerates that.
+// The claimed sender must match the transport-level sender, so a Byzantine
+// process cannot direct responses at an uninvolved replica.
+func (h *Host) handleFetchState(from ids.ProcessID, m *statesync.FetchState) {
+	if !m.From.IsReplica() || m.From == h.id || m.From != from {
+		return
+	}
+	inst := m.Instance
+	if inst == 0 {
+		inst = h.active
+	}
+	st := h.instances[inst]
+	if st == nil || !st.Initialized {
+		return
+	}
+	resp := &statesync.State{Instance: inst, From: h.id}
+	var suffixFrom uint64
+	switch {
+	case m.Seq > 0:
+		if sn, ok := h.snaps.LatestAtOrBelow(m.Seq); ok {
+			resp.Snap = sn
+			suffixFrom = sn.Seq
+		}
+	default:
+		if s := st.Checkpoint.StableSeq(); s > 0 {
+			if sn, ok := h.snaps.LatestAtOrBelow(s); ok {
+				resp.Snap = sn
+				suffixFrom = sn.Seq
+			}
+		}
+	}
+	if suffixFrom < h.appliedTrim {
+		return
+	}
+	for p := suffixFrom; p < h.appliedSeq; p++ {
+		d := h.appliedDigs[p-h.appliedTrim]
+		resp.SuffixDigests = append(resp.SuffixDigests, d)
+		if r, ok := h.requestStore[d]; ok {
+			resp.SuffixRequests = append(resp.SuffixRequests, r.Clone())
+		}
+	}
+	h.Send(m.From, resp)
+}
+
+// startStateSync begins (or retargets) the host's state transfer. Callers
+// hold the host lock.
+func (h *Host) startStateSync(inst core.InstanceID, seq uint64) {
+	if h.sync != nil && h.sync.inst == inst && h.sync.seq == seq {
+		return
+	}
+	col := statesync.NewCollector(h.cluster.F)
+	if seq > 0 {
+		col.ExpectAtOrBelow(seq)
+	}
+	h.sync = &syncState{inst: inst, seq: seq, col: col}
+	h.logf("statesync: fetching state (instance %d, max seq %d)", inst, seq)
+	h.Multicast(h.OtherReplicas(), &statesync.FetchState{Instance: inst, From: h.id, Seq: seq})
+}
+
+// SyncState asks the peers for their checkpoint state and catches this
+// replica up to it: the crash-restart path. maxSeq, when non-zero, pins the
+// accepted snapshot to checkpoint boundaries at or below it (a recovering
+// sharded replica aligns each shard with its restored merge boundary); 0
+// accepts the peers' last stable checkpoint. The transfer completes
+// asynchronously, retrying until f+1 peers agree.
+func (h *Host) SyncState(maxSeq uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.instances[h.active]
+	if st == nil {
+		st = h.activate(h.cfg.FirstInstance, nil)
+		if st == nil {
+			return
+		}
+	}
+	h.startStateSync(st.ID, maxSeq)
+}
+
+// Syncing reports whether a state transfer is still in flight.
+func (h *Host) Syncing() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sync != nil
+}
+
+// tickSync retransmits the FETCH-STATE of an unfinished transfer. Called
+// from the protocol tick under the host lock.
+func (h *Host) tickSync() {
+	if h.sync == nil {
+		return
+	}
+	h.sync.ticksSinceAsk++
+	if h.sync.ticksSinceAsk < syncRetryTicks {
+		return
+	}
+	h.sync.ticksSinceAsk = 0
+	h.Multicast(h.OtherReplicas(), &statesync.FetchState{Instance: h.sync.inst, From: h.id, Seq: h.sync.seq})
+}
+
+// handleState feeds one peer's STATE response to the in-flight transfer and
+// adopts the result once f+1 peers agree. The response's claimed sender must
+// match the transport-level sender: the collector counts one vote per
+// distinct replica, and a Byzantine peer forging distinct From fields could
+// otherwise stuff the f+1 agreement by itself.
+func (h *Host) handleState(from ids.ProcessID, m *statesync.State) {
+	if h.sync == nil || m.From != from {
+		return
+	}
+	if err := h.sync.col.Add(m); err != nil {
+		return
+	}
+	a, ok := h.sync.col.Result()
+	if !ok {
+		return
+	}
+	inst := h.sync.inst
+	h.sync = nil
+	h.adoptSyncedState(a, inst)
+}
+
+// adoptSyncedState installs an accepted state transfer: the application is
+// restored to the snapshot when it is behind it, the transferred bodies are
+// stored, and — when this replica's own explicit history is behind the
+// snapshot (a fresh restart rather than a below-base fill) — the agreed
+// suffix becomes the instance's history, with the covered prefix represented
+// by its digest fold exactly as garbage collection would leave it.
+func (h *Host) adoptSyncedState(a *statesync.Adopted, inst core.InstanceID) {
+	for _, r := range a.Bodies {
+		h.requestStore[r.Digest()] = r
+	}
+	restored := false
+	if a.Snap.Seq > h.appliedSeq {
+		if !a.Snap.IsZero() {
+			if err := h.application.Restore(a.Snap.AppState); err != nil {
+				h.logf("statesync: snapshot restore failed: %v", err)
+				return
+			}
+		}
+		h.appliedSeq = a.Snap.Seq
+		h.appliedTrim = a.Snap.Seq
+		h.appliedDigs = nil
+		h.appliedAcc = a.Snap.HistDigest
+		restored = true
+	}
+	st := h.instances[inst]
+	if st == nil {
+		return
+	}
+	if st.BaseSeq == 0 && st.AbsLen() <= a.Snap.Seq && a.End() > st.AbsLen() {
+		st.trimmed = a.Snap.Seq
+		st.trimAcc = a.Snap.HistDigest
+		st.chainAcc = a.Snap.HistDigest
+		st.chainLen = a.Snap.Seq
+		st.ckptAcc = a.Snap.HistDigest
+		st.ckptLen = a.Snap.Seq
+		st.Digests = a.Suffix.Clone()
+		st.digestDirty = true
+		if iv := uint64(st.Checkpoint.Interval); iv > 0 && a.Snap.Seq > 0 && a.Snap.Seq%iv == 0 {
+			st.Checkpoint.AdoptStable(a.Snap.Seq/iv, a.Snap.HistDigest)
+		}
+		adopter, _ := h.observer.(HistoryAdopter)
+		for i, d := range st.Digests {
+			if r, ok := h.requestStore[d]; ok {
+				st.markLogged(r.Client, r.Timestamp)
+				if adopter != nil {
+					adopter.RequestAdopted(st.ID, r, st.BaseSeq+st.trimmed+uint64(i))
+				}
+			}
+		}
+		if end := st.AbsLen(); st.NextSeq < end {
+			st.NextSeq = end
+		}
+	}
+	// Apply the agreed suffix bodies that extend the applied sequence
+	// directly: in the below-base fill they cover the gap between the
+	// snapshot and the instance's base checkpoint, which the instance's own
+	// history (digests from the base onward) cannot reconstruct.
+	for h.appliedSeq >= a.Snap.Seq && h.appliedSeq < a.End() {
+		r, ok := h.requestStore[a.Suffix[h.appliedSeq-a.Snap.Seq]]
+		if !ok {
+			break
+		}
+		h.applyRequest(r)
+	}
+	h.reconcileApplication(st)
+	if restored {
+		h.takeActivationSnapshot()
+	}
+	h.logf("statesync: adopted snapshot at %d (+%d suffix entries)", a.Snap.Seq, len(a.Suffix))
+}
+
+// AppliedState returns the applied sequence length and the digest chain fold
+// over it — the convergence identity recovery tests and harnesses compare
+// across replicas.
+func (h *Host) AppliedState() (uint64, authn.Digest) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.appliedSeq, h.appliedAcc
+}
+
+// CheckpointStatus reports the active instance's stable checkpoint position
+// and how many history entries were garbage-collected, under the host lock
+// (safe against the running event loop, unlike reading the instance state
+// directly).
+func (h *Host) CheckpointStatus() (stableSeq, trimmed uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.instances[h.active]
+	if st == nil {
+		return 0, 0
+	}
+	return st.Checkpoint.StableSeq(), st.Trimmed()
+}
+
+// GCStats reports the retained storage of the replica: materialized history
+// digests of the active instance, applied digests, stored request bodies,
+// and retained snapshots. The memory bench asserts these stay flat over long
+// runs with GC on.
+func (h *Host) GCStats() (histDigests, appliedDigests, storedRequests, snapshots int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st := h.instances[h.active]; st != nil {
+		histDigests = len(st.Digests)
+	}
+	return histDigests, len(h.appliedDigs), len(h.requestStore), h.snaps.Len()
+}

@@ -21,8 +21,18 @@ func (p ProcessID) IsClient() bool { return p >= ClientBase }
 // IsReplica reports whether p names a replica process.
 func (p ProcessID) IsReplica() bool { return p >= 0 && p < ClientBase }
 
+// NullOp is the reserved identity under which shard leaders order
+// Mencius-style null operations: fillers that advance an idle shard's
+// history (so cross-shard merge rounds complete without waiting on it)
+// while executing nothing. It is neither a client nor a replica; null
+// requests carry no authenticator and receive no reply.
+const NullOp ProcessID = -1
+
 // String renders the identifier as "r<i>" for replicas and "c<i>" for clients.
 func (p ProcessID) String() string {
+	if p == NullOp {
+		return "null"
+	}
 	if p.IsClient() {
 		return fmt.Sprintf("c%d", int32(p-ClientBase))
 	}

@@ -1,10 +1,12 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 
 	"abstractbft/internal/app"
 	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
 )
 
@@ -36,10 +38,14 @@ type ExecutorConfig struct {
 // every replica converges to the same global order with no cross-shard
 // coordination.
 //
-// A round is emitted once every shard has ordered its E positions, so the
-// merged sequence trails an idle shard (Mencius-style null-op filling is a
-// recorded follow-on); per-key replies never wait for it, because they are
-// served by the per-shard speculative execution.
+// A round is emitted once every shard has ordered its E positions. An idle
+// shard no longer stalls the merge indefinitely: LaggingShards exposes the
+// demand signal, and the node asks the idle shard's leader to order
+// Mencius-style null operations (ids.NullOp) that fill its epoch through the
+// ordinary ordering path — deterministic on every replica because the
+// null-ops are part of the shard's agreed history. Per-key replies never
+// wait for the merge either way; they are served by the per-shard
+// speculative execution.
 type Executor struct {
 	shards, epoch int
 
@@ -50,24 +56,35 @@ type Executor struct {
 	wake   chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
+	// ctrl carries whole-executor control actions (merged-state restore)
+	// into the merge loop, which owns the sequencer state.
+	ctrl chan func()
 
 	// merge-loop-owned per-shard sequencer state.
 	pending [][]msg.Request          // in-order spans awaiting their round
 	popped  []uint64                 // positions already merged per shard
 	ooo     []map[uint64]msg.Request // out-of-order buffer per shard
 
-	// merged state, guarded by stateMu.
+	// merged state, guarded by stateMu. inOrder mirrors each shard's next
+	// in-order position (popped + pending) for the idle-shard demand probe.
 	stateMu      sync.Mutex
 	mergedSeq    uint64
 	mergedDigest authn.Digest
 	mergedApp    app.Application
 	rounds       uint64
+	inOrder      []uint64
+	poppedView   []uint64
 }
 
+// loggedRequest is one intake entry: an ordered request at its per-shard
+// position, or (reset) a history-reset marker telling the sequencer to drop
+// buffered entries at positions >= pos. Resets travel the same stream as
+// feeds so a reset is processed before the adopted entries re-fed after it.
 type loggedRequest struct {
 	shard int
 	pos   uint64
 	req   msg.Request
+	reset bool
 }
 
 // NewExecutor creates and starts the execution stage.
@@ -79,14 +96,17 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		cfg.Epoch = DefaultEpoch
 	}
 	e := &Executor{
-		shards:  cfg.Shards,
-		epoch:   cfg.Epoch,
-		wake:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		pending: make([][]msg.Request, cfg.Shards),
-		popped:  make([]uint64, cfg.Shards),
-		ooo:     make([]map[uint64]msg.Request, cfg.Shards),
+		shards:     cfg.Shards,
+		epoch:      cfg.Epoch,
+		wake:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		ctrl:       make(chan func()),
+		pending:    make([][]msg.Request, cfg.Shards),
+		popped:     make([]uint64, cfg.Shards),
+		ooo:        make([]map[uint64]msg.Request, cfg.Shards),
+		inOrder:    make([]uint64, cfg.Shards),
+		poppedView: make([]uint64, cfg.Shards),
 	}
 	for s := range e.ooo {
 		e.ooo[s] = make(map[uint64]msg.Request)
@@ -108,11 +128,26 @@ func (e *Executor) Stop() {
 // is called from the host event loop (under the host lock) and only appends
 // to the intake, keeping the ordering critical path free of execution work.
 func (e *Executor) OnLogged(shard int, pos uint64, req msg.Request) {
-	if shard < 0 || shard >= e.shards {
+	e.feed(loggedRequest{shard: shard, pos: pos, req: req})
+}
+
+// OnReset tells the shard's sequencer that the sub-host's history was
+// replaced from position `from` on (an adopted init history at an instance
+// switch): buffered speculative entries at or beyond it are dropped, so the
+// adopted values re-fed right after take their place instead of losing the
+// first-win race to a rolled-back tail. Positions already merged are beyond
+// repair here — they were merged identically on every replica that merged
+// them — so only the un-merged buffered tail is replaced.
+func (e *Executor) OnReset(shard int, from uint64) {
+	e.feed(loggedRequest{shard: shard, pos: from, reset: true})
+}
+
+func (e *Executor) feed(lr loggedRequest) {
+	if lr.shard < 0 || lr.shard >= e.shards {
 		return
 	}
 	e.mu.Lock()
-	e.intake = append(e.intake, loggedRequest{shard: shard, pos: pos, req: req})
+	e.intake = append(e.intake, lr)
 	e.mu.Unlock()
 	select {
 	case e.wake <- struct{}{}:
@@ -153,6 +188,109 @@ func (e *Executor) MergedApp() app.Application {
 	return e.mergedApp.Clone()
 }
 
+// MergedSnapshot returns the merged mirror's state at its current round
+// boundary: the merged sequence length, its digest chain, and the serialized
+// merged application (nil without one). Rounds commit atomically under
+// stateMu, so the snapshot always sits on a round boundary — the alignment
+// RestoreMerged requires.
+func (e *Executor) MergedSnapshot() (seq uint64, digest authn.Digest, appState []byte) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	var state []byte
+	if e.mergedApp != nil {
+		state = e.mergedApp.Snapshot()
+	}
+	return e.mergedSeq, e.mergedDigest, state
+}
+
+// RestoreMerged initializes the merged mirror from a peer's MergedSnapshot:
+// a recovering replica adopts the merged sequence, digest chain, and merged
+// application at a round boundary (its per-shard sub-hosts then catch up via
+// statesync and feed the suffix). The caller is responsible for the f+1
+// digest-agreement check across peers; seq must be a round-boundary multiple
+// of shards*epoch and at or beyond the current merged sequence. It must be
+// called before the per-shard feeds start (the recovery path restores the
+// node before starting its sub-hosts).
+func (e *Executor) RestoreMerged(seq uint64, digest authn.Digest, appState []byte) error {
+	errc := make(chan error, 1)
+	fn := func() {
+		errc <- e.applyRestore(seq, digest, appState)
+	}
+	select {
+	case e.ctrl <- fn:
+	case <-e.done:
+		return fmt.Errorf("shard: executor stopped")
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-e.done:
+		return fmt.Errorf("shard: executor stopped")
+	}
+}
+
+// applyRestore runs in the merge loop, which owns the sequencer state.
+func (e *Executor) applyRestore(seq uint64, digest authn.Digest, appState []byte) error {
+	round := uint64(e.shards) * uint64(e.epoch)
+	if seq%round != 0 {
+		return fmt.Errorf("shard: restore seq %d not on a round boundary (%d)", seq, round)
+	}
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if seq < e.mergedSeq {
+		return fmt.Errorf("shard: restore seq %d behind merged %d", seq, e.mergedSeq)
+	}
+	if e.mergedApp != nil && len(appState) > 0 {
+		if err := e.mergedApp.Restore(appState); err != nil {
+			return err
+		}
+	}
+	perShard := seq / uint64(e.shards)
+	for s := 0; s < e.shards; s++ {
+		e.pending[s] = nil
+		e.ooo[s] = make(map[uint64]msg.Request)
+		e.popped[s] = perShard
+		e.inOrder[s] = perShard
+		e.poppedView[s] = perShard
+	}
+	e.mergedSeq = seq
+	e.mergedDigest = digest
+	e.rounds = seq / round
+	return nil
+}
+
+// LaggingShards returns the shards whose in-order position is behind the
+// next merge round's requirement while at least one shard has un-merged
+// progress: the demand signal for Mencius-style null-ops. A single ordered
+// request anywhere is demand — the whole round fills (the busy shard's
+// remaining epoch positions included) so the request reaches the merged
+// mirror promptly instead of waiting for a full epoch of real traffic. An
+// all-idle plane reports nothing and once the round merges the signal goes
+// quiet, so null-ops never chain on their own.
+func (e *Executor) LaggingShards() []int {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	merged := e.rounds * uint64(e.epoch)
+	progressed := false
+	for s := 0; s < e.shards; s++ {
+		if e.inOrder[s] > merged {
+			progressed = true
+			break
+		}
+	}
+	if !progressed {
+		return nil
+	}
+	target := merged + uint64(e.epoch)
+	var out []int
+	for s := 0; s < e.shards; s++ {
+		if e.inOrder[s] < target {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 func (e *Executor) run() {
 	defer close(e.done)
 	for {
@@ -160,12 +298,40 @@ func (e *Executor) run() {
 		case <-e.wake:
 			e.drainIntake()
 			e.mergeRounds()
+			e.publishProgress()
+		case fn := <-e.ctrl:
+			fn()
 		case <-e.stop:
 			e.drainIntake()
 			e.mergeRounds()
+			e.publishProgress()
 			return
 		}
 	}
+}
+
+// publishProgress mirrors each shard's next in-order position into the
+// stateMu-guarded view the idle-shard demand probe reads.
+func (e *Executor) publishProgress() {
+	e.stateMu.Lock()
+	for s := 0; s < e.shards; s++ {
+		e.inOrder[s] = e.popped[s] + uint64(len(e.pending[s]))
+		e.poppedView[s] = e.popped[s]
+	}
+	e.stateMu.Unlock()
+}
+
+// MergedFloor returns the per-shard position the merged mirror has consumed
+// up to: the garbage-collection retention floor of shard s's sub-host. A
+// replica must keep snapshots and bodies back to this point, or a peer
+// recovering its mirror at the same boundary could never refill the gap.
+func (e *Executor) MergedFloor(s int) uint64 {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if s < 0 || s >= e.shards {
+		return 0
+	}
+	return e.poppedView[s]
 }
 
 // drainIntake moves fed requests into the per-shard sequencers, restoring
@@ -182,6 +348,23 @@ func (e *Executor) drainIntake() {
 	e.mu.Unlock()
 	for _, lr := range batch {
 		s := lr.shard
+		if lr.reset {
+			// Drop buffered (un-merged) entries at or beyond the reset point;
+			// the adopted values re-fed after this marker replace them.
+			if lr.pos > e.popped[s] {
+				if keep := lr.pos - e.popped[s]; keep < uint64(len(e.pending[s])) {
+					e.pending[s] = e.pending[s][:keep]
+				}
+			} else {
+				e.pending[s] = nil
+			}
+			for pos := range e.ooo[s] {
+				if pos >= lr.pos {
+					delete(e.ooo[s], pos)
+				}
+			}
+			continue
+		}
 		next := e.popped[s] + uint64(len(e.pending[s]))
 		switch {
 		case lr.pos < next:
@@ -232,7 +415,9 @@ func (e *Executor) mergeRounds() {
 		for _, req := range round {
 			d := req.Digest()
 			e.mergedDigest = authn.HashAll(e.mergedDigest[:], d[:])
-			if e.mergedApp != nil {
+			// Null operations advance the sequence and the digest chain but
+			// execute nothing (they exist only to fill idle shards' epochs).
+			if e.mergedApp != nil && req.Client != ids.NullOp {
 				e.mergedApp.Execute(req.Command)
 			}
 			e.mergedSeq++

@@ -40,15 +40,27 @@ type NodeConfig struct {
 	TimestampWindow int
 	// Epoch is the execution stage's merge round length (0 = DefaultEpoch).
 	Epoch int
-	// CheckpointInterval, MaxUncheckpointed, InstrumentHistories,
+	// NullOpInterval is how often the node probes the execution stage for
+	// lagging shards and asks the leaders it runs to order Mencius-style
+	// null-ops (one per lagging led shard per probe). 0 selects
+	// DefaultNullOpInterval; negative disables null-ops (an idle shard then
+	// stalls the merge, the pre-statesync behaviour).
+	NullOpInterval time.Duration
+	// CheckpointInterval, MaxUncheckpointed, DisableGC, InstrumentHistories,
 	// TickInterval, Ops, and Logger are forwarded to every sub-host.
 	CheckpointInterval  int
 	MaxUncheckpointed   int
+	DisableGC           bool
 	InstrumentHistories bool
 	TickInterval        time.Duration
 	Ops                 *authn.OpCounter
 	Logger              *log.Logger
 }
+
+// DefaultNullOpInterval is the default idle-shard probe period: fast enough
+// that an idle shard delays a waiting merge round by a few milliseconds per
+// epoch position, slow enough to stay negligible next to real traffic.
+const DefaultNullOpInterval = 2 * time.Millisecond
 
 // Node is one physical replica of the sharded plane: S sub-hosts (one
 // complete Abstract composition replica per shard, each with a different
@@ -61,6 +73,9 @@ type Node struct {
 	Hosts []*host.Host
 	// Exec is the node's asynchronous execution stage.
 	Exec *Executor
+
+	nullStop chan struct{}
+	nullDone chan struct{}
 }
 
 // Lead returns the replica leading shard s (position 0 of the shard's
@@ -88,19 +103,25 @@ func NewNode(cfg NodeConfig) *Node {
 		}),
 	}
 	for s := 0; s < cfg.Shards; s++ {
+		s := s
 		cl := cfg.Cluster.WithLead(s % cfg.Cluster.N)
 		h := host.New(host.Config{
-			Cluster:             cl,
-			Replica:             cfg.Replica,
-			Keys:                cfg.Keys,
-			App:                 cfg.NewApp(),
-			Endpoint:            n.Router.Endpoint(s),
-			FirstInstance:       1,
-			NewProtocol:         cfg.NewProtocol(s, cl),
-			Batch:               cfg.Batch,
-			TimestampWindow:     cfg.TimestampWindow,
-			CheckpointInterval:  cfg.CheckpointInterval,
-			MaxUncheckpointed:   cfg.MaxUncheckpointed,
+			Cluster:            cl,
+			Replica:            cfg.Replica,
+			Keys:               cfg.Keys,
+			App:                cfg.NewApp(),
+			Endpoint:           n.Router.Endpoint(s),
+			FirstInstance:      1,
+			NewProtocol:        cfg.NewProtocol(s, cl),
+			Batch:              cfg.Batch,
+			TimestampWindow:    cfg.TimestampWindow,
+			CheckpointInterval: cfg.CheckpointInterval,
+			MaxUncheckpointed:  cfg.MaxUncheckpointed,
+			DisableGC:          cfg.DisableGC,
+			// GC must not outrun the merged mirror: a recovering peer
+			// restores its mirror at this node's merge boundary and needs a
+			// snapshot (and bodies) reaching back to it.
+			RetainFloor:         func() uint64 { return n.Exec.MergedFloor(s) },
 			InstrumentHistories: cfg.InstrumentHistories,
 			TickInterval:        cfg.TickInterval,
 			Ops:                 cfg.Ops,
@@ -112,17 +133,53 @@ func NewNode(cfg NodeConfig) *Node {
 	return n
 }
 
-// Start launches every sub-host's event loop.
+// Start launches every sub-host's event loop and the idle-shard null-op
+// probe.
 func (n *Node) Start() {
 	for _, h := range n.Hosts {
 		h.Start()
 	}
+	interval := n.cfg.NullOpInterval
+	if interval == 0 {
+		interval = DefaultNullOpInterval
+	}
+	if interval > 0 {
+		n.nullStop = make(chan struct{})
+		n.nullDone = make(chan struct{})
+		go n.runNullOps(interval)
+	}
 }
 
-// Stop terminates the sub-hosts, the router, and the execution stage.
+// runNullOps periodically asks the leaders this replica runs to fill lagging
+// shards' epochs with null operations, so an idle shard does not stall the
+// cross-shard merge rounds other shards are waiting to complete.
+func (n *Node) runNullOps(interval time.Duration) {
+	defer close(n.nullDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.nullStop:
+			return
+		case <-ticker.C:
+			for _, s := range n.Exec.LaggingShards() {
+				if Lead(n.cfg.Cluster, s) == n.cfg.Replica {
+					n.Hosts[s].OrderNullOp()
+				}
+			}
+		}
+	}
+}
+
+// Stop terminates the sub-hosts, the router, the null-op probe, and the
+// execution stage.
 func (n *Node) Stop() {
 	for _, h := range n.Hosts {
 		h.Stop()
+	}
+	if n.nullStop != nil {
+		close(n.nullStop)
+		<-n.nullDone
 	}
 	n.Router.Close()
 	n.Exec.Stop()
@@ -130,6 +187,42 @@ func (n *Node) Stop() {
 
 // Host returns the sub-host of shard s.
 func (n *Node) Host(s int) *host.Host { return n.Hosts[s] }
+
+// Recover catches a freshly restarted node up to the live plane: it adopts a
+// peer's merged-mirror snapshot (the caller must have verified it against
+// f+1 peers — merged state is a pure function of the agreed per-shard
+// histories, so equal (seq, digest) across f+1 nodes pins it), then starts
+// the node and state-syncs every sub-host from its peers, pinning each
+// shard's snapshot at or below the restored merge boundary so the suffix
+// feeds seamlessly into the restored mirror. It must be called instead of
+// Start, before any traffic reaches the node.
+//
+// Liveness caveat: the pinned boundary is fixed at call time, while the
+// peers' GC retention floor advances with their own merged mirrors. Under
+// heavy concurrent traffic a peer can prune the pinned snapshot before f+1
+// responses land, stalling the pinned sync until the caller re-collects a
+// fresh boundary and retries (re-issuing Recover's SyncState with a newer
+// pin retargets the transfer); quiescing traffic around the restart, as the
+// recovery harness does, avoids the race entirely. An automatic
+// re-agreement loop is a recorded follow-on.
+func (n *Node) Recover(mergedSeq uint64, mergedDigest authn.Digest, mergedApp []byte) error {
+	if err := n.Exec.RestoreMerged(mergedSeq, mergedDigest, mergedApp); err != nil {
+		return err
+	}
+	n.Start()
+	perShard := mergedSeq / uint64(len(n.Hosts))
+	if perShard == 0 {
+		// Nothing merged yet: pin the per-shard snapshots to boundary 0 (a
+		// maxSeq of 0 would mean "the peers' stable checkpoint", which could
+		// lie beyond the restored merge boundary and leave the mirror a
+		// permanent gap).
+		perShard = 1
+	}
+	for _, h := range n.Hosts {
+		h.SyncState(perShard)
+	}
+	return nil
+}
 
 // execFeed adapts the host observer to the execution stage: every logged
 // request is handed to the executor at its absolute per-shard position.
@@ -150,10 +243,19 @@ func (f *execFeed) RequestAdopted(inst core.InstanceID, req msg.Request, pos uin
 	f.exec.OnLogged(f.shard, pos, req)
 }
 
+// HistoryReset implements host.HistoryResetter: when an instance switch
+// adopts an init history, buffered speculative entries the adoption rolled
+// back are dropped before the adopted values are re-fed, so the merged
+// mirror takes the agreed values instead of keeping first-logged stale ones.
+func (f *execFeed) HistoryReset(inst core.InstanceID, baseSeq uint64) {
+	f.exec.OnReset(f.shard, baseSeq)
+}
+
 func (f *execFeed) InstanceStopped(inst core.InstanceID)   {}
 func (f *execFeed) InstanceActivated(inst core.InstanceID) {}
 
 var (
-	_ host.Observer       = (*execFeed)(nil)
-	_ host.HistoryAdopter = (*execFeed)(nil)
+	_ host.Observer        = (*execFeed)(nil)
+	_ host.HistoryAdopter  = (*execFeed)(nil)
+	_ host.HistoryResetter = (*execFeed)(nil)
 )

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+func execReq(ts uint64, key, value string) msg.Request {
+	return msg.Request{Client: ids.Client(0), Timestamp: ts, Command: app.EncodeKVPut(key, value)}
+}
+
+func waitMerged(t *testing.T, e *Executor, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.MergedSeq() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("merged %d, want %d", e.MergedSeq(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestExecutorResyncReplacesSpeculativeTail: an un-merged speculative entry
+// buffered for a shard is replaced — not kept under the first-win rule —
+// when the shard's history is reset (instance switch adopting an init
+// history) and the agreed value is re-fed. The merged mirror then matches a
+// reference executor that only ever saw the agreed sequence.
+func TestExecutorResyncReplacesSpeculativeTail(t *testing.T) {
+	newExec := func() *Executor {
+		return NewExecutor(ExecutorConfig{Shards: 2, Epoch: 1, NewApp: func() app.Application { return app.NewKVStore() }})
+	}
+	e := newExec()
+	defer e.Stop()
+	ref := newExec()
+	defer ref.Stop()
+
+	// Round 0 merges on both.
+	for _, x := range []*Executor{e, ref} {
+		x.OnLogged(0, 0, execReq(1, "a", "r0"))
+		x.OnLogged(1, 0, execReq(2, "b", "r0"))
+	}
+	waitMerged(t, e, 2)
+	waitMerged(t, ref, 2)
+
+	// Shard 0 position 1: e sees a speculative value that will be rolled
+	// back; the reference only ever sees the agreed one.
+	e.OnLogged(0, 1, execReq(3, "a", "SPECULATIVE"))
+	// An out-of-order speculative entry beyond it must be dropped too.
+	e.OnLogged(0, 3, execReq(5, "a", "SPEC-OOO"))
+	// The switch adopts a history that replaces position 1 onward.
+	e.OnReset(0, 1)
+	e.OnLogged(0, 1, execReq(7, "a", "AGREED"))
+	ref.OnLogged(0, 1, execReq(7, "a", "AGREED"))
+
+	e.OnLogged(1, 1, execReq(8, "b", "r1"))
+	ref.OnLogged(1, 1, execReq(8, "b", "r1"))
+	waitMerged(t, e, 4)
+	waitMerged(t, ref, 4)
+
+	if e.MergedDigest() != ref.MergedDigest() {
+		t.Fatal("merged digest kept the rolled-back speculative value")
+	}
+	kv := e.MergedApp().(*app.KVStore)
+	if got := kv.Get("a"); got != "AGREED" {
+		t.Fatalf("merged mirror kept stale value %q", got)
+	}
+}
+
+// TestExecutorResetBelowPopped: a reset below the already-merged prefix
+// clears all buffered entries for the shard (the merged prefix itself is
+// final) and the shard resumes from its merged position.
+func TestExecutorResetBelowPopped(t *testing.T) {
+	e := NewExecutor(ExecutorConfig{Shards: 1, Epoch: 1, NewApp: func() app.Application { return app.NewKVStore() }})
+	defer e.Stop()
+	e.OnLogged(0, 0, execReq(1, "k", "v0"))
+	waitMerged(t, e, 1)
+	e.OnLogged(0, 1, execReq(2, "k", "spec"))
+	e.OnReset(0, 0)
+	e.OnLogged(0, 1, execReq(3, "k", "agreed"))
+	waitMerged(t, e, 2)
+	if got := e.MergedApp().(*app.KVStore).Get("k"); got != "agreed" {
+		t.Fatalf("merged value %q after reset below popped", got)
+	}
+}
+
+// TestExecutorMergedSnapshotRestore: a fresh executor restored from a peer's
+// merged snapshot continues the digest chain and application state exactly,
+// with its per-shard sequencers aligned to the restored boundary.
+func TestExecutorMergedSnapshotRestore(t *testing.T) {
+	newExec := func() *Executor {
+		return NewExecutor(ExecutorConfig{Shards: 2, Epoch: 2, NewApp: func() app.Application { return app.NewKVStore() }})
+	}
+	live := newExec()
+	defer live.Stop()
+	var ts uint64
+	feedRound := func(e *Executor, round uint64) {
+		for s := 0; s < 2; s++ {
+			for i := uint64(0); i < 2; i++ {
+				ts++
+				e.OnLogged(s, round*2+i, execReq(ts, "k", "v"))
+			}
+		}
+	}
+	feedRound(live, 0)
+	feedRound(live, 1)
+	waitMerged(t, live, 8)
+
+	seq, dig, appState := live.MergedSnapshot()
+	if seq != 8 {
+		t.Fatalf("snapshot at %d, want 8", seq)
+	}
+	fresh := newExec()
+	defer fresh.Stop()
+	if err := fresh.RestoreMerged(seq, dig, appState); err != nil {
+		t.Fatalf("RestoreMerged: %v", err)
+	}
+	if err := fresh.RestoreMerged(seq+1, dig, appState); err == nil {
+		t.Fatal("off-boundary restore accepted")
+	}
+
+	// Both continue with the same suffix and stay identical.
+	saved := ts
+	feedRound(live, 2)
+	ts = saved
+	feedRound(fresh, 2)
+	waitMerged(t, live, 12)
+	waitMerged(t, fresh, 12)
+	if live.MergedDigest() != fresh.MergedDigest() {
+		t.Fatal("restored executor diverged from the live one")
+	}
+	a, b := live.MergedApp().Snapshot(), fresh.MergedApp().Snapshot()
+	if string(a) != string(b) {
+		t.Fatal("restored merged application diverged")
+	}
+}
+
+// TestExecutorLaggingShards: the demand probe reports a shard only when
+// another shard has filled the next round; an all-idle plane reports
+// nothing.
+func TestExecutorLaggingShards(t *testing.T) {
+	e := NewExecutor(ExecutorConfig{Shards: 2, Epoch: 2})
+	defer e.Stop()
+	if lag := e.LaggingShards(); len(lag) != 0 {
+		t.Fatalf("idle plane reported lagging shards %v", lag)
+	}
+	// A single ordered request is demand: the whole round must fill (the
+	// busy shard's remaining epoch position included), or the request never
+	// reaches the merged mirror.
+	e.OnLogged(0, 0, execReq(1, "a", "v"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lag := e.LaggingShards()
+		if len(lag) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lagging shards = %v, want both (partial epoch is demand)", lag)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Once the busy shard fills its epoch, only the idle one lags.
+	e.OnLogged(0, 1, execReq(2, "a", "v"))
+	for {
+		lag := e.LaggingShards()
+		if len(lag) == 1 && lag[0] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lagging shards = %v, want [1]", lag)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

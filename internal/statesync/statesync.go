@@ -1,0 +1,101 @@
+// Package statesync implements the checkpoint state-transfer and recovery
+// plane: serialized application snapshots taken at checkpoint boundaries, the
+// FETCH-STATE/STATE transfer protocol a lagging or freshly restarted replica
+// uses to catch up from its peers, and the f+1 digest-agreement rule under
+// which transferred state is accepted.
+//
+// The paper's lightweight checkpoint subprotocol (§4.2.4) agrees on stable
+// checkpoint digests but never materializes the state behind them: histories
+// grow without bound and a replica that missed the requests below an adopted
+// base checkpoint can never fill the gap. This package closes that loop:
+//
+//   - Snapshot captures the serialized application state at a checkpoint
+//     boundary, keyed by the position it covers and the digest chain of the
+//     request history up to it.
+//   - Store retains the most recent snapshots on every replica; the host
+//     garbage-collects logged requests and digest prefixes below the last
+//     stable checkpoint once a snapshot covers them, bounding memory for
+//     long runs.
+//   - FetchState/State are the transfer messages (FETCH-STATE and STATE);
+//     they work over any transport.Endpoint and are gob-registered for the
+//     TCP transport.
+//   - Collector aggregates STATE responses and accepts a snapshot only when
+//     f+1 replicas agree on (Seq, HistDigest, AppDigest) — at least one
+//     correct replica then vouches for the state — and the serialized bytes
+//     actually hash to the agreed AppDigest, so a lying peer inside an
+//     honest group cannot substitute a forged state.
+package statesync
+
+import (
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/history"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+)
+
+// Snapshot is the serialized replica state at one checkpoint boundary.
+type Snapshot struct {
+	// Seq is the absolute number of requests the snapshot covers: the
+	// application state is the result of executing the first Seq requests of
+	// the (merged) history.
+	Seq uint64
+	// HistDigest is the digest chain fold over the request digests of the
+	// covered prefix — the value the lightweight checkpoint subprotocol
+	// agrees on at this boundary.
+	HistDigest authn.Digest
+	// AppDigest is the digest of AppState (authn.Hash over the serialized
+	// bytes); transfer acceptance agrees on it before trusting AppState.
+	AppDigest authn.Digest
+	// AppState is the serialized application state
+	// (app.Application.Snapshot).
+	AppState []byte
+}
+
+// IsZero reports whether the snapshot is the genesis snapshot (nothing
+// executed, no state to restore).
+func (s Snapshot) IsZero() bool { return s.Seq == 0 }
+
+// FetchState is the FETCH-STATE message: a lagging or restarted replica asks
+// a peer for its snapshot and the history suffix beyond it.
+type FetchState struct {
+	// Instance selects the Abstract instance whose history the suffix should
+	// come from; 0 asks for the responder's active instance.
+	Instance core.InstanceID
+	// From is the fetching replica.
+	From ids.ProcessID
+	// Seq, when non-zero, asks for the responder's snapshot at the highest
+	// checkpoint boundary at or below Seq (a replica filling positions below
+	// an adopted base checkpoint, or aligning with a restored merge
+	// boundary); 0 asks for the snapshot at the responder's last stable
+	// checkpoint.
+	Seq uint64
+}
+
+// State is the STATE message answering a FetchState: the responder's
+// snapshot plus the history suffix (digests and the request bodies it knows)
+// from the snapshot position to the end of its applied history.
+type State struct {
+	// Instance is the instance the suffix belongs to.
+	Instance core.InstanceID
+	// From is the responding replica.
+	From ids.ProcessID
+	// Snap is the responder's snapshot; the zero snapshot (Seq 0) means the
+	// responder has no stable checkpoint yet and the suffix starts at the
+	// beginning of the history.
+	Snap Snapshot
+	// SuffixDigests holds the digests of the requests applied after
+	// Snap.Seq, in history order: the request at absolute position
+	// Snap.Seq+i has digest SuffixDigests[i].
+	SuffixDigests history.DigestHistory
+	// SuffixRequests carries the request bodies the responder knows for the
+	// suffix positions; the fetcher matches them to the agreed digests, so
+	// order and completeness are not trusted.
+	SuffixRequests []msg.Request
+}
+
+func init() {
+	transport.RegisterWireType(&FetchState{})
+	transport.RegisterWireType(&State{})
+}

@@ -1,0 +1,225 @@
+package statesync
+
+import (
+	"testing"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+)
+
+func testReq(ts uint64) msg.Request {
+	return msg.Request{Client: ids.Client(0), Timestamp: ts, Command: []byte{byte(ts)}}
+}
+
+// testState builds an honest STATE response: a snapshot whose digests are
+// internally consistent plus the given suffix requests.
+func testState(from ids.ProcessID, seq uint64, appState []byte, suffix []msg.Request) *State {
+	st := &State{
+		Instance: 1,
+		From:     from,
+		Snap: Snapshot{
+			Seq:        seq,
+			HistDigest: authn.Hash([]byte{byte(seq)}),
+			AppDigest:  authn.Hash(appState),
+			AppState:   appState,
+		},
+	}
+	for _, r := range suffix {
+		st.SuffixDigests = append(st.SuffixDigests, r.Digest())
+		st.SuffixRequests = append(st.SuffixRequests, r)
+	}
+	return st
+}
+
+func TestStoreRetentionAndLookup(t *testing.T) {
+	s := NewStore(2)
+	for _, seq := range []uint64{8, 16, 24} {
+		s.Add(Snapshot{Seq: seq})
+	}
+	if s.Len() != 2 {
+		t.Fatalf("retained %d snapshots, want 2", s.Len())
+	}
+	if _, ok := s.At(8); ok {
+		t.Fatal("oldest snapshot should have been evicted")
+	}
+	if sn, ok := s.LatestAtOrBelow(20); !ok || sn.Seq != 16 {
+		t.Fatalf("LatestAtOrBelow(20) = %v, %v", sn.Seq, ok)
+	}
+	if sn, ok := s.Latest(); !ok || sn.Seq != 24 {
+		t.Fatalf("Latest = %v, %v", sn.Seq, ok)
+	}
+	s.Add(Snapshot{Seq: 16}) // out of order: ignored
+	if sn, _ := s.Latest(); sn.Seq != 24 {
+		t.Fatal("out-of-order Add replaced the latest snapshot")
+	}
+	s.PruneBelow(24)
+	if s.Len() != 1 {
+		t.Fatalf("prune kept %d snapshots", s.Len())
+	}
+	s.DropAbove(8)
+	if s.Len() != 0 {
+		t.Fatal("DropAbove kept a rolled-back snapshot")
+	}
+}
+
+// TestCollectorRequiresAgreement: a single response (even an honest one) is
+// not enough; f+1 matching snapshot identities are.
+func TestCollectorRequiresAgreement(t *testing.T) {
+	col := NewCollector(1)
+	appState := []byte("state-at-16")
+	if err := col.Add(testState(ids.Replica(0), 16, appState, nil)); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if _, ok := col.Result(); ok {
+		t.Fatal("one vote must not reach agreement at f=1")
+	}
+	// A duplicate from the same replica must not count twice.
+	col.Add(testState(ids.Replica(0), 16, appState, nil))
+	if _, ok := col.Result(); ok {
+		t.Fatal("repeated votes from one replica must not reach agreement")
+	}
+	if err := col.Add(&State{From: ids.Client(3)}); err == nil {
+		t.Fatal("client responses must be rejected")
+	}
+	col.Add(testState(ids.Replica(1), 16, appState, nil))
+	a, ok := col.Result()
+	if !ok || a.Snap.Seq != 16 || string(a.Snap.AppState) != "state-at-16" {
+		t.Fatalf("agreement not reached: %+v, %v", a, ok)
+	}
+}
+
+// TestCollectorRejectsLyingSnapshotPeer: a Byzantine peer that claims the
+// agreed digests but ships forged snapshot bytes must not have its bytes
+// adopted, and a Byzantine minority claiming a different (higher) snapshot
+// must not win however attractive its offer.
+func TestCollectorRejectsLyingSnapshotPeer(t *testing.T) {
+	appState := []byte("honest-state")
+	honest := testState(ids.Replica(1), 16, appState, nil)
+
+	// Liar 1: agrees on the snapshot identity but sends forged bytes.
+	forged := testState(ids.Replica(0), 16, appState, nil)
+	forged.Snap.AppState = []byte("forged-state")
+
+	// Liar 2: claims a higher snapshot nobody corroborates.
+	alone := testState(ids.Replica(2), 64, []byte("made-up"), nil)
+
+	col := NewCollector(1)
+	col.Add(forged)
+	col.Add(alone)
+	if _, ok := col.Result(); ok {
+		t.Fatal("forged + uncorroborated responses must not reach agreement")
+	}
+	col.Add(honest)
+	a, ok := col.Result()
+	if !ok {
+		t.Fatal("agreement should be reached once the honest peer answers")
+	}
+	if a.Snap.Seq != 16 {
+		t.Fatalf("adopted seq %d, want the corroborated 16", a.Snap.Seq)
+	}
+	if string(a.Snap.AppState) != "honest-state" {
+		t.Fatalf("adopted bytes %q from the lying peer", a.Snap.AppState)
+	}
+	if authn.Hash(a.Snap.AppState) != a.Snap.AppDigest {
+		t.Fatal("adopted bytes do not hash to the agreed digest")
+	}
+}
+
+// TestCollectorSuffixExtraction: the suffix beyond the snapshot is adopted
+// position by position under f+1 *explicit* agreement — a response whose
+// snapshot merely covers a position does not vote for it (an implicit vote
+// would let one Byzantine explicit vote forge an entry) — and bodies are
+// matched to agreed digests (a lying body is dropped).
+func TestCollectorSuffixExtraction(t *testing.T) {
+	appState := []byte("state")
+	reqs := []msg.Request{testReq(1), testReq(2), testReq(3)}
+
+	a := testState(ids.Replica(0), 16, appState, reqs)
+	b := testState(ids.Replica(1), 16, appState, reqs[:2]) // shorter suffix
+	// A third response with a higher snapshot covering positions 16..19: it
+	// must NOT count as agreement for them.
+	c := testState(ids.Replica(2), 20, []byte("later"), nil)
+	// b also ships a body that matches no agreed digest: it must be dropped.
+	b.SuffixRequests = append(b.SuffixRequests, testReq(99))
+
+	col := NewCollector(1)
+	col.Add(a)
+	col.Add(b)
+	col.Add(c)
+	got, ok := col.Result()
+	if !ok {
+		t.Fatal("agreement not reached")
+	}
+	if got.Snap.Seq != 16 {
+		t.Fatalf("adopted seq %d, want 16", got.Snap.Seq)
+	}
+	// Positions 16,17 have explicit votes from a+b. Position 18 has only
+	// a's explicit vote (c covers it implicitly, which must not count —
+	// otherwise a alone could forge the entry).
+	if len(got.Suffix) != 2 {
+		t.Fatalf("suffix %d entries, want 2", len(got.Suffix))
+	}
+	for i, r := range reqs[:2] {
+		if got.Suffix[i] != r.Digest() {
+			t.Fatalf("suffix digest %d mismatch", i)
+		}
+		body, ok := got.Bodies[r.Digest()]
+		if !ok || !body.Equal(r) {
+			t.Fatalf("body %d missing or wrong", i)
+		}
+	}
+	if _, ok := got.Bodies[testReq(99).Digest()]; ok {
+		t.Fatal("unagreed body adopted")
+	}
+	if got.End() != 18 {
+		t.Fatalf("End() = %d, want 18", got.End())
+	}
+}
+
+// TestCollectorSuffixForgeryResisted: one Byzantine explicit vote plus an
+// honest higher snapshot must not push a forged suffix entry (and body)
+// past the threshold.
+func TestCollectorSuffixForgeryResisted(t *testing.T) {
+	appState := []byte("state")
+	honest1 := testState(ids.Replica(0), 16, appState, nil) // empty suffix
+	honest2 := testState(ids.Replica(1), 16, appState, nil)
+	higher := testState(ids.Replica(2), 24, []byte("later"), nil)
+	forger := testState(ids.Replica(3), 16, appState, []msg.Request{testReq(66)})
+
+	col := NewCollector(1)
+	col.Add(honest1)
+	col.Add(honest2)
+	col.Add(higher)
+	col.Add(forger)
+	got, ok := col.Result()
+	if !ok {
+		t.Fatal("agreement not reached")
+	}
+	if len(got.Suffix) != 0 {
+		t.Fatalf("forged suffix entry adopted (%d entries)", len(got.Suffix))
+	}
+	if len(got.Bodies) != 0 {
+		t.Fatal("forged body adopted")
+	}
+}
+
+// TestCollectorExpectAtOrBelow: a pinned transfer ignores higher snapshots
+// even when f+1 agree on them (the fetcher needs the gap below its base
+// checkpoint filled, not skipped).
+func TestCollectorExpectAtOrBelow(t *testing.T) {
+	appState := []byte("state")
+	col := NewCollector(1)
+	col.ExpectAtOrBelow(16)
+	col.Add(testState(ids.Replica(0), 24, appState, nil))
+	col.Add(testState(ids.Replica(1), 24, appState, nil))
+	if _, ok := col.Result(); ok {
+		t.Fatal("snapshot above the pin must not be adopted")
+	}
+	col.Add(testState(ids.Replica(2), 16, appState, nil))
+	col.Add(testState(ids.Replica(3), 16, appState, nil))
+	a, ok := col.Result()
+	if !ok || a.Snap.Seq != 16 {
+		t.Fatalf("pinned agreement failed: %+v, %v", a, ok)
+	}
+}

@@ -1,0 +1,113 @@
+package statesync
+
+// DefaultStoreCapacity is the number of recent snapshots a replica retains.
+// Keeping a small window (rather than only the latest) lets a responder serve
+// FETCH-STATE requests pinned below the newest boundary — a fetcher aligning
+// with an adopted base checkpoint or a restored merge boundary.
+const DefaultStoreCapacity = 4
+
+// Store retains the most recent snapshots of one replica, ordered by the
+// position they cover. It is not synchronized: the host mutates it under its
+// own lock.
+type Store struct {
+	capacity int
+	snaps    []Snapshot // ascending Seq
+	// floor pins the newest snapshot at or below it against capacity
+	// eviction: a consumer (the sharded plane's merged mirror) still needs a
+	// boundary that far back, however many newer boundaries were captured.
+	floor uint64
+}
+
+// NewStore returns a store retaining up to capacity snapshots
+// (DefaultStoreCapacity when capacity <= 0).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreCapacity
+	}
+	return &Store{capacity: capacity}
+}
+
+// Add records a snapshot, evicting beyond the capacity: normally the
+// oldest, but the newest snapshot at or below the floor stays pinned.
+// Snapshots are taken at monotonically increasing boundaries; a duplicate or
+// out-of-order Seq is ignored.
+func (s *Store) Add(sn Snapshot) {
+	if n := len(s.snaps); n > 0 && sn.Seq <= s.snaps[n-1].Seq {
+		return
+	}
+	s.snaps = append(s.snaps, sn)
+	for len(s.snaps) > s.capacity {
+		i := 0
+		if s.snaps[0].Seq <= s.floor && (len(s.snaps) < 2 || s.snaps[1].Seq > s.floor) {
+			// snaps[0] is the newest boundary still covering the floor: evict
+			// the next-oldest instead.
+			i = 1
+		}
+		s.snaps = append(s.snaps[:i], s.snaps[i+1:]...)
+	}
+}
+
+// SetFloor pins the newest snapshot at or below seq against eviction.
+func (s *Store) SetFloor(seq uint64) { s.floor = seq }
+
+// At returns the snapshot covering exactly seq.
+func (s *Store) At(seq uint64) (Snapshot, bool) {
+	for _, sn := range s.snaps {
+		if sn.Seq == seq {
+			return sn, true
+		}
+	}
+	return Snapshot{}, false
+}
+
+// LatestAtOrBelow returns the newest snapshot covering at most seq.
+func (s *Store) LatestAtOrBelow(seq uint64) (Snapshot, bool) {
+	for i := len(s.snaps) - 1; i >= 0; i-- {
+		if s.snaps[i].Seq <= seq {
+			return s.snaps[i], true
+		}
+	}
+	return Snapshot{}, false
+}
+
+// Latest returns the newest snapshot.
+func (s *Store) Latest() (Snapshot, bool) {
+	if len(s.snaps) == 0 {
+		return Snapshot{}, false
+	}
+	return s.snaps[len(s.snaps)-1], true
+}
+
+// DropAbove removes snapshots covering more than seq: a speculative tail
+// containing a checkpoint boundary was rolled back, so the snapshots taken
+// inside it describe state that never committed.
+func (s *Store) DropAbove(seq uint64) {
+	keep := s.snaps[:0]
+	for _, sn := range s.snaps {
+		if sn.Seq <= seq {
+			keep = append(keep, sn)
+		}
+	}
+	for i := len(keep); i < len(s.snaps); i++ {
+		s.snaps[i] = Snapshot{}
+	}
+	s.snaps = keep
+}
+
+// PruneBelow drops snapshots covering less than seq (garbage collection once
+// a newer checkpoint is stable everywhere).
+func (s *Store) PruneBelow(seq uint64) {
+	keep := s.snaps[:0]
+	for _, sn := range s.snaps {
+		if sn.Seq >= seq {
+			keep = append(keep, sn)
+		}
+	}
+	for i := len(keep); i < len(s.snaps); i++ {
+		s.snaps[i] = Snapshot{}
+	}
+	s.snaps = keep
+}
+
+// Len returns the number of retained snapshots.
+func (s *Store) Len() int { return len(s.snaps) }

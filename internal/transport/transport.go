@@ -113,6 +113,25 @@ func (n *Local) Endpoint(p ids.ProcessID) Endpoint {
 	return ep
 }
 
+// ResetEndpoint detaches process p's current endpoint (if any) and attaches
+// a fresh one in its place: the crash-restart harness gives a restarted
+// replica a clean inbox under its old identity, exactly like a process
+// coming back up on the same address.
+func (n *Local) ResetEndpoint(p ids.ProcessID) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.endpoints[p]; ok {
+		old.closeLocked()
+	}
+	ep := &localEndpoint{
+		net: n,
+		id:  p,
+		in:  make(chan Envelope, n.opts.QueueLen),
+	}
+	n.endpoints[p] = ep
+	return ep
+}
+
 // AddFilter installs a delivery filter. Filters run in installation order;
 // the first filter returning false drops the message.
 func (n *Local) AddFilter(f Filter) {

@@ -1,6 +1,7 @@
 package zlight
 
 import (
+	"abstractbft/internal/authn"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
@@ -138,15 +139,50 @@ func (r *Replica) orderBatch(items []host.BatchItem) {
 
 // fanOutResps sends one RESP per request of a batch, coalescing the RESPs of
 // each client into a single wire envelope (pipelining clients have several
-// requests per batch).
+// requests per batch). Null operations have no client and get no reply.
 func (r *Replica) fanOutResps(batch msg.Batch, replies [][]byte, designated bool) {
 	byClient := make(map[ids.ProcessID][]any, len(batch.Requests))
 	for i, req := range batch.Requests {
+		if req.Client == ids.NullOp {
+			continue
+		}
 		byClient[req.Client] = append(byClient[req.Client], r.h.BuildResp(r.st, req, replies[i], designated))
 	}
 	for client, resps := range byClient {
 		r.h.SendBatch(client, resps)
 	}
+}
+
+// OrderNullOp implements host.NullOpOrderer (primary only): it orders one
+// Mencius-style null operation — a request from the reserved ids.NullOp
+// identity with an empty command and the next history position as its
+// timestamp — so an idle shard's history advances and the sharded plane's
+// cross-shard merge rounds complete without waiting on it. Real buffered
+// traffic takes precedence; backups verify no client authenticator for it
+// (there is no client), execute nothing, and reply to nobody.
+func (r *Replica) OrderNullOp() bool {
+	if !r.IsPrimary() || r.st.Stopped || !r.st.Initialized || r.batcher.Pending() > 0 {
+		return false
+	}
+	ts := r.st.AbsLen() + 1
+	if !r.st.TimestampFresh(ids.NullOp, ts) {
+		return false
+	}
+	req := msg.Request{Client: ids.NullOp, Timestamp: ts}
+	batch := msg.BatchOf(req)
+	start, ok := r.h.LogBatch(r.st, batch)
+	if !ok {
+		return false
+	}
+	order := &OrderMessage{
+		Instance: r.st.ID,
+		Batch:    batch,
+		Seq:      start,
+		Auths:    []authn.Authenticator{{Sender: ids.NullOp}},
+	}
+	r.multicastOrder(order)
+	r.h.ExecuteBatch(r.st, batch)
+	return true
 }
 
 // multicastOrder sends an ORDER to every backup, re-MACing the batch for each
@@ -184,6 +220,16 @@ func (r *Replica) onOrder(from ids.ProcessID, m *OrderMessage) {
 		return
 	}
 	for i, req := range m.Batch.Requests {
+		// Null operations carry no client authenticator: there is no client.
+		// Only the empty command is acceptable under the null identity, so a
+		// Byzantine primary cannot smuggle an unauthenticated real command.
+		if req.Client == ids.NullOp {
+			if len(req.Command) != 0 || m.Auths[i].Sender != ids.NullOp {
+				r.clientMACFailed = true
+				return
+			}
+			continue
+		}
 		// The forwarded authenticator must be the request's client's own.
 		if m.Auths[i].Sender != req.Client {
 			r.clientMACFailed = true
