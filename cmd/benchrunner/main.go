@@ -17,6 +17,16 @@
 // BENCH_sharding.json with the shards=4 vs shards=1 throughput ratio:
 //
 //	go run ./cmd/benchrunner -sharding -out BENCH_sharding.json
+//
+// The -compositions flag runs the composition matrix — one live closed-loop
+// row per switching schedule registered with internal/compose — and writes
+// BENCH_compositions.json; -smoke shortens the windows for CI. The
+// -composition flag runs a single arbitrary schedule given as a Spec DSL
+// string (or registered name) and prints its row:
+//
+//	go run ./cmd/benchrunner -compositions -out BENCH_compositions.json
+//	go run ./cmd/benchrunner -composition quorum,chain,backup
+//	go run ./cmd/benchrunner -composition zlight-chain-backup
 package main
 
 import (
@@ -207,6 +217,58 @@ func runRecovery(out string, clients int, seconds float64, gcRequests int) error
 	return nil
 }
 
+// compositionsReport is the schema of BENCH_compositions.json: one row per
+// switching schedule, all measured with the same workload in one run.
+type compositionsReport struct {
+	Benchmark string `json:"benchmark"`
+	// Clients and Seconds describe the workload that produced the rows.
+	Clients int                          `json:"clients"`
+	Seconds float64                      `json:"seconds_per_row"`
+	Rows    []experiments.CompositionRow `json:"rows"`
+}
+
+// runCompositions measures the given schedules (nil = the default matrix)
+// and, when out is non-empty, writes the JSON report.
+func runCompositions(out string, specs []string, clients int, seconds float64) error {
+	if len(specs) == 0 {
+		specs = experiments.DefaultCompositionSpecs
+	}
+	cfg := experiments.CompositionsConfig{
+		Specs:    specs,
+		Clients:  clients,
+		Duration: time.Duration(seconds * float64(time.Second)),
+	}
+	// Budget the measured windows plus a generous setup margin: schedules
+	// that fall through to Backup pay view-change timeouts before settling.
+	budget := 3*time.Duration(float64(len(specs))*seconds*float64(time.Second)) + 2*time.Minute
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	rows, err := experiments.MeasureCompositions(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.CompositionsTable(rows).Format())
+	if out == "" {
+		return nil
+	}
+	report := compositionsReport{
+		Benchmark: "compositions",
+		Clients:   cfg.Clients,
+		Seconds:   seconds,
+		Rows:      rows,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 // batchingReport is the schema of BENCH_batching.json.
 type batchingReport struct {
 	Benchmark string `json:"benchmark"`
@@ -275,12 +337,53 @@ func main() {
 	batching := flag.Bool("batching", false, "run the live batching measurement and write a JSON report")
 	sharding := flag.Bool("sharding", false, "run the live sharding measurement and write a JSON report")
 	recovery := flag.Bool("recovery", false, "run the live crash-restart recovery measurement and write a JSON report")
+	compositions := flag.Bool("compositions", false, "run the composition matrix and write a JSON report")
+	composition := flag.String("composition", "", "run one composition given as a Spec DSL string or registered name (e.g. quorum,chain,backup)")
+	smoke := flag.Bool("smoke", false, "with -compositions: short CI windows (0.3s per row)")
 	out := flag.String("out", "", "output path for the JSON report (default BENCH_<benchmark>.json)")
-	clients := flag.Int("clients", 24, "closed-loop clients for -batching/-sharding (8 for -recovery)")
+	clients := flag.Int("clients", 24, "closed-loop clients for -batching/-sharding (8 for -recovery, 6 for -composition(s))")
 	pipeline := flag.Int("pipeline", 1, "per-client pipeline depth for -batching (default 4 for -sharding)")
 	seconds := flag.Float64("seconds", 1.0, "measured seconds per row/burst")
 	gcRequests := flag.Int("gc-requests", 100000, "requests per history-GC memory row for -recovery")
 	flag.Parse()
+
+	// Flags sharing a default across experiments: an explicitly passed value
+	// is honored, an untouched one gets the experiment-specific default.
+	clientsSet, secondsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "clients":
+			clientsSet = true
+		case "seconds":
+			secondsSet = true
+		}
+	})
+
+	if *compositions || *composition != "" {
+		var specs []string
+		if *composition != "" {
+			specs = []string{*composition}
+		}
+		path := *out
+		if path == "" && *composition == "" {
+			path = "BENCH_compositions.json"
+		}
+		n := *clients
+		if !clientsSet {
+			n = 6
+		}
+		// -smoke shortens the default windows; an explicitly passed -seconds
+		// value is honored.
+		secs := *seconds
+		if *smoke && !secondsSet {
+			secs = 0.3
+		}
+		if err := runCompositions(path, specs, n, secs); err != nil {
+			fmt.Fprintf(os.Stderr, "compositions: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *recovery {
 		path := *out
@@ -289,12 +392,6 @@ func main() {
 		}
 		// -recovery defaults to 8 clients; an explicitly passed -clients
 		// value (even one equal to the shared default) is honored.
-		clientsSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "clients" {
-				clientsSet = true
-			}
-		})
 		n := *clients
 		if !clientsSet {
 			n = 8

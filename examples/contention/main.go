@@ -14,8 +14,8 @@ import (
 	"sync"
 	"time"
 
-	"abstractbft/internal/aliph"
 	"abstractbft/internal/app"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
@@ -28,16 +28,15 @@ func main() {
 	// contended phase, Chain's head coalesces concurrent client requests
 	// into multi-request batches that cross the pipeline as one message.
 	batch := host.BatchPolicy{MaxBatch: host.DefaultMaxBatch, MaxDelay: host.DefaultMaxDelay}
+	// Aliph is the declarative schedule "quorum,chain,backup"; its low-load
+	// optimization is one option on the composition.
 	cluster, err := deploy.New(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewNull(0) },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return aliph.ReplicaFactory(c, aliph.Options{LowLoadAfter: 400 * time.Millisecond})
-		},
-		NewInstanceFactory: aliph.InstanceFactory,
-		Delta:              20 * time.Millisecond,
-		TickInterval:       10 * time.Millisecond,
-		Batch:              batch,
+		F:            1,
+		NewApp:       func() app.Application { return app.NewNull(0) },
+		Composition:  compose.MustNew("aliph", compose.Options{LowLoadAfter: 400 * time.Millisecond}),
+		Delta:        20 * time.Millisecond,
+		TickInterval: 10 * time.Millisecond,
+		Batch:        batch,
 	})
 	if err != nil {
 		log.Fatalf("deploy: %v", err)
@@ -60,7 +59,8 @@ func main() {
 			log.Fatalf("phase 1: %v", err)
 		}
 	}
-	fmt.Printf("  active instance: %d (%v), switches: %d\n\n", solo.ActiveInstance(), aliph.RoleOf(solo.ActiveInstance()), solo.Switches())
+	spec := compose.MustParse("aliph")
+	fmt.Printf("  active instance: %d (%s), switches: %d\n\n", solo.ActiveInstance(), spec.ProtocolAt(solo.ActiveInstance()), solo.Switches())
 
 	fmt.Println("phase 2: 6 concurrent clients — contention aborts Quorum, Chain takes over")
 	res, err := workload.RunClosedLoop(ctx, workload.ClosedLoopConfig{Clients: 6, RequestsPerClient: 20}, func(i int) (workload.Invoker, ids.ProcessID, error) {
@@ -79,7 +79,7 @@ func main() {
 		res.Committed, res.ThroughputOps(), float64(res.Latency.Mean().Microseconds())/1000)
 
 	fmt.Println("phase 3: back to a single client — the low-load optimization returns to Quorum")
-	var lastRole aliph.Role
+	var lastRole string
 	var mu sync.Mutex
 	for i := 0; i < 300; i++ {
 		ts++
@@ -87,13 +87,13 @@ func main() {
 			log.Fatalf("phase 3: %v", err)
 		}
 		mu.Lock()
-		lastRole = aliph.RoleOf(solo.ActiveInstance())
+		lastRole = spec.ProtocolAt(solo.ActiveInstance())
 		mu.Unlock()
-		if lastRole == aliph.RoleQuorum && solo.Switches() > 0 {
+		if lastRole == "quorum" && solo.Switches() > 0 {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	fmt.Printf("  active instance: %d (%v), total switches by this client: %d\n",
-		solo.ActiveInstance(), aliph.RoleOf(solo.ActiveInstance()), solo.Switches())
+	fmt.Printf("  active instance: %d (%s), total switches by this client: %d\n",
+		solo.ActiveInstance(), spec.ProtocolAt(solo.ActiveInstance()), solo.Switches())
 }

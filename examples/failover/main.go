@@ -14,23 +14,20 @@ import (
 	"time"
 
 	"abstractbft/internal/app"
-	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/deploy"
-	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
 )
 
 func main() {
+	// AZyzzyva is the declarative schedule "zlight,backup".
 	cluster, err := deploy.New(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewCounter() },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{ViewChangeTimeout: 300 * time.Millisecond})
-		},
-		NewInstanceFactory: azyzzyva.InstanceFactory,
-		Delta:              20 * time.Millisecond,
-		TickInterval:       10 * time.Millisecond,
+		F:            1,
+		NewApp:       func() app.Application { return app.NewCounter() },
+		Composition:  compose.MustNew("azyzzyva", compose.Options{ViewChangeTimeout: 300 * time.Millisecond}),
+		Delta:        20 * time.Millisecond,
+		TickInterval: 10 * time.Millisecond,
 	})
 	if err != nil {
 		log.Fatalf("deploy: %v", err)

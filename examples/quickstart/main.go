@@ -10,8 +10,8 @@ import (
 	"log"
 	"time"
 
-	"abstractbft/internal/aliph"
 	"abstractbft/internal/app"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
@@ -23,15 +23,15 @@ func main() {
 	// MaxBatch requests (or whatever arrives within MaxDelay) into one
 	// protocol step. Set MaxBatch to 1 to reproduce the per-request path.
 	batch := host.BatchPolicy{MaxBatch: host.DefaultMaxBatch, MaxDelay: host.DefaultMaxDelay}
+	// The protocol is a declarative value: Aliph is the registered schedule
+	// "quorum,chain,backup", and any other registered-protocol sequence
+	// (e.g. "zlight,chain,backup") is an equally valid composition.
 	cluster, err := deploy.New(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewKVStore() },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return aliph.ReplicaFactory(c, aliph.Options{})
-		},
-		NewInstanceFactory: aliph.InstanceFactory,
-		Delta:              20 * time.Millisecond,
-		Batch:              batch,
+		F:           1,
+		NewApp:      func() app.Application { return app.NewKVStore() },
+		Composition: compose.MustNew("quorum,chain,backup", compose.Options{}),
+		Delta:       20 * time.Millisecond,
+		Batch:       batch,
 	})
 	if err != nil {
 		log.Fatalf("deploy: %v", err)

@@ -19,21 +19,17 @@ import (
 	"time"
 
 	"abstractbft/internal/app"
-	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/deploy"
-	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
 )
 
 func main() {
 	cluster, err := deploy.New(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewKVStore() },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
-		},
-		NewInstanceFactory: azyzzyva.InstanceFactory,
+		F:                  1,
+		NewApp:             func() app.Application { return app.NewKVStore() },
+		Composition:        compose.MustNew("azyzzyva", compose.Options{}),
 		Delta:              50 * time.Millisecond,
 		CheckpointInterval: 16,
 	})

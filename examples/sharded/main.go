@@ -14,9 +14,8 @@ import (
 	"time"
 
 	"abstractbft/internal/app"
-	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/deploy"
-	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
 	"abstractbft/internal/shard"
@@ -25,16 +24,13 @@ import (
 func main() {
 	const shards = 4
 	cluster, err := deploy.NewSharded(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewKVStore() },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
-		},
-		NewInstanceFactory: azyzzyva.InstanceFactory,
-		Delta:              20 * time.Millisecond,
-		Shards:             shards,
-		KeyExtractor:       shard.KVKeyExtractor,
-		ShardEpoch:         1,
+		F:            1,
+		NewApp:       func() app.Application { return app.NewKVStore() },
+		Composition:  compose.MustNew("azyzzyva", compose.Options{}),
+		Delta:        20 * time.Millisecond,
+		Shards:       shards,
+		KeyExtractor: shard.KVKeyExtractor,
+		ShardEpoch:   1,
 	})
 	if err != nil {
 		log.Fatalf("deploy: %v", err)

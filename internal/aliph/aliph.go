@@ -5,18 +5,29 @@
 // replica tends to one operation per request, and Backup (PBFT) guarantees
 // progress under asynchrony and failures, committing an exponentially growing
 // number of requests before handing control back to Quorum.
+//
+// Since the declarative composition API landed, Aliph is nothing but the
+// registered schedule "quorum,chain,backup" (internal/compose); this package
+// is a thin veneer keeping the paper's vocabulary (roles, Aliph options) and
+// remains the home of the composition's documentation.
 package aliph
 
 import (
 	"time"
 
 	"abstractbft/internal/backup"
-	"abstractbft/internal/chain"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/core"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
-	"abstractbft/internal/quorum"
 )
+
+// SpecName is Aliph's registered schedule name; compose.MustParse(SpecName)
+// yields the "quorum,chain,backup" cycle.
+const SpecName = "aliph"
+
+// Spec returns Aliph's switching schedule.
+func Spec() compose.Spec { return compose.MustParse(SpecName) }
 
 // Role identifies which Abstract implementation an instance number runs.
 type Role int
@@ -28,13 +39,13 @@ const (
 	RoleBackup
 )
 
-// RoleOf returns the role of instance id: 1 is Quorum, 2 is Chain, 3 is
-// Backup, 4 is Quorum again, and so on.
+// RoleOf returns the role of instance id, derived from the schedule: 1 is
+// Quorum, 2 is Chain, 3 is Backup, 4 is Quorum again, and so on.
 func RoleOf(id core.InstanceID) Role {
-	switch id % 3 {
-	case 1:
+	switch Spec().ProtocolAt(id) {
+	case "quorum":
 		return RoleQuorum
-	case 2:
+	case "chain":
 		return RoleChain
 	default:
 		return RoleBackup
@@ -43,12 +54,7 @@ func RoleOf(id core.InstanceID) Role {
 
 // BackupIndex returns the 0-based index of a Backup instance within the
 // composition (instance 3 is Backup #0, instance 6 is Backup #1, ...).
-func BackupIndex(id core.InstanceID) int {
-	if id < 3 {
-		return 0
-	}
-	return int(id/3) - 1
-}
+func BackupIndex(id core.InstanceID) int { return Spec().StrongIndex(id) }
 
 // Options tunes the composition.
 type Options struct {
@@ -68,58 +74,36 @@ type Options struct {
 	Feedback host.FeedbackSink
 }
 
-func (o Options) withDefaults() Options {
-	if o.BackupK == nil {
-		o.BackupK = backup.ExponentialK(1, 1<<16)
+// composeOptions maps Aliph options onto the composition API's options.
+func (o Options) composeOptions() compose.Options {
+	return compose.Options{
+		BackupK:           o.BackupK,
+		BatchSize:         o.BatchSize,
+		ViewChangeTimeout: o.ViewChangeTimeout,
+		LowLoadAfter:      o.LowLoadAfter,
+		Feedback:          o.Feedback,
 	}
-	if o.BatchSize <= 0 {
-		o.BatchSize = 8
-	}
-	if o.ViewChangeTimeout <= 0 {
-		o.ViewChangeTimeout = 500 * time.Millisecond
-	}
-	return o
+}
+
+// Composition compiles Aliph's schedule with the given options; pass the
+// result to deploy.Config.Composition.
+func Composition(opts Options) *compose.Composition {
+	return compose.MustNew(SpecName, opts.composeOptions())
 }
 
 // ReplicaFactory returns the per-instance protocol factory for Aliph
 // replicas.
 func ReplicaFactory(cluster ids.Cluster, opts Options) host.ProtocolFactory {
-	opts = opts.withDefaults()
-	qu := quorum.NewReplica(opts.Feedback)
-	ch := chain.NewReplica(chain.ReplicaConfig{LowLoadAfter: opts.LowLoadAfter, Feedback: opts.Feedback})
-	bu := backup.NewReplica(backup.ReplicaConfig{
-		K:           opts.BackupK,
-		BackupIndex: BackupIndex,
-		Orderer:     backup.PBFTOrderer(opts.BatchSize, opts.ViewChangeTimeout),
-	})
-	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
-		switch RoleOf(st.ID) {
-		case RoleQuorum:
-			return qu(h, st)
-		case RoleChain:
-			return ch(h, st)
-		default:
-			return bu(h, st)
-		}
-	}
+	return Composition(opts).ReplicaFactory(cluster)
 }
 
 // InstanceFactory returns the client-side factory of the composition.
 func InstanceFactory(env core.ClientEnv) core.InstanceFactory {
-	return func(id core.InstanceID) (core.Instance, error) {
-		switch RoleOf(id) {
-		case RoleQuorum:
-			return quorum.NewClient(env, id), nil
-		case RoleChain:
-			return chain.NewClient(env, id), nil
-		default:
-			return backup.NewClient(env, id), nil
-		}
-	}
+	return Composition(Options{}).InstanceFactory(env)
 }
 
 // NewClient creates an Aliph client: a composer starting at instance 1
 // (Quorum).
 func NewClient(env core.ClientEnv) (*core.Composer, error) {
-	return core.NewComposer(InstanceFactory(env), 1)
+	return Composition(Options{}).NewClient(env)
 }

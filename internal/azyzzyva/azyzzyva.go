@@ -5,17 +5,28 @@
 // ZLight, even instances run Backup; every abort switches to the next
 // instance, so the composition commits every request eventually while
 // matching Zyzzyva's performance in the common case.
+//
+// Since the declarative composition API landed, AZyzzyva is nothing but the
+// registered schedule "zlight,backup" (internal/compose); this package is a
+// thin veneer keeping the paper's vocabulary.
 package azyzzyva
 
 import (
 	"time"
 
 	"abstractbft/internal/backup"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/core"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
-	"abstractbft/internal/zlight"
 )
+
+// SpecName is AZyzzyva's registered schedule name; compose.MustParse(SpecName)
+// yields the "zlight,backup" cycle.
+const SpecName = "azyzzyva"
+
+// Spec returns AZyzzyva's switching schedule.
+func Spec() compose.Spec { return compose.MustParse(SpecName) }
 
 // Options tunes the composition.
 type Options struct {
@@ -28,61 +39,42 @@ type Options struct {
 	ViewChangeTimeout time.Duration
 }
 
-func (o Options) withDefaults() Options {
-	if o.BackupK == nil {
-		o.BackupK = backup.ExponentialK(1, 1<<16)
+// composeOptions maps AZyzzyva options onto the composition API's options.
+func (o Options) composeOptions() compose.Options {
+	return compose.Options{
+		BackupK:           o.BackupK,
+		BatchSize:         o.BatchSize,
+		ViewChangeTimeout: o.ViewChangeTimeout,
 	}
-	if o.BatchSize <= 0 {
-		o.BatchSize = 8
-	}
-	if o.ViewChangeTimeout <= 0 {
-		o.ViewChangeTimeout = 500 * time.Millisecond
-	}
-	return o
 }
 
-// IsZLight reports whether instance id runs ZLight (odd instances).
-func IsZLight(id core.InstanceID) bool { return id%2 == 1 }
+// Composition compiles AZyzzyva's schedule with the given options; pass the
+// result to deploy.Config.Composition.
+func Composition(opts Options) *compose.Composition {
+	return compose.MustNew(SpecName, opts.composeOptions())
+}
+
+// IsZLight reports whether instance id runs ZLight (odd instances), derived
+// from the schedule.
+func IsZLight(id core.InstanceID) bool { return Spec().ProtocolAt(id) == "zlight" }
 
 // BackupIndex returns the 0-based index of a Backup instance within the
 // composition (instance 2 is Backup #0, instance 4 is Backup #1, ...).
-func BackupIndex(id core.InstanceID) int {
-	if id < 2 {
-		return 0
-	}
-	return int(id/2) - 1
-}
+func BackupIndex(id core.InstanceID) int { return Spec().StrongIndex(id) }
 
 // ReplicaFactory returns the per-instance protocol factory replicas use: odd
 // instances are ZLight, even instances are Backup over PBFT.
 func ReplicaFactory(cluster ids.Cluster, opts Options) host.ProtocolFactory {
-	opts = opts.withDefaults()
-	zl := zlight.NewReplica()
-	bu := backup.NewReplica(backup.ReplicaConfig{
-		K:           opts.BackupK,
-		BackupIndex: BackupIndex,
-		Orderer:     backup.PBFTOrderer(opts.BatchSize, opts.ViewChangeTimeout),
-	})
-	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
-		if IsZLight(st.ID) {
-			return zl(h, st)
-		}
-		return bu(h, st)
-	}
+	return Composition(opts).ReplicaFactory(cluster)
 }
 
 // InstanceFactory returns the client-side factory of the composition.
 func InstanceFactory(env core.ClientEnv) core.InstanceFactory {
-	return func(id core.InstanceID) (core.Instance, error) {
-		if IsZLight(id) {
-			return zlight.NewClient(env, id), nil
-		}
-		return backup.NewClient(env, id), nil
-	}
+	return Composition(Options{}).InstanceFactory(env)
 }
 
 // NewClient creates an AZyzzyva client: a composer over the instance factory,
 // starting at instance 1 (ZLight).
 func NewClient(env core.ClientEnv) (*core.Composer, error) {
-	return core.NewComposer(InstanceFactory(env), 1)
+	return Composition(Options{}).NewClient(env)
 }

@@ -26,6 +26,9 @@ func NewClient(env core.ClientEnv, id core.InstanceID) *Client {
 // ID implements core.Instance.
 func (c *Client) ID() core.InstanceID { return c.id }
 
+// SetPendingFeedback implements core.FeedbackCarrier.
+func (c *Client) SetPendingFeedback(committed []uint64) { c.PendingFeedback = committed }
+
 // Invoke implements core.Instance: Step C1 (send the request to the head with
 // a chain authenticator for the first f+1 replicas, arm an (n+1)Δ timer) and
 // Step C4 (commit on a tail reply authenticated by the last f+1 replicas);

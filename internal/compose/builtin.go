@@ -1,0 +1,77 @@
+package compose
+
+import (
+	"abstractbft/internal/backup"
+	"abstractbft/internal/chain"
+	"abstractbft/internal/core"
+	"abstractbft/internal/host"
+	"abstractbft/internal/quorum"
+	"abstractbft/internal/zlight"
+)
+
+// The built-in Abstract implementations register one symmetric descriptor
+// each: both constructors, the progress predicate, and the capability flags
+// live side by side, so a schedule referencing the name can never pair a
+// replica factory with the wrong client factory.
+func init() {
+	Register(Descriptor{
+		Name:     "zlight",
+		Progress: core.ProgressCommonCase,
+		Caps:     Capabilities{},
+		NewReplica: func(ctx ReplicaContext) host.ProtocolFactory {
+			return zlight.NewReplica()
+		},
+		NewClient: func(env core.ClientEnv, id core.InstanceID) (core.Instance, error) {
+			return zlight.NewClient(env, id), nil
+		},
+	})
+	Register(Descriptor{
+		Name:     "quorum",
+		Progress: core.ProgressNoContention,
+		Caps:     Capabilities{BatchedInvoke: true, Feedback: true},
+		NewReplica: func(ctx ReplicaContext) host.ProtocolFactory {
+			return quorum.NewReplica(ctx.Opts.Feedback)
+		},
+		NewClient: func(env core.ClientEnv, id core.InstanceID) (core.Instance, error) {
+			return quorum.NewClient(env, id), nil
+		},
+	})
+	Register(Descriptor{
+		Name:     "chain",
+		Progress: core.ProgressCommonCase,
+		Caps:     Capabilities{Feedback: true, LowLoadAbort: true},
+		NewReplica: func(ctx ReplicaContext) host.ProtocolFactory {
+			return chain.NewReplica(chain.ReplicaConfig{
+				LowLoadAfter: ctx.Opts.LowLoadAfter,
+				Feedback:     ctx.Opts.Feedback,
+			})
+		},
+		NewClient: func(env core.ClientEnv, id core.InstanceID) (core.Instance, error) {
+			return chain.NewClient(env, id), nil
+		},
+	})
+	Register(Descriptor{
+		Name:     "backup",
+		Progress: core.ProgressAlwaysK,
+		Caps:     Capabilities{},
+		NewReplica: func(ctx ReplicaContext) host.ProtocolFactory {
+			return backup.NewReplica(backup.ReplicaConfig{
+				K:           ctx.Opts.BackupK,
+				BackupIndex: ctx.StrongIndex,
+				Orderer:     ctx.Opts.Orderer,
+			})
+		},
+		NewClient: func(env core.ClientEnv, id core.InstanceID) (core.Instance, error) {
+			return backup.NewClient(env, id), nil
+		},
+	})
+
+	// The named schedules: the paper's compositions plus the schedules the
+	// declarative API unlocked (previously unbuildable without a bespoke
+	// package per composition).
+	RegisterSpec("aliph", MustParse("quorum,chain,backup"))
+	RegisterSpec("azyzzyva", MustParse("zlight,backup"))
+	RegisterSpec("zlight-chain-backup", MustParse("zlight,chain,backup"))
+	RegisterSpec("chain-backup", MustParse("chain,backup"))
+	RegisterSpec("quorum-backup", MustParse("quorum,backup"))
+}

@@ -1,0 +1,119 @@
+package compose_test
+
+import (
+	"strings"
+	"testing"
+
+	"abstractbft/internal/compose"
+	"abstractbft/internal/core"
+)
+
+func TestParseDSL(t *testing.T) {
+	spec, err := compose.Parse("quorum, chain,backup")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := spec.String(); got != "quorum,chain,backup" {
+		t.Fatalf("String() = %q", got)
+	}
+	if spec.CycleLen() != 3 {
+		t.Fatalf("CycleLen = %d", spec.CycleLen())
+	}
+
+	spec, err = compose.Parse("zlight*2,backup")
+	if err != nil {
+		t.Fatalf("parse repeat: %v", err)
+	}
+	if spec.CycleLen() != 3 {
+		t.Fatalf("repeat CycleLen = %d", spec.CycleLen())
+	}
+	for id, want := range map[core.InstanceID]string{
+		1: "zlight", 2: "zlight", 3: "backup", 4: "zlight", 5: "zlight", 6: "backup",
+	} {
+		if got := spec.ProtocolAt(id); got != want {
+			t.Errorf("ProtocolAt(%d) = %q, want %q", id, got, want)
+		}
+	}
+
+	for _, bad := range []string{"", "quorum,", "nosuch,backup", "zlight*0,backup", "zlight*x,backup"} {
+		if _, err := compose.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+	// A schedule without a strong stage can abort forever: rejected.
+	if _, err := compose.Parse("zlight,chain"); err == nil ||
+		!strings.Contains(err.Error(), "strong") {
+		t.Errorf("strongless spec accepted: %v", err)
+	}
+}
+
+func TestParseRegisteredNames(t *testing.T) {
+	for name, dsl := range map[string]string{
+		"aliph":               "quorum,chain,backup",
+		"azyzzyva":            "zlight,backup",
+		"zlight-chain-backup": "zlight,chain,backup",
+		"chain-backup":        "chain,backup",
+	} {
+		spec, err := compose.Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if spec.String() != dsl {
+			t.Errorf("Parse(%q) = %q, want %q", name, spec.String(), dsl)
+		}
+	}
+	if names := compose.SpecNames(); len(names) < 4 {
+		t.Errorf("SpecNames() = %v, want at least the built-in schedules", names)
+	}
+	if protos := compose.Protocols(); len(protos) != 4 {
+		t.Errorf("Protocols() = %v, want the four built-ins", protos)
+	}
+}
+
+// TestStrongIndex: the exponential K policy's input is derived from the
+// schedule, matching the role maps the composition packages used to
+// hardcode.
+func TestStrongIndex(t *testing.T) {
+	aliph := compose.MustParse("aliph")
+	for id, want := range map[core.InstanceID]int{3: 0, 6: 1, 9: 2, 1: 0, 4: 1} {
+		if got := aliph.StrongIndex(id); got != want {
+			t.Errorf("aliph.StrongIndex(%d) = %d, want %d", id, got, want)
+		}
+	}
+	azy := compose.MustParse("azyzzyva")
+	for id, want := range map[core.InstanceID]int{2: 0, 4: 1, 6: 2} {
+		if got := azy.StrongIndex(id); got != want {
+			t.Errorf("azyzzyva.StrongIndex(%d) = %d, want %d", id, got, want)
+		}
+	}
+	cb := compose.MustParse("chain-backup")
+	for id, want := range map[core.InstanceID]int{2: 0, 4: 1} {
+		if got := cb.StrongIndex(id); got != want {
+			t.Errorf("chain-backup.StrongIndex(%d) = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestCompositionRoleDerivation(t *testing.T) {
+	comp, err := compose.New(compose.MustParse("zlight,chain,backup"), compose.Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for id, want := range map[core.InstanceID]string{
+		1: "zlight", 2: "chain", 3: "backup", 4: "zlight", 7: "zlight",
+	} {
+		if got := comp.ProtocolOf(id); got != want {
+			t.Errorf("ProtocolOf(%d) = %q, want %q", id, got, want)
+		}
+	}
+	d := comp.DescriptorOf(3)
+	if !d.Strong() || d.Progress != core.ProgressAlwaysK {
+		t.Errorf("backup descriptor not strong: %+v", d)
+	}
+	if comp.DescriptorOf(2).Caps.LowLoadAbort != true {
+		t.Error("chain descriptor lost its low-load capability flag")
+	}
+	if comp.DescriptorOf(1).Caps.BatchedInvoke {
+		t.Error("zlight descriptor claims batched invocation")
+	}
+}

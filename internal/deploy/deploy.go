@@ -11,6 +11,7 @@ import (
 
 	"abstractbft/internal/app"
 	"abstractbft/internal/authn"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/core"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
@@ -25,10 +26,17 @@ type Config struct {
 	// NewApp builds the application replica instances execute; nil selects a
 	// null application with empty replies.
 	NewApp func() app.Application
-	// NewReplicaFactory builds the per-instance protocol factory (provided
-	// by the composition packages).
+	// Composition is the declarative protocol composition the cluster runs:
+	// replica and client factories are both derived from it, so they cannot
+	// diverge. Build one with compose.New / compose.MustNew (e.g.
+	// compose.MustNew("quorum,chain,backup", compose.Options{}) is Aliph).
+	Composition *compose.Composition
+	// NewReplicaFactory builds the per-instance protocol factory directly
+	// (legacy escape hatch for hand-rolled factories; leave nil when
+	// Composition is set).
 	NewReplicaFactory func(cluster ids.Cluster) host.ProtocolFactory
-	// NewInstanceFactory builds the client-side instance factory.
+	// NewInstanceFactory builds the client-side instance factory directly
+	// (legacy escape hatch; leave nil when Composition is set).
 	NewInstanceFactory func(env core.ClientEnv) core.InstanceFactory
 	// Delta is the synchrony bound used for client timers.
 	Delta time.Duration
@@ -90,10 +98,32 @@ type Cluster struct {
 	nextClient int
 }
 
+// resolveProtocol derives the protocol factories from cfg.Composition (the
+// declarative path) or validates the legacy factory pair. Setting both is a
+// configuration bug — the legacy factories would silently win over (or
+// diverge from) the declared composition — and is rejected with a
+// descriptive error.
+func (cfg *Config) resolveProtocol() error {
+	legacy := cfg.NewReplicaFactory != nil || cfg.NewInstanceFactory != nil
+	if cfg.Composition != nil && legacy {
+		return fmt.Errorf("deploy: both Composition (%s) and legacy NewReplicaFactory/NewInstanceFactory are set; declare the protocol once — drop the factory pair or the Composition", cfg.Composition)
+	}
+	if cfg.Composition != nil {
+		comp := cfg.Composition
+		cfg.NewReplicaFactory = comp.ReplicaFactory
+		cfg.NewInstanceFactory = comp.InstanceFactory
+		return nil
+	}
+	if cfg.NewReplicaFactory == nil || cfg.NewInstanceFactory == nil {
+		return fmt.Errorf("deploy: no protocol configured; set Composition (or both legacy factories)")
+	}
+	return nil
+}
+
 // New builds and starts a cluster.
 func New(cfg Config) (*Cluster, error) {
-	if cfg.NewReplicaFactory == nil || cfg.NewInstanceFactory == nil {
-		return nil, fmt.Errorf("deploy: missing protocol factories")
+	if err := cfg.resolveProtocol(); err != nil {
+		return nil, err
 	}
 	if cfg.NewApp == nil {
 		cfg.NewApp = func() app.Application { return app.NewNull(0) }

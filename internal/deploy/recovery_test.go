@@ -54,6 +54,78 @@ func waitConverged(t *testing.T, restarted, ref *host.Host, timeout time.Duratio
 	}
 }
 
+// TestRestartWithCrashedDesignatedPeer: the digest-first handshake asks one
+// designated peer for the snapshot payload. When that peer is crashed, the
+// digest-only majority still agrees but ships nothing; the retry rotation
+// must re-designate a live peer and complete the transfer.
+func TestRestartWithCrashedDesignatedPeer(t *testing.T) {
+	cluster := newRecoveryKV(t)
+	client, err := cluster.NextClient()
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var ts uint64
+	for i := 0; i < 32; i++ {
+		ts++
+		if _, err := client.Invoke(ctx, msg.Request{Client: ids.Client(0), Timestamp: ts, Command: app.EncodeKVPut(fmt.Sprintf("k%d", i%8), "v")}); err != nil {
+			t.Fatalf("put %d: %v", ts, err)
+		}
+	}
+	// Replica 0 is the restarted replica 3's first designated payload
+	// shipper (OtherReplicas order). Crash it before the restart.
+	cluster.Host(0).SetCrashed(true)
+	restarted := cluster.RestartReplica(3)
+	waitConverged(t, restarted, cluster.Host(1), 15*time.Second)
+}
+
+// TestRestartRestoresTimestampWindows: adopted snapshots must carry the
+// per-client timestamp-window high-water marks. The suffix bodies of a state
+// transfer only rebuild the marks above the snapshot boundary, so without
+// the windows in the snapshot payload a client retransmitting a request from
+// below the adopted boundary would be accepted as fresh and re-executed on
+// the restarted replica — a history-divergence risk.
+func TestRestartRestoresTimestampWindows(t *testing.T) {
+	cluster := newRecoveryKV(t)
+	client, err := cluster.NextClient()
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// 24 requests over CHK=8: several checkpoint boundaries, and every
+	// timestamp stays well inside the 64-wide window below the final
+	// high-water mark (the regime where only the transferred marks can
+	// reject a below-boundary retransmission).
+	const total = 24
+	for ts := uint64(1); ts <= total; ts++ {
+		cmd := app.EncodeKVPut(fmt.Sprintf("key-%d", ts%8), fmt.Sprintf("v%d", ts))
+		if _, err := client.Invoke(ctx, msg.Request{Client: ids.Client(0), Timestamp: ts, Command: cmd}); err != nil {
+			t.Fatalf("put at ts %d: %v", ts, err)
+		}
+	}
+
+	restarted := cluster.RestartReplica(2)
+	waitConverged(t, restarted, cluster.Host(0), 10*time.Second)
+
+	// The transfer restored from a snapshot: bodies below its boundary were
+	// never shipped, so the marks for those timestamps can only have come
+	// from the snapshot's window payload.
+	seq, _ := restarted.AppliedState()
+	_, appliedDigests, _, _ := restarted.GCStats()
+	boundary := seq - uint64(appliedDigests)
+	if boundary == 0 {
+		t.Fatal("restarted replica replayed from zero; the test needs a snapshot adoption")
+	}
+	for ts := uint64(1); ts <= total; ts++ {
+		if restarted.TimestampFreshFor(ids.Client(0), ts) {
+			t.Errorf("timestamp %d (snapshot boundary %d) is fresh on the restarted replica: a retransmission would re-execute", ts, boundary)
+		}
+	}
+}
+
 // TestCrashRestartCatchUp is the crash-restart e2e: a replica is killed
 // mid-run and restarted with empty state. The live replicas have
 // garbage-collected the request bodies below their stable checkpoint, so

@@ -31,8 +31,8 @@ type Sharded struct {
 // factories as New apply, instantiated once per shard over the shard's
 // rotated cluster.
 func NewSharded(cfg Config) (*Sharded, error) {
-	if cfg.NewReplicaFactory == nil || cfg.NewInstanceFactory == nil {
-		return nil, fmt.Errorf("deploy: missing protocol factories")
+	if err := cfg.resolveProtocol(); err != nil {
+		return nil, err
 	}
 	if cfg.NewApp == nil {
 		cfg.NewApp = func() app.Application { return app.NewNull(0) }

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"abstractbft/internal/app"
-	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/core"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
@@ -78,14 +78,11 @@ func MeasureBatching(ctx context.Context, cfg BatchingConfig) ([]BatchingRow, er
 
 func measureOneBatchSize(ctx context.Context, cfg BatchingConfig, maxBatch int) (BatchingRow, error) {
 	cluster, err := deploy.New(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewNull(0) },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
-		},
-		NewInstanceFactory: azyzzyva.InstanceFactory,
-		Delta:              100 * time.Millisecond,
-		Batch:              host.BatchPolicy{MaxBatch: maxBatch},
+		F:           1,
+		NewApp:      func() app.Application { return app.NewNull(0) },
+		Composition: compose.MustNew("azyzzyva", compose.Options{}),
+		Delta:       100 * time.Millisecond,
+		Batch:       host.BatchPolicy{MaxBatch: maxBatch},
 	})
 	if err != nil {
 		return BatchingRow{}, err

@@ -8,7 +8,7 @@ import (
 
 	"abstractbft/internal/app"
 	"abstractbft/internal/authn"
-	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
@@ -81,12 +81,9 @@ type RecoveryRow struct {
 func MeasureRecovery(ctx context.Context, cfg RecoveryConfig) (RecoveryRow, error) {
 	cfg = cfg.withDefaults()
 	cluster, err := deploy.New(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewKVStore() },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
-		},
-		NewInstanceFactory: azyzzyva.InstanceFactory,
+		F:                  1,
+		NewApp:             func() app.Application { return app.NewKVStore() },
+		Composition:        compose.MustNew("azyzzyva", compose.Options{}),
 		Delta:              200 * time.Millisecond,
 		CheckpointInterval: cfg.CheckpointInterval,
 	})

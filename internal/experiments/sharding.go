@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"abstractbft/internal/app"
-	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/core"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
@@ -111,16 +111,13 @@ func MeasureSharding(ctx context.Context, cfg ShardingConfig) ([]ShardingRow, er
 
 func measureOneShardCount(ctx context.Context, cfg ShardingConfig, shards int) (ShardingRow, error) {
 	cluster, err := deploy.NewSharded(deploy.Config{
-		F:      1,
-		NewApp: func() app.Application { return app.NewNull(0) },
-		NewReplicaFactory: func(c ids.Cluster) host.ProtocolFactory {
-			return azyzzyva.ReplicaFactory(c, azyzzyva.Options{})
-		},
-		NewInstanceFactory: azyzzyva.InstanceFactory,
-		Delta:              100 * time.Millisecond,
-		Batch:              host.BatchPolicy{MaxBatch: cfg.MaxBatch},
-		Shards:             shards,
-		KeyExtractor:       shard.PrefixKeyExtractor(8),
+		F:            1,
+		NewApp:       func() app.Application { return app.NewNull(0) },
+		Composition:  compose.MustNew("azyzzyva", compose.Options{}),
+		Delta:        100 * time.Millisecond,
+		Batch:        host.BatchPolicy{MaxBatch: cfg.MaxBatch},
+		Shards:       shards,
+		KeyExtractor: shard.PrefixKeyExtractor(8),
 	})
 	if err != nil {
 		return ShardingRow{}, err

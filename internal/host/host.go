@@ -181,14 +181,21 @@ type Host struct {
 	appliedDigs history.DigestHistory
 	appliedTrim uint64
 	appliedAcc  authn.Digest
-	lastReply   map[ids.ProcessID]*replyRing
+	// appliedWindows are the per-client timestamp windows of the applied
+	// request sequence — a deterministic function of the applied prefix
+	// (unlike the per-instance logging windows, which logging order can
+	// skew), so the checkpoint snapshots that carry them agree across
+	// replicas.
+	appliedWindows map[ids.ProcessID]tsState
+	lastReply      map[ids.ProcessID]*replyRing
 	// snapshot taken at the last instance activation, for speculative
 	// rollback.
-	snapApp  app.Application
-	snapSeq  uint64
-	snapDigs history.DigestHistory
-	snapTrim uint64
-	snapAcc  authn.Digest
+	snapApp     app.Application
+	snapSeq     uint64
+	snapDigs    history.DigestHistory
+	snapTrim    uint64
+	snapAcc     authn.Digest
+	snapWindows map[ids.ProcessID]tsState
 
 	// requestStore maps request digests to bodies across instances.
 	requestStore map[authn.Digest]msg.Request
@@ -214,19 +221,20 @@ func New(cfg Config) *Host {
 		cfg.FirstInstance = 1
 	}
 	h := &Host{
-		cfg:          cfg,
-		cluster:      cfg.Cluster,
-		id:           cfg.Replica,
-		keys:         cfg.Keys,
-		ep:           cfg.Endpoint,
-		instances:    make(map[core.InstanceID]*InstanceState),
-		protocols:    make(map[core.InstanceID]ProtocolReplica),
-		application:  cfg.App,
-		lastReply:    make(map[ids.ProcessID]*replyRing),
-		requestStore: make(map[authn.Digest]msg.Request),
-		snaps:        statesync.NewStore(cfg.SnapshotRetain),
-		stopCh:       make(chan struct{}),
-		doneCh:       make(chan struct{}),
+		cfg:            cfg,
+		cluster:        cfg.Cluster,
+		id:             cfg.Replica,
+		keys:           cfg.Keys,
+		ep:             cfg.Endpoint,
+		instances:      make(map[core.InstanceID]*InstanceState),
+		protocols:      make(map[core.InstanceID]ProtocolReplica),
+		application:    cfg.App,
+		appliedWindows: make(map[ids.ProcessID]tsState),
+		lastReply:      make(map[ids.ProcessID]*replyRing),
+		requestStore:   make(map[authn.Digest]msg.Request),
+		snaps:          statesync.NewStore(cfg.SnapshotRetain),
+		stopCh:         make(chan struct{}),
+		doneCh:         make(chan struct{}),
 	}
 	return h
 }

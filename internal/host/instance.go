@@ -38,6 +38,19 @@ func (w tsState) fresh(width int, ts uint64) bool {
 	return w.mask&(1<<(w.high-ts)) == 0
 }
 
+// merge folds another window into this one: the higher high-water mark wins
+// and both mask's logged timestamps are kept (where they still fall inside
+// the 64-bit window).
+func (w tsState) merge(o tsState) tsState {
+	if o.high > w.high {
+		w, o = o, w
+	}
+	if d := w.high - o.high; d < 64 {
+		w.mask |= o.mask << d
+	}
+	return w
+}
+
 // mark records ts as logged and returns the updated window.
 func (w tsState) mark(ts uint64) tsState {
 	if ts > w.high {
@@ -259,7 +272,17 @@ func (st *InstanceState) windowOf(c ids.ProcessID) tsState {
 
 // markLogged records a logged request timestamp in client c's window.
 func (st *InstanceState) markLogged(c ids.ProcessID, ts uint64) {
-	w := st.windowOf(c).mark(ts)
+	st.setWindow(c, st.windowOf(c).mark(ts))
+}
+
+// AdoptWindow merges a transferred timestamp window (carried by an adopted
+// checkpoint snapshot) into client c's window, so requests from below the
+// adopted boundary are rejected as duplicates instead of re-executed.
+func (st *InstanceState) AdoptWindow(c ids.ProcessID, high, mask uint64) {
+	st.setWindow(c, st.windowOf(c).merge(tsState{high: high, mask: mask}))
+}
+
+func (st *InstanceState) setWindow(c ids.ProcessID, w tsState) {
 	st.LastTimestamp[c] = w.high
 	if st.tsMask == nil {
 		st.tsMask = make(map[ids.ProcessID]uint64)
@@ -466,6 +489,16 @@ func (h *Host) takeActivationSnapshot() {
 	h.snapDigs = h.appliedDigs.Clone()
 	h.snapTrim = h.appliedTrim
 	h.snapAcc = h.appliedAcc
+	h.snapWindows = cloneWindows(h.appliedWindows)
+}
+
+// cloneWindows copies a per-client window map.
+func cloneWindows(ws map[ids.ProcessID]tsState) map[ids.ProcessID]tsState {
+	out := make(map[ids.ProcessID]tsState, len(ws))
+	for c, w := range ws {
+		out[c] = w
+	}
+	return out
 }
 
 // reconcileApplication brings the replica's application state in line with
@@ -485,11 +518,15 @@ func (h *Host) reconcileApplication(st *InstanceState) {
 	}
 	if common < h.appliedSeq && h.snapApp != nil && h.snapSeq <= common {
 		// Divergence within the speculative tail: roll back to the snapshot.
+		// The applied windows roll back too — they must stay a pure function
+		// of the applied prefix, or checkpoint snapshots would disagree
+		// across replicas whose speculative tails differed.
 		h.application = h.snapApp.Clone()
 		h.appliedSeq = h.snapSeq
 		h.appliedDigs = h.snapDigs.Clone()
 		h.appliedTrim = h.snapTrim
 		h.appliedAcc = h.snapAcc
+		h.appliedWindows = cloneWindows(h.snapWindows)
 		// Checkpoint-boundary snapshots taken inside the rolled-back tail
 		// describe state that never committed.
 		h.snaps.DropAbove(h.appliedSeq)
@@ -552,6 +589,7 @@ func (h *Host) applyRequest(r msg.Request) []byte {
 	if r.Client != ids.NullOp {
 		reply = h.application.Execute(r.Command)
 		h.replyRingFor(r.Client).add(r.Timestamp, reply)
+		h.appliedWindows[r.Client] = h.appliedWindows[r.Client].mark(r.Timestamp)
 	}
 	h.appliedDigs = append(h.appliedDigs, r.Digest())
 	h.appliedSeq++

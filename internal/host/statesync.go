@@ -34,6 +34,16 @@ type syncState struct {
 	// ticksSinceAsk drives periodic re-multicast of the FETCH-STATE until
 	// enough peers answered.
 	ticksSinceAsk int
+	// payloadIdx indexes OtherReplicas for the designated payload shipper of
+	// the digest-first handshake; it rotates on every retry and immediately
+	// when f+1 digests agree but the payload is missing or fails its hash.
+	payloadIdx int
+	// sawDesignated records that the currently designated peer has answered
+	// this designation round: once it has, an agreed-but-unsupplied payload
+	// can only mean the peer is behind or lying, so the fetcher re-asks at
+	// once instead of waiting out the retry timer (regardless of whether
+	// the designated response or the f+1th digest vote arrived last).
+	sawDesignated bool
 }
 
 // syncRetryTicks is how many protocol ticks pass between FETCH-STATE
@@ -66,13 +76,15 @@ func (h *Host) maybeSnapshot() {
 	if h.cfg.RetainFloor != nil {
 		h.snaps.SetFloor(h.cfg.RetainFloor())
 	}
-	state := h.application.Snapshot()
-	h.snaps.Add(statesync.Snapshot{
-		Seq:        h.appliedSeq,
-		HistDigest: h.appliedAcc,
-		AppDigest:  authn.Hash(state),
-		AppState:   state,
-	})
+	// The snapshot carries the per-client timestamp windows of the applied
+	// prefix (under the agreed payload digest): a restarted replica restores
+	// them so a client retransmitting a request from below the adopted
+	// boundary cannot get it re-executed.
+	windows := make([]statesync.ClientWindow, 0, len(h.appliedWindows))
+	for c, w := range h.appliedWindows {
+		windows = append(windows, statesync.ClientWindow{Client: c, High: w.high, Mask: w.mask})
+	}
+	h.snaps.Add(statesync.NewSnapshot(h.appliedSeq, h.appliedAcc, h.application.Snapshot(), windows))
 	// A checkpoint can stabilize before the application executes up to it
 	// (logging runs ahead of execution within a batch): garbage collection
 	// deferred then runs now that the application crossed the boundary.
@@ -180,7 +192,7 @@ func (h *Host) handleFetchState(from ids.ProcessID, m *statesync.FetchState) {
 	if st == nil || !st.Initialized {
 		return
 	}
-	resp := &statesync.State{Instance: inst, From: h.id}
+	resp := &statesync.State{Instance: inst, From: h.id, BodiesFrom: m.BodiesFrom}
 	var suffixFrom uint64
 	switch {
 	case m.Seq > 0:
@@ -198,6 +210,15 @@ func (h *Host) handleFetchState(from ids.ProcessID, m *statesync.FetchState) {
 	}
 	if suffixFrom < h.appliedTrim {
 		return
+	}
+	// Digest-first handshake: only the designated replica ships the snapshot
+	// payload (serialized application state + timestamp windows); everyone
+	// else vouches for its identity with digests alone. Suffix bodies are
+	// bounded by the uncheckpointed backlog — small compared to the state —
+	// and still come from everyone, so body completeness keeps its old f+1
+	// redundancy.
+	if m.BodiesFrom != h.id {
+		resp.Snap = resp.Snap.StripPayload()
 	}
 	for p := suffixFrom; p < h.appliedSeq; p++ {
 		d := h.appliedDigs[p-h.appliedTrim]
@@ -221,7 +242,24 @@ func (h *Host) startStateSync(inst core.InstanceID, seq uint64) {
 	}
 	h.sync = &syncState{inst: inst, seq: seq, col: col}
 	h.logf("statesync: fetching state (instance %d, max seq %d)", inst, seq)
-	h.Multicast(h.OtherReplicas(), &statesync.FetchState{Instance: inst, From: h.id, Seq: seq})
+	h.sendFetchState()
+}
+
+// sendFetchState multicasts the transfer's FETCH-STATE, designating one peer
+// to ship the snapshot payload (digest-first handshake: everyone else
+// answers with digests only, so a fetch costs one payload transfer, not 3f).
+func (h *Host) sendFetchState() {
+	others := h.OtherReplicas()
+	if len(others) == 0 {
+		return
+	}
+	designated := others[h.sync.payloadIdx%len(others)]
+	h.Multicast(others, &statesync.FetchState{
+		Instance:   h.sync.inst,
+		From:       h.id,
+		Seq:        h.sync.seq,
+		BodiesFrom: designated,
+	})
 }
 
 // SyncState asks the peers for their checkpoint state and catches this
@@ -261,7 +299,11 @@ func (h *Host) tickSync() {
 		return
 	}
 	h.sync.ticksSinceAsk = 0
-	h.Multicast(h.OtherReplicas(), &statesync.FetchState{Instance: h.sync.inst, From: h.id, Seq: h.sync.seq})
+	// Rotate the designated payload shipper: if the previous one crashed or
+	// lied, another peer of the agreed group serves the next round.
+	h.sync.payloadIdx++
+	h.sync.sawDesignated = false
+	h.sendFetchState()
 }
 
 // handleState feeds one peer's STATE response to the in-flight transfer and
@@ -276,8 +318,26 @@ func (h *Host) handleState(from ids.ProcessID, m *statesync.State) {
 	if err := h.sync.col.Add(m); err != nil {
 		return
 	}
+	// Count the designated peer as heard only when the response was produced
+	// for a fetch that designated it (BodiesFrom echo): a stale digest-only
+	// answer from a just-designated peer must not trigger rotation past it.
+	others := h.OtherReplicas()
+	if len(others) > 0 && m.From == others[h.sync.payloadIdx%len(others)] && m.BodiesFrom == m.From {
+		h.sync.sawDesignated = true
+	}
 	a, ok := h.sync.col.Result()
 	if !ok {
+		// f+1 digests agree but the payload is missing or failed its hash,
+		// and the designated peer has already answered (so waiting cannot
+		// help): re-ask at once with the next peer designated instead of
+		// waiting out the retry timer. The sawDesignated flag resets with
+		// each designation, bounding the extra multicasts to one per round.
+		if h.sync.col.NeedPayload() && h.sync.sawDesignated {
+			h.sync.payloadIdx++
+			h.sync.sawDesignated = false
+			h.sync.ticksSinceAsk = 0
+			h.sendFetchState()
+		}
 		return
 	}
 	inst := h.sync.inst
@@ -312,6 +372,15 @@ func (h *Host) adoptSyncedState(a *statesync.Adopted, inst core.InstanceID) {
 	st := h.instances[inst]
 	if st == nil {
 		return
+	}
+	// Restore the transferred per-client timestamp windows into the host's
+	// applied windows and the instance's logging windows: the suffix bodies
+	// below rebuild only the marks above the snapshot, so without these a
+	// retransmission from below the adopted boundary would be accepted as
+	// fresh and re-executed.
+	for _, w := range a.Snap.Windows {
+		h.appliedWindows[w.Client] = h.appliedWindows[w.Client].merge(tsState{high: w.High, mask: w.Mask})
+		st.AdoptWindow(w.Client, w.High, w.Mask)
 	}
 	if st.BaseSeq == 0 && st.AbsLen() <= a.Snap.Seq && a.End() > st.AbsLen() {
 		st.trimmed = a.Snap.Seq
@@ -354,6 +423,21 @@ func (h *Host) adoptSyncedState(a *statesync.Adopted, inst core.InstanceID) {
 		h.takeActivationSnapshot()
 	}
 	h.logf("statesync: adopted snapshot at %d (+%d suffix entries)", a.Snap.Seq, len(a.Suffix))
+}
+
+// TimestampFreshFor reports whether the active instance would still log a
+// request with the given client timestamp, under the host lock. Recovery
+// tests use it to assert that adopted snapshots carry the per-client
+// timestamp windows (a fresh verdict for a below-boundary timestamp means a
+// retransmission would be re-executed).
+func (h *Host) TimestampFreshFor(client ids.ProcessID, ts uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.instances[h.active]
+	if st == nil {
+		return true
+	}
+	return st.TimestampFresh(client, ts)
 }
 
 // AppliedState returns the applied sequence length and the digest chain fold

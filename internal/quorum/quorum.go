@@ -230,6 +230,9 @@ func NewClient(env core.ClientEnv, id core.InstanceID) *Client {
 // ID implements core.Instance.
 func (c *Client) ID() core.InstanceID { return c.id }
 
+// SetPendingFeedback implements core.FeedbackCarrier.
+func (c *Client) SetPendingFeedback(committed []uint64) { c.PendingFeedback = committed }
+
 // Invoke implements core.Instance: Step Q1 (multicast to all replicas, arm a
 // 2Δ timer), Step Q3 (identical to Step Z4), and the panicking mechanism.
 func (c *Client) Invoke(ctx context.Context, req msg.Request, init *core.InitHistory) (core.Outcome, error) {

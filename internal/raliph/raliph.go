@@ -7,14 +7,12 @@ import (
 
 	"abstractbft/internal/aardvark"
 	"abstractbft/internal/aliph"
-	"abstractbft/internal/backup"
-	"abstractbft/internal/chain"
+	"abstractbft/internal/compose"
 	"abstractbft/internal/core"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
-	"abstractbft/internal/quorum"
 )
 
 // Options configures R-Aliph.
@@ -47,6 +45,7 @@ func (o Options) withDefaults() Options {
 // Bind on the running cluster.
 type Registry struct {
 	opts Options
+	comp *compose.Composition
 
 	mu        sync.Mutex
 	monitors  map[ids.ProcessID]*Monitor
@@ -55,11 +54,59 @@ type Registry struct {
 
 // NewRegistry creates an empty registry.
 func NewRegistry(opts Options) *Registry {
-	return &Registry{
+	r := &Registry{
 		opts:      opts.withDefaults(),
 		monitors:  make(map[ids.ProcessID]*Monitor),
 		switchers: make(map[ids.ProcessID]*switcher),
 	}
+	r.comp = r.composition()
+	return r
+}
+
+// composition compiles R-Aliph as a declarative value: Aliph's schedule with
+// the feedback sink dispatching to per-replica monitors, Aardvark as the
+// strong stages' orderer, and every protocol replica wrapped so the monitor
+// is driven from its tick. The speculative flag (Quorum, Chain) falls out of
+// the descriptor's progress predicate instead of a hardcoded role map.
+func (r *Registry) composition() *compose.Composition {
+	opts := r.opts
+	// The Aardvark orderer needs the resolved values up front; resolve them
+	// from the composition API's defaults so orderer and Backup stages can
+	// never run mismatched parameters.
+	batchSize := opts.Aliph.BatchSize
+	if batchSize <= 0 {
+		batchSize = compose.DefaultBatchSize
+	}
+	vcTimeout := opts.Aliph.ViewChangeTimeout
+	if vcTimeout <= 0 {
+		vcTimeout = compose.DefaultViewChangeTimeout
+	}
+	return compose.MustNew(aliph.SpecName, compose.Options{
+		BackupK:           opts.Aliph.BackupK,
+		BatchSize:         batchSize,
+		ViewChangeTimeout: vcTimeout,
+		LowLoadAfter:      opts.Aliph.LowLoadAfter,
+		Feedback:          &dispatchingSink{registry: r},
+		Orderer: aardvark.Orderer(batchSize, vcTimeout, opts.Aardvark,
+			func(inst core.InstanceID, src aardvark.ExpectationSource) {
+				// Register the Aardvark expectation with every monitor; each
+				// replica only runs one orderer per Backup instance, so the
+				// registration reaches the right monitor through its host.
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				for _, m := range r.monitors {
+					m.RegisterExpectation(inst, src)
+				}
+			}),
+		WrapReplica: func(inner host.ProtocolReplica, h *host.Host, st *host.InstanceState, d *compose.Descriptor) host.ProtocolReplica {
+			return &monitoredReplica{
+				inner:       inner,
+				monitor:     r.MonitorFor(h.ID()),
+				instance:    st.ID,
+				speculative: !d.Strong(),
+			}
+		},
+	})
 }
 
 // Observer implements the deploy.Config.Observer hook: it creates (or
@@ -97,59 +144,9 @@ func (r *Registry) SwitchDurations() map[ids.ProcessID]time.Duration {
 
 // ReplicaFactory returns the per-instance protocol factory for R-Aliph
 // replicas: Quorum and Chain with feedback-based monitoring, Backup over
-// Aardvark.
+// Aardvark — all derived from the compiled composition.
 func (r *Registry) ReplicaFactory(cluster ids.Cluster) host.ProtocolFactory {
-	opts := r.opts
-	feedback := &dispatchingSink{registry: r}
-	qu := quorum.NewReplica(feedback)
-	ch := chain.NewReplica(chain.ReplicaConfig{LowLoadAfter: opts.Aliph.LowLoadAfter, Feedback: feedback})
-	backupK := opts.Aliph.BackupK
-	if backupK == nil {
-		backupK = backup.ExponentialK(1, 1<<16)
-	}
-	batchSize := opts.Aliph.BatchSize
-	if batchSize <= 0 {
-		batchSize = 8
-	}
-	vcTimeout := opts.Aliph.ViewChangeTimeout
-	if vcTimeout <= 0 {
-		vcTimeout = 500 * time.Millisecond
-	}
-	bu := backup.NewReplica(backup.ReplicaConfig{
-		K:           backupK,
-		BackupIndex: aliph.BackupIndex,
-		Orderer: aardvark.Orderer(batchSize, vcTimeout, opts.Aardvark,
-			func(inst core.InstanceID, src aardvark.ExpectationSource) {
-				// Register the Aardvark expectation with every monitor; each
-				// replica only runs one orderer per Backup instance, so the
-				// registration reaches the right monitor through its host.
-				r.mu.Lock()
-				defer r.mu.Unlock()
-				for _, m := range r.monitors {
-					m.RegisterExpectation(inst, src)
-				}
-			}),
-	})
-	return func(h *host.Host, st *host.InstanceState) host.ProtocolReplica {
-		var inner host.ProtocolReplica
-		speculative := false
-		switch aliph.RoleOf(st.ID) {
-		case aliph.RoleQuorum:
-			inner = qu(h, st)
-			speculative = true
-		case aliph.RoleChain:
-			inner = ch(h, st)
-			speculative = true
-		default:
-			inner = bu(h, st)
-		}
-		return &monitoredReplica{
-			inner:       inner,
-			monitor:     r.MonitorFor(h.ID()),
-			instance:    st.ID,
-			speculative: speculative,
-		}
-	}
+	return r.comp.ReplicaFactory(cluster)
 }
 
 // dispatchingSink forwards feedback to the monitor of the replica that
@@ -195,11 +192,12 @@ func (m *monitoredReplica) StopOnPanic() bool {
 	return true
 }
 
-// InstanceFactory returns the client-side factory: Aliph's instances wrapped
-// so that commit feedback is piggybacked on Quorum and Chain requests.
+// InstanceFactory returns the client-side factory: the composition's
+// instances wrapped so that commit feedback is piggybacked on the
+// feedback-capable stages (Quorum, Chain).
 func (r *Registry) InstanceFactory(env core.ClientEnv) core.InstanceFactory {
 	fb := &clientFeedback{every: r.opts.Monitor.withDefaults().FeedbackEvery}
-	base := aliph.InstanceFactory(env)
+	base := r.comp.InstanceFactory(env)
 	return func(id core.InstanceID) (core.Instance, error) {
 		inner, err := base(id)
 		if err != nil {
@@ -252,11 +250,8 @@ func (f *feedbackInstance) ID() core.InstanceID { return f.inner.ID() }
 
 // Invoke implements core.Instance.
 func (f *feedbackInstance) Invoke(ctx context.Context, req msg.Request, init *core.InitHistory) (core.Outcome, error) {
-	switch c := f.inner.(type) {
-	case *quorum.Client:
-		c.PendingFeedback = f.fb.take()
-	case *chain.Client:
-		c.PendingFeedback = f.fb.take()
+	if fc, ok := f.inner.(core.FeedbackCarrier); ok {
+		fc.SetPendingFeedback(f.fb.take())
 	}
 	out, err := f.inner.Invoke(ctx, req, init)
 	if err == nil && out.Committed {

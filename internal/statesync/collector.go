@@ -37,7 +37,18 @@ type Collector struct {
 	// higher snapshot, however well-agreed, would leave the gap open).
 	expectSeq uint64
 	responses map[ids.ProcessID]*State
+	// needPayload records, per Result evaluation, that an f+1-agreed
+	// snapshot exists whose payload no response supplied (or the supplied
+	// bytes failed the hash check): the fetcher should re-ask with a
+	// different designated payload shipper.
+	needPayload bool
 }
+
+// NeedPayload reports whether the last Result call found an f+1-agreed
+// snapshot that could not be adopted only because its payload is missing or
+// failed verification. The fetcher reacts by rotating the designated
+// responder of the digest-first handshake.
+func (c *Collector) NeedPayload() bool { return c.needPayload }
 
 // NewCollector returns a collector that accepts a snapshot vouched for by
 // f+1 distinct replicas.
@@ -49,13 +60,28 @@ func NewCollector(f int) *Collector {
 func (c *Collector) ExpectAtOrBelow(seq uint64) { c.expectSeq = seq }
 
 // Add records one replica's STATE response. Responses from clients are
-// rejected; a replica's newer response replaces its older one.
+// rejected; a replica's newer response replaces its older one — except that
+// a digest-only response never erases an already-received payload for the
+// same snapshot identity (the digest-first handshake rotates the designated
+// payload shipper, so a peer legitimately answers digest-only after having
+// shipped the payload).
 func (c *Collector) Add(resp *State) error {
 	if resp == nil || !resp.From.IsReplica() {
 		return fmt.Errorf("statesync: response from non-replica")
 	}
 	if uint64(len(resp.SuffixDigests)) > maxSuffix {
 		return fmt.Errorf("statesync: suffix of %d digests exceeds bound", len(resp.SuffixDigests))
+	}
+	if old, ok := c.responses[resp.From]; ok &&
+		old.Snap.Seq == resp.Snap.Seq &&
+		old.Snap.HistDigest == resp.Snap.HistDigest &&
+		old.Snap.AppDigest == resp.Snap.AppDigest &&
+		old.Snap.HasPayload() && !resp.Snap.HasPayload() {
+		merged := *resp
+		merged.Snap.AppState = old.Snap.AppState
+		merged.Snap.Windows = old.Snap.Windows
+		merged.Snap.Stripped = false
+		resp = &merged
 	}
 	c.responses[resp.From] = resp
 	return nil
@@ -93,23 +119,32 @@ func (c *Collector) Result() (*Adopted, bool) {
 	}
 	var best *Snapshot
 	found := false
+	c.needPayload = false
 	for k, members := range groups {
 		if len(members) < c.f+1 {
 			continue
 		}
-		if found && k.seq <= best.Seq {
-			continue
-		}
-		// The group agreed on the digests; trust bytes only from a member
-		// whose serialization actually hashes to the agreed AppDigest (a
-		// lying member of an honest group sends forged bytes).
+		// The group agreed on the digests; trust the payload (bytes and
+		// windows) only from a member whose serialization actually hashes to
+		// the agreed AppDigest (a lying member of an honest group sends a
+		// forged payload; digest-only members vouch for the identity but
+		// carry nothing to adopt).
+		supplied := false
 		for _, m := range members {
-			if k.seq == 0 || authn.Hash(m.Snap.AppState) == k.app {
-				sn := m.Snap
-				best = &sn
-				found = true
+			if k.seq == 0 || (m.Snap.HasPayload() && m.Snap.PayloadDigest() == k.app) {
+				supplied = true
+				if !found || k.seq > best.Seq {
+					sn := m.Snap
+					best = &sn
+					found = true
+				}
 				break
 			}
+		}
+		if !supplied && (!found || k.seq > best.Seq) {
+			// f+1 replicas vouch for a snapshot nobody shipped (yet): the
+			// fetcher should designate another member of the group.
+			c.needPayload = true
 		}
 	}
 	if !found {

@@ -27,6 +27,9 @@
 package statesync
 
 import (
+	"encoding/binary"
+	"sort"
+
 	"abstractbft/internal/authn"
 	"abstractbft/internal/core"
 	"abstractbft/internal/history"
@@ -34,6 +37,37 @@ import (
 	"abstractbft/internal/msg"
 	"abstractbft/internal/transport"
 )
+
+// ClientWindow is one client's timestamp-window high-water mark at a
+// checkpoint boundary: the highest request timestamp of the client in the
+// covered prefix, plus the bitmask of lower window timestamps that also
+// appear (bit d set means High-d was applied). Snapshots carry these so a
+// restarted replica rejects retransmissions of requests from below the
+// adopted boundary — without them, a client retransmitting such a request
+// would get it re-executed, diverging the restored history.
+type ClientWindow struct {
+	Client ids.ProcessID
+	High   uint64
+	Mask   uint64
+}
+
+// EncodeWindows serializes windows canonically (sorted by client, fixed-width
+// big-endian fields) so equal window sets serialize identically across
+// replicas and can be folded into the snapshot's agreed digest.
+func EncodeWindows(ws []ClientWindow) []byte {
+	sorted := append([]ClientWindow(nil), ws...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Client < sorted[j].Client })
+	buf := make([]byte, 4, 4+20*len(sorted))
+	binary.BigEndian.PutUint32(buf, uint32(len(sorted)))
+	var rec [20]byte
+	for _, w := range sorted {
+		binary.BigEndian.PutUint32(rec[:4], uint32(w.Client))
+		binary.BigEndian.PutUint64(rec[4:12], w.High)
+		binary.BigEndian.PutUint64(rec[12:], w.Mask)
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
 
 // Snapshot is the serialized replica state at one checkpoint boundary.
 type Snapshot struct {
@@ -45,17 +79,61 @@ type Snapshot struct {
 	// covered prefix — the value the lightweight checkpoint subprotocol
 	// agrees on at this boundary.
 	HistDigest authn.Digest
-	// AppDigest is the digest of AppState (authn.Hash over the serialized
-	// bytes); transfer acceptance agrees on it before trusting AppState.
+	// AppDigest is the digest of the snapshot payload (PayloadDigest over
+	// AppState and Windows); transfer acceptance agrees on it before
+	// trusting either.
 	AppDigest authn.Digest
 	// AppState is the serialized application state
 	// (app.Application.Snapshot).
 	AppState []byte
+	// Windows are the per-client timestamp-window high-water marks of the
+	// covered prefix. They are a deterministic function of the applied
+	// request sequence, so replicas that executed the same prefix agree on
+	// them, and they are covered by AppDigest, so a Byzantine responder
+	// cannot deny service to chosen clients by forging high marks.
+	Windows []ClientWindow
+	// Stripped marks a digest-only copy of the snapshot (the non-designated
+	// responders of the digest-first handshake): the identity fields vouch
+	// for the payload without carrying it. An explicit flag — rather than
+	// len(AppState) — because an application may legitimately serialize to
+	// zero bytes.
+	Stripped bool
+}
+
+// NewSnapshot assembles a snapshot, computing the payload digest over the
+// serialized application state and the canonical window encoding.
+func NewSnapshot(seq uint64, histDigest authn.Digest, appState []byte, windows []ClientWindow) Snapshot {
+	s := Snapshot{Seq: seq, HistDigest: histDigest, AppState: appState, Windows: windows}
+	s.AppDigest = s.PayloadDigest()
+	return s
+}
+
+// PayloadDigest returns the digest of the snapshot's transferable payload:
+// the serialized application bytes and the canonical window encoding. It is
+// the value f+1 replicas must agree on (as AppDigest) before the payload of
+// any single responder is trusted.
+func (s Snapshot) PayloadDigest() authn.Digest {
+	return authn.HashAll(s.AppState, EncodeWindows(s.Windows))
 }
 
 // IsZero reports whether the snapshot is the genesis snapshot (nothing
 // executed, no state to restore).
 func (s Snapshot) IsZero() bool { return s.Seq == 0 }
+
+// HasPayload reports whether the snapshot carries its transferable payload
+// (digest-only responses of the digest-first handshake do not).
+func (s Snapshot) HasPayload() bool { return !s.Stripped }
+
+// StripPayload returns the snapshot's identity without the payload: the
+// digest-first handshake has every non-designated responder vouch with
+// (Seq, HistDigest, AppDigest) alone, so a FETCH-STATE costs the cluster one
+// payload transfer instead of 3f.
+func (s Snapshot) StripPayload() Snapshot {
+	s.AppState = nil
+	s.Windows = nil
+	s.Stripped = true
+	return s
+}
 
 // FetchState is the FETCH-STATE message: a lagging or restarted replica asks
 // a peer for its snapshot and the history suffix beyond it.
@@ -71,6 +149,13 @@ type FetchState struct {
 	// boundary); 0 asks for the snapshot at the responder's last stable
 	// checkpoint.
 	Seq uint64
+	// BodiesFrom designates the one replica asked to ship the snapshot
+	// payload (serialized application state and timestamp windows); every
+	// other responder answers with digests only, so the transfer costs
+	// O(state size) instead of O(3f × state size). The fetcher rotates the
+	// designation on retry — and immediately on a payload hash mismatch —
+	// so a crashed or lying designated peer only delays the transfer.
+	BodiesFrom ids.ProcessID
 }
 
 // State is the STATE message answering a FetchState: the responder's
@@ -81,6 +166,11 @@ type State struct {
 	Instance core.InstanceID
 	// From is the responding replica.
 	From ids.ProcessID
+	// BodiesFrom echoes the designation of the FETCH-STATE being answered,
+	// so the fetcher can tell a designated payload answer from a stale
+	// digest-only response of a freshly designated peer (designations rotate
+	// while responses are in flight).
+	BodiesFrom ids.ProcessID
 	// Snap is the responder's snapshot; the zero snapshot (Seq 0) means the
 	// responder has no stable checkpoint yet and the suffix starts at the
 	// beginning of the history.

@@ -18,12 +18,7 @@ func testState(from ids.ProcessID, seq uint64, appState []byte, suffix []msg.Req
 	st := &State{
 		Instance: 1,
 		From:     from,
-		Snap: Snapshot{
-			Seq:        seq,
-			HistDigest: authn.Hash([]byte{byte(seq)}),
-			AppDigest:  authn.Hash(appState),
-			AppState:   appState,
-		},
+		Snap:     NewSnapshot(seq, authn.Hash([]byte{byte(seq)}), appState, nil),
 	}
 	for _, r := range suffix {
 		st.SuffixDigests = append(st.SuffixDigests, r.Digest())
@@ -121,8 +116,8 @@ func TestCollectorRejectsLyingSnapshotPeer(t *testing.T) {
 	if string(a.Snap.AppState) != "honest-state" {
 		t.Fatalf("adopted bytes %q from the lying peer", a.Snap.AppState)
 	}
-	if authn.Hash(a.Snap.AppState) != a.Snap.AppDigest {
-		t.Fatal("adopted bytes do not hash to the agreed digest")
+	if a.Snap.PayloadDigest() != a.Snap.AppDigest {
+		t.Fatal("adopted payload does not hash to the agreed digest")
 	}
 }
 
@@ -201,6 +196,86 @@ func TestCollectorSuffixForgeryResisted(t *testing.T) {
 	}
 	if len(got.Bodies) != 0 {
 		t.Fatal("forged body adopted")
+	}
+}
+
+// TestCollectorDigestFirstHandshake: digest-only responses (the non-
+// designated peers of the digest-first handshake) count toward agreement but
+// carry nothing to adopt; the transfer completes once the one designated
+// peer ships a payload matching the agreed digest, and NeedPayload tells the
+// fetcher to rotate the designation until then.
+func TestCollectorDigestFirstHandshake(t *testing.T) {
+	appState := []byte("state-at-16")
+	full := testState(ids.Replica(0), 16, appState, []msg.Request{testReq(1)})
+	digestOnly1 := testState(ids.Replica(1), 16, appState, []msg.Request{testReq(1)})
+	digestOnly1.Snap = digestOnly1.Snap.StripPayload()
+	digestOnly2 := testState(ids.Replica(2), 16, appState, []msg.Request{testReq(1)})
+	digestOnly2.Snap = digestOnly2.Snap.StripPayload()
+
+	col := NewCollector(1)
+	col.Add(digestOnly1)
+	col.Add(digestOnly2)
+	if _, ok := col.Result(); ok {
+		t.Fatal("digest-only agreement must not be adopted without a payload")
+	}
+	if !col.NeedPayload() {
+		t.Fatal("NeedPayload must report the agreed-but-unshipped snapshot")
+	}
+	col.Add(full)
+	a, ok := col.Result()
+	if !ok || string(a.Snap.AppState) != "state-at-16" {
+		t.Fatalf("transfer did not complete after the designated payload: %+v, %v", a, ok)
+	}
+	if len(a.Suffix) != 1 {
+		t.Fatalf("suffix lost under digest-first responses: %d entries", len(a.Suffix))
+	}
+}
+
+// TestCollectorDigestFirstLyingDesignated: a designated peer shipping bytes
+// that do not hash to the agreed digest must not be adopted; NeedPayload
+// drives re-designation, and an honest payload then completes the transfer.
+func TestCollectorDigestFirstLyingDesignated(t *testing.T) {
+	appState := []byte("honest")
+	liar := testState(ids.Replica(0), 16, appState, nil)
+	liar.Snap.AppState = []byte("forged")
+	digestOnly := testState(ids.Replica(1), 16, appState, nil)
+	digestOnly.Snap = digestOnly.Snap.StripPayload()
+
+	col := NewCollector(1)
+	col.Add(liar)
+	col.Add(digestOnly)
+	if _, ok := col.Result(); ok {
+		t.Fatal("forged payload adopted")
+	}
+	if !col.NeedPayload() {
+		t.Fatal("NeedPayload must flag the hash mismatch")
+	}
+	honest := testState(ids.Replica(2), 16, appState, nil)
+	col.Add(honest)
+	a, ok := col.Result()
+	if !ok || string(a.Snap.AppState) != "honest" {
+		t.Fatalf("honest re-ship not adopted: %+v, %v", a, ok)
+	}
+}
+
+// TestCollectorKeepsPayloadAcrossReplacement: after the designation rotates,
+// the previously designated peer answers digest-only; its newer response
+// must not erase the payload it already shipped.
+func TestCollectorKeepsPayloadAcrossReplacement(t *testing.T) {
+	appState := []byte("state-at-16")
+	full := testState(ids.Replica(0), 16, appState, nil)
+	again := testState(ids.Replica(0), 16, appState, nil)
+	again.Snap = again.Snap.StripPayload()
+
+	col := NewCollector(1)
+	col.Add(full)
+	col.Add(again)
+	digestOnly := testState(ids.Replica(1), 16, appState, nil)
+	digestOnly.Snap = digestOnly.Snap.StripPayload()
+	col.Add(digestOnly)
+	a, ok := col.Result()
+	if !ok || string(a.Snap.AppState) != "state-at-16" {
+		t.Fatalf("payload erased by digest-only replacement: %+v, %v", a, ok)
 	}
 }
 
