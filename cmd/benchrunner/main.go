@@ -159,6 +159,57 @@ func runSharding(out string, clients, pipeline int, seconds float64) error {
 	return nil
 }
 
+// shardingTCPReport is the schema of BENCH_sharding_tcp.json: the
+// multi-process rows recorded alongside BENCH_sharding.json's in-process
+// ones — real cmd/replica OS processes over authenticated loopback TCP, a
+// SIGKILL mid-run, and a -recover rejoin.
+type shardingTCPReport struct {
+	Benchmark string `json:"benchmark"`
+	Protocol  string `json:"protocol"`
+	// Clients, Pipeline, and Seconds describe the workload per phase window.
+	Clients  int                           `json:"clients"`
+	Pipeline int                           `json:"pipeline"`
+	Seconds  float64                       `json:"seconds_per_phase"`
+	Result   experiments.ShardingTCPResult `json:"result"`
+}
+
+func runShardingTCP(out string, clients, pipeline int, seconds float64) error {
+	cfg := experiments.ShardingTCPConfig{
+		Shards:   2,
+		Clients:  clients,
+		Pipeline: pipeline,
+		Duration: time.Duration(seconds * float64(time.Second)),
+	}
+	// Two measured windows plus binary builds, process startup, and the
+	// crash-restart cycle.
+	budget := 2*cfg.Duration + 4*time.Minute
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	res, err := experiments.MeasureShardingTCP(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	report := shardingTCPReport{
+		Benchmark: "sharding-tcp",
+		Protocol:  "sharded zlight (azyzzyva composition per shard), kv store, multi-process TCP",
+		Clients:   cfg.Clients,
+		Pipeline:  cfg.Pipeline,
+		Seconds:   seconds,
+		Result:    res,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println(experiments.ShardingTCPTable(res).Format())
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 // recoveryReport is the schema of BENCH_recovery.json: the measured
 // crash-restart catch-up (statesync) plus the history-GC memory rows.
 type recoveryReport struct {
@@ -336,13 +387,14 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or 'all', or 'list')")
 	batching := flag.Bool("batching", false, "run the live batching measurement and write a JSON report")
 	sharding := flag.Bool("sharding", false, "run the live sharding measurement and write a JSON report")
+	shardingTCP := flag.Bool("sharding-tcp", false, "run the multi-process sharded measurement (real replica processes over TCP, SIGKILL + -recover) and write a JSON report")
 	recovery := flag.Bool("recovery", false, "run the live crash-restart recovery measurement and write a JSON report")
 	compositions := flag.Bool("compositions", false, "run the composition matrix and write a JSON report")
 	composition := flag.String("composition", "", "run one composition given as a Spec DSL string or registered name (e.g. quorum,chain,backup)")
 	smoke := flag.Bool("smoke", false, "with -compositions: short CI windows (0.3s per row)")
 	out := flag.String("out", "", "output path for the JSON report (default BENCH_<benchmark>.json)")
 	clients := flag.Int("clients", 24, "closed-loop clients for -batching/-sharding (8 for -recovery, 6 for -composition(s))")
-	pipeline := flag.Int("pipeline", 1, "per-client pipeline depth for -batching (default 4 for -sharding)")
+	pipeline := flag.Int("pipeline", 1, "per-client pipeline depth for -batching (default 4 for -sharding, 2 for -sharding-tcp)")
 	seconds := flag.Float64("seconds", 1.0, "measured seconds per row/burst")
 	gcRequests := flag.Int("gc-requests", 100000, "requests per history-GC memory row for -recovery")
 	flag.Parse()
@@ -398,6 +450,25 @@ func main() {
 		}
 		if err := runRecovery(path, n, *seconds, *gcRequests); err != nil {
 			fmt.Fprintf(os.Stderr, "recovery: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardingTCP {
+		path := *out
+		if path == "" {
+			path = "BENCH_sharding_tcp.json"
+		}
+		n := *clients
+		if !clientsSet {
+			n = 8
+		}
+		depth := *pipeline
+		if depth <= 1 {
+			depth = 2
+		}
+		if err := runShardingTCP(path, n, depth, *seconds); err != nil {
+			fmt.Fprintf(os.Stderr, "sharding-tcp: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,6 +1,17 @@
 // Command client runs closed-loop clients against a TCP deployment of a
 // composed Abstract protocol started with cmd/replica.
 //
+// The topology mode drives the sharded plane from the same JSON topology
+// file the replicas run: every closed-loop client is a keyed shard.Client
+// (per-shard pipelined composers, requests routed to the shard owning their
+// key), and the workload is keyed to spread across shards — encoded KV
+// operations when the topology routes by the "kv" extractor, 8-byte-prefix
+// keyed commands otherwise:
+//
+//	go run ./cmd/client -topology cluster.json -clients 4 -requests 1000
+//
+// The legacy flag mode drives a single unsharded composition:
+//
 //	go run ./cmd/client -f 1 -protocol aliph -clients 4 -requests 1000 \
 //	    -replicas 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 package main
@@ -17,6 +28,7 @@ import (
 	"abstractbft/internal/authn"
 	"abstractbft/internal/azyzzyva"
 	"abstractbft/internal/core"
+	"abstractbft/internal/deploy"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
 	"abstractbft/internal/transport"
@@ -25,63 +37,119 @@ import (
 
 func main() {
 	var (
-		f           = flag.Int("f", 1, "number of tolerated Byzantine replicas")
-		protocol    = flag.String("protocol", "aliph", "composed protocol: aliph or azyzzyva")
-		replicas    = flag.String("replicas", "", "comma-separated replica addresses, in replica order")
-		secret      = flag.String("secret", "abstract-bft", "cluster key-derivation secret")
+		topoPath    = flag.String("topology", "", "topology JSON file (sharded multi-process mode; overrides the legacy flags)")
+		f           = flag.Int("f", 1, "number of tolerated Byzantine replicas (legacy mode)")
+		protocol    = flag.String("protocol", "aliph", "composed protocol: aliph or azyzzyva (legacy mode)")
+		replicas    = flag.String("replicas", "", "comma-separated replica addresses, in replica order (legacy mode)")
+		secret      = flag.String("secret", "abstract-bft", "cluster key-derivation secret (legacy mode)")
 		clients     = flag.Int("clients", 1, "number of closed-loop clients")
-		requests    = flag.Int("requests", 100, "requests per client")
+		requests    = flag.Int("requests", 100, "requests per client (0 = run for -duration)")
+		duration    = flag.Duration("duration", 0, "run length when -requests is 0")
 		requestSize = flag.Int("request-size", 0, "request payload size in bytes")
+		pipeline    = flag.Int("pipeline", 0, "per-shard pipeline depth (topology mode; 0 = the topology's default)")
+		keySpace    = flag.Int("key-space", 0, "distinct workload keys (topology mode; 0 = 16 per shard)")
 		baseID      = flag.Int("base-id", 0, "first client index (use distinct ranges per client process)")
-		delta       = flag.Duration("delta", 30*time.Millisecond, "synchrony bound used for client timers")
+		delta       = flag.Duration("delta", 30*time.Millisecond, "synchrony bound used for client timers (legacy mode)")
 		listenBase  = flag.Int("listen-base", 8100, "first local TCP port for client endpoints")
 	)
 	flag.Parse()
 
-	addrs := strings.Split(*replicas, ",")
-	cluster := ids.NewCluster(*f)
-	if len(addrs) != cluster.N {
-		log.Fatalf("need %d replica addresses for f=%d, got %d", cluster.N, *f, len(addrs))
+	var newInvoker func(i int) (workload.Invoker, ids.ProcessID, error)
+	cfg := workload.ClosedLoopConfig{
+		Clients:           *clients,
+		RequestsPerClient: *requests,
+		Duration:          *duration,
+		RequestSize:       *requestSize,
 	}
-	addrMap := make(map[ids.ProcessID]string, len(addrs))
-	for i, a := range addrs {
-		addrMap[ids.Replica(i)] = strings.TrimSpace(a)
-	}
-	keys := authn.NewKeyStore(*secret)
 
-	newInvoker := func(i int) (workload.Invoker, ids.ProcessID, error) {
-		clientID := ids.Client(*baseID + i)
-		myAddrs := make(map[ids.ProcessID]string, len(addrMap)+1)
-		for k, v := range addrMap {
-			myAddrs[k] = v
-		}
-		myAddrs[clientID] = fmt.Sprintf("127.0.0.1:%d", *listenBase+i)
-		ep, err := transport.NewTCPAuth(clientID, myAddrs, keys)
+	if *topoPath != "" {
+		topo, err := deploy.LoadTopology(*topoPath)
 		if err != nil {
-			return nil, 0, err
+			log.Fatalf("topology: %v", err)
 		}
-		env := core.ClientEnv{Cluster: cluster, Keys: keys, ID: clientID, Endpoint: ep, Delta: *delta}
-		var composer *core.Composer
-		switch *protocol {
-		case "azyzzyva":
-			composer, err = azyzzyva.NewClient(env)
-		default:
-			composer, err = aliph.NewClient(env)
+		keys := *keySpace
+		if keys <= 0 {
+			keys = 16 * topo.ShardCount()
 		}
-		if err != nil {
-			return nil, 0, err
+		// Generate commands in the format the topology's extractor routes by
+		// (the "kv" extractor sees one shard for every prefix8-keyed command
+		// and vice versa, so generation must follow routing).
+		if topo.ExtractorName() == "kv" {
+			cfg.CommandOf = workload.KVPutCommandOf(*baseID, keys)
+		} else {
+			cfg.KeySpace = keys
+			cfg.KeyOf = func(client int, ts uint64) uint64 {
+				return (uint64(*baseID+client) + ts) % uint64(keys)
+			}
 		}
-		return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
-			return composer.Invoke(ctx, req)
-		}), clientID, nil
+		depth := *pipeline
+		if depth <= 0 {
+			depth = topo.Pipeline
+		}
+		cfg.Pipeline = depth
+		newInvoker = func(i int) (workload.Invoker, ids.ProcessID, error) {
+			clientID := ids.Client(*baseID + i)
+			// DialClient primes the endpoint (connection proof completed with
+			// every replica before the first request), so no reply is dropped
+			// at an un-proven route.
+			dialCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_, client, err := topo.DialClient(dialCtx, clientID, fmt.Sprintf("127.0.0.1:%d", *listenBase+i), depth)
+			cancel()
+			if err != nil {
+				return nil, 0, err
+			}
+			return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+				return client.Invoke(ctx, req)
+			}), clientID, nil
+		}
+	} else {
+		addrs := strings.Split(*replicas, ",")
+		cluster := ids.NewCluster(*f)
+		if len(addrs) != cluster.N {
+			log.Fatalf("need %d replica addresses for f=%d, got %d", cluster.N, *f, len(addrs))
+		}
+		addrMap := make(map[ids.ProcessID]string, len(addrs))
+		for i, a := range addrs {
+			addrMap[ids.Replica(i)] = strings.TrimSpace(a)
+		}
+		keys := authn.NewKeyStore(*secret)
+		newInvoker = func(i int) (workload.Invoker, ids.ProcessID, error) {
+			clientID := ids.Client(*baseID + i)
+			myAddrs := make(map[ids.ProcessID]string, len(addrMap)+1)
+			for k, v := range addrMap {
+				myAddrs[k] = v
+			}
+			myAddrs[clientID] = fmt.Sprintf("127.0.0.1:%d", *listenBase+i)
+			ep, err := transport.NewTCPAuth(clientID, myAddrs, keys)
+			if err != nil {
+				return nil, 0, err
+			}
+			primeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err = ep.Prime(primeCtx, cluster.Replicas())
+			cancel()
+			if err != nil {
+				return nil, 0, err
+			}
+			env := core.ClientEnv{Cluster: cluster, Keys: keys, ID: clientID, Endpoint: ep, Delta: *delta}
+			var composer *core.Composer
+			switch *protocol {
+			case "azyzzyva":
+				composer, err = azyzzyva.NewClient(env)
+			default:
+				composer, err = aliph.NewClient(env)
+			}
+			if err != nil {
+				ep.Close()
+				return nil, 0, err
+			}
+			return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+				return composer.Invoke(ctx, req)
+			}), clientID, nil
+		}
 	}
 
 	ctx := context.Background()
-	res, err := workload.RunClosedLoop(ctx, workload.ClosedLoopConfig{
-		Clients:           *clients,
-		RequestsPerClient: *requests,
-		RequestSize:       *requestSize,
-	}, newInvoker)
+	res, err := workload.RunClosedLoop(ctx, cfg, newInvoker)
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}

@@ -1,12 +1,28 @@
-// Command replica runs one replica of a composed Abstract protocol (AZyzzyva
-// or Aliph) over TCP, for multi-process deployments on one or several
-// machines.
+// Command replica runs one replica of a composed Abstract protocol over TCP,
+// for multi-process deployments on one or several machines.
+//
+// The topology mode runs the sharded plane (any registered composition, S
+// parallel shards demultiplexed over one authenticated TCP endpoint) from a
+// JSON topology file shared with cmd/client:
+//
+//	go run ./cmd/replica -topology cluster.json -id 0
+//
+// A crash-restarted process rejoins with -recover: it collects the
+// f+1-agreed merged boundary from its live peers, restores the merged
+// mirror, and state-syncs every shard via the FETCH-STATE transfer, with the
+// automatic re-agreement retry re-pinning the sync if live traffic prunes
+// the pinned boundary:
+//
+//	go run ./cmd/replica -topology cluster.json -id 0 -recover
+//
+// The legacy flag mode runs a single unsharded composition:
 //
 //	go run ./cmd/replica -id 0 -f 1 -protocol aliph \
 //	    -replicas 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -19,6 +35,7 @@ import (
 	"abstractbft/internal/app"
 	"abstractbft/internal/authn"
 	"abstractbft/internal/azyzzyva"
+	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/transport"
@@ -26,15 +43,23 @@ import (
 
 func main() {
 	var (
-		id        = flag.Int("id", 0, "replica index (0-based)")
-		f         = flag.Int("f", 1, "number of tolerated Byzantine replicas")
-		protocol  = flag.String("protocol", "aliph", "composed protocol: aliph or azyzzyva")
-		replicas  = flag.String("replicas", "", "comma-separated replica addresses, in replica order")
-		secret    = flag.String("secret", "abstract-bft", "cluster key-derivation secret")
-		appName   = flag.String("app", "kv", "replicated application: kv, counter, or null")
-		replySize = flag.Int("reply-size", 0, "reply size for the null application")
+		id         = flag.Int("id", 0, "replica index (0-based)")
+		topoPath   = flag.String("topology", "", "topology JSON file (sharded multi-process mode; overrides the legacy flags)")
+		recoverOpt = flag.Bool("recover", false, "with -topology: rejoin a live cluster after a crash-restart (collect the merged boundary from peers and state-sync every shard)")
+		recoverTO  = flag.Duration("recover-timeout", 30*time.Second, "how long -recover waits for an f+1-agreed merged boundary")
+		f          = flag.Int("f", 1, "number of tolerated Byzantine replicas")
+		protocol   = flag.String("protocol", "aliph", "composed protocol: aliph or azyzzyva (legacy mode)")
+		replicas   = flag.String("replicas", "", "comma-separated replica addresses, in replica order (legacy mode)")
+		secret     = flag.String("secret", "abstract-bft", "cluster key-derivation secret (legacy mode)")
+		appName    = flag.String("app", "kv", "replicated application: kv, counter, or null (legacy mode)")
+		replySize  = flag.Int("reply-size", 0, "reply size for the null application (legacy mode)")
 	)
 	flag.Parse()
+
+	if *topoPath != "" {
+		runTopology(*topoPath, *id, *recoverOpt, *recoverTO)
+		return
+	}
 
 	addrs := strings.Split(*replicas, ",")
 	cluster := ids.NewCluster(*f)
@@ -86,9 +111,68 @@ func main() {
 	h.Start()
 	log.Printf("replica %v (%s, f=%d) listening on %s", self, *protocol, *f, ep.Addr())
 
+	awaitSignal()
+	h.Stop()
+	ep.Close()
+}
+
+// runTopology runs one sharded replica node of a topology-file deployment:
+// S complete composition sub-hosts (one per shard, leaders rotated) behind
+// one authenticated TCP endpoint, the shard router demultiplexing
+// shard.Mark-wrapped traffic, and the asynchronous execution stage merging
+// the shards' ordered spans.
+func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration) {
+	topo, err := deploy.LoadTopology(path)
+	if err != nil {
+		log.Fatalf("topology: %v", err)
+	}
+	cluster := topo.Cluster()
+	if id < 0 || id >= cluster.N {
+		log.Fatalf("replica id %d out of range for f=%d (need 0..%d)", id, topo.F, cluster.N-1)
+	}
+	self := ids.Replica(id)
+	ep, err := transport.NewTCPAuth(self, topo.AddrMap(), topo.Keys())
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	node, err := topo.NewNode(self, ep, logger)
+	if err != nil {
+		log.Fatalf("node: %v", err)
+	}
+
+	if recoverOpt {
+		log.Printf("replica %v recovering: collecting merged boundary from peers", self)
+		ctx, cancel := context.WithTimeout(context.Background(), recoverTO)
+		if err := node.RecoverFromPeers(ctx); err != nil {
+			cancel()
+			log.Fatalf("recover: %v", err)
+		}
+		cancel()
+		// The per-shard transfers complete asynchronously (the re-agreement
+		// monitor re-pins them if live traffic prunes the pinned boundary);
+		// log the moment the node is fully caught up so operators and
+		// harnesses can see recovery complete.
+		go func() {
+			for node.Syncing() {
+				time.Sleep(20 * time.Millisecond)
+			}
+			seq, _, _ := node.Exec.MergedSnapshot()
+			log.Printf("replica %v recovered: all shards synced, merged seq %d", self, seq)
+		}()
+	} else {
+		node.Start()
+	}
+	log.Printf("replica %v (%s, f=%d, shards=%d) listening on %s",
+		self, topo.Composition, topo.F, topo.ShardCount(), ep.Addr())
+
+	awaitSignal()
+	node.Stop()
+	ep.Close()
+}
+
+func awaitSignal() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	h.Stop()
-	ep.Close()
 }

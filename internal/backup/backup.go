@@ -208,9 +208,10 @@ func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
 	if err := r.h.VerifyClientAuth(m.Auth, AuthBytes(r.st.ID, m.Req)); err != nil {
 		return
 	}
-	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
-		// Retransmission: resend the cached reply (or the abort if the
-		// instance already stopped).
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) || r.h.AppliedStale(m.Req.Client, m.Req.Timestamp) {
+		// Retransmission per the instance window or the host's applied
+		// window (the cross-instance at-most-once gate): resend the cached
+		// reply (or the abort if the instance already stopped).
 		if r.st.Stopped {
 			signed := r.h.SignedAbortFor(r.st)
 			r.h.Send(m.Req.Client, &core.AbortReply{Instance: r.st.ID, Timestamp: m.Req.Timestamp, Signed: signed})

@@ -116,8 +116,10 @@ func (r *Replica) onClientRequest(from ids.ProcessID, m *Message) {
 	if r.st.Stopped {
 		return
 	}
-	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
-		// Duplicate: forward with the duplicate flag semantics (no new
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) || r.h.AppliedStale(m.Req.Client, m.Req.Timestamp) {
+		// Duplicate (per the instance window, or per the host's applied
+		// window for requests committed before this instance's init history
+		// reaches): forward with the duplicate flag semantics (no new
 		// position) so the tail can resend the cached reply.
 		r.forwardDuplicate(m)
 		return

@@ -1,6 +1,8 @@
 package compose
 
 import (
+	"math"
+
 	"abstractbft/internal/backup"
 	"abstractbft/internal/chain"
 	"abstractbft/internal/core"
@@ -57,6 +59,26 @@ func init() {
 		NewReplica: func(ctx ReplicaContext) host.ProtocolFactory {
 			return backup.NewReplica(backup.ReplicaConfig{
 				K:           ctx.Opts.BackupK,
+				BackupIndex: ctx.StrongIndex,
+				Orderer:     ctx.Opts.Orderer,
+			})
+		},
+		NewClient: func(env core.ClientEnv, id core.InstanceID) (core.Instance, error) {
+			return backup.NewClient(env, id), nil
+		},
+	})
+	// The standalone always-progress baseline: the Backup machinery without
+	// the k-bound (FixedK(MaxUint64) never stops the instance), so the paper's
+	// PBFT baseline is expressible as the one-stage Spec "pbft" — a
+	// backup-only deployment that never switches — and usable as the strong
+	// stage of any schedule.
+	Register(Descriptor{
+		Name:     "pbft",
+		Progress: core.ProgressAlways,
+		Caps:     Capabilities{},
+		NewReplica: func(ctx ReplicaContext) host.ProtocolFactory {
+			return backup.NewReplica(backup.ReplicaConfig{
+				K:           backup.FixedK(math.MaxUint64),
 				BackupIndex: ctx.StrongIndex,
 				Orderer:     ctx.Opts.Orderer,
 			})

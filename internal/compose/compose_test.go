@@ -65,8 +65,8 @@ func TestParseRegisteredNames(t *testing.T) {
 	if names := compose.SpecNames(); len(names) < 4 {
 		t.Errorf("SpecNames() = %v, want at least the built-in schedules", names)
 	}
-	if protos := compose.Protocols(); len(protos) != 4 {
-		t.Errorf("Protocols() = %v, want the four built-ins", protos)
+	if protos := compose.Protocols(); len(protos) != 5 {
+		t.Errorf("Protocols() = %v, want the five built-ins (zlight, quorum, chain, backup, pbft)", protos)
 	}
 }
 

@@ -93,6 +93,58 @@ func TestEveryRegisteredCompositionE2E(t *testing.T) {
 	}
 }
 
+// TestStandalonePBFTSpecE2E drives the one-stage "pbft" Spec — the backup
+// engine without the k-bound, registered so backup-only deployments are
+// expressible in the DSL. The instance must never abort: a concurrent
+// workload commits entirely on instance 1 with zero client switches, and the
+// run satisfies the specification.
+func TestStandalonePBFTSpecE2E(t *testing.T) {
+	checker := core.NewSpecChecker()
+	c := newComposedCluster(t, "pbft", checker)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const clients = 4
+	const perClient = 10
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	composers := make([]*core.Composer, clients)
+	for i := 0; i < clients; i++ {
+		client, err := c.NewClient(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		composers[i] = client
+		wg.Add(1)
+		go func(i int, client *core.Composer) {
+			defer wg.Done()
+			for ts := uint64(1); ts <= perClient; ts++ {
+				req := msg.Request{Client: ids.Client(i), Timestamp: ts, Command: []byte(fmt.Sprintf("p%d-%d", i, ts))}
+				if _, err := client.Invoke(ctx, req); err != nil {
+					errCh <- fmt.Errorf("client %d invoke %d: %w", i, ts, err)
+					return
+				}
+			}
+		}(i, client)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	for i, client := range composers {
+		if n := client.Switches(); n != 0 {
+			t.Errorf("client %d switched %d times; the unbounded pbft stage must never abort", i, n)
+		}
+		if inst := client.ActiveInstance(); inst != 1 {
+			t.Errorf("client %d ended on instance %d, want 1", i, inst)
+		}
+	}
+	if errs := checker.Check(); len(errs) > 0 {
+		t.Fatalf("specification violations under \"pbft\": %v", errs)
+	}
+}
+
 // TestNewCompositionsSurviveCrash proves the two previously-unbuildable
 // schedules are real protocols, not just happy paths: with a crashed replica
 // the optimistic stages cannot commit, so the composition must switch its

@@ -68,6 +68,13 @@ type Config struct {
 	// ShardNullOpInterval is the sharded plane's idle-shard null-op probe
 	// period (0 = shard.DefaultNullOpInterval, negative = disabled).
 	ShardNullOpInterval time.Duration
+	// RecoverRetryInterval is the sharded recovery plane's poll period:
+	// merged-boundary collection rounds and the re-agreement retry that
+	// re-pins a pruned pinned sync (0 = shard.DefaultRecoverRetryInterval).
+	RecoverRetryInterval time.Duration
+	// RecoverTimeout bounds how long RestartNode waits for an f+1-agreed
+	// merged boundary among the live peers (0 = 15s).
+	RecoverTimeout time.Duration
 	// MaxUncheckpointed bounds the uncheckpointed history (R-Aliph).
 	MaxUncheckpointed int
 	// InstrumentHistories enables the specification checker instrumentation.

@@ -1,7 +1,7 @@
 package deploy
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"abstractbft/internal/app"
@@ -82,65 +82,45 @@ func (s *Sharded) buildNode(r ids.ProcessID) *shard.Node {
 		NewProtocol: func(sh int, cl ids.Cluster) host.ProtocolFactory {
 			return cfg.NewReplicaFactory(cl)
 		},
-		Batch:               cfg.Batch,
-		TimestampWindow:     cfg.TimestampWindow,
-		Epoch:               cfg.ShardEpoch,
-		NullOpInterval:      cfg.ShardNullOpInterval,
-		CheckpointInterval:  cfg.CheckpointInterval,
-		DisableGC:           cfg.DisableGC,
-		MaxUncheckpointed:   cfg.MaxUncheckpointed,
-		InstrumentHistories: cfg.InstrumentHistories,
-		TickInterval:        cfg.TickInterval,
-		Ops:                 cfg.Ops,
+		Batch:                cfg.Batch,
+		TimestampWindow:      cfg.TimestampWindow,
+		Epoch:                cfg.ShardEpoch,
+		NullOpInterval:       cfg.ShardNullOpInterval,
+		RecoverRetryInterval: cfg.RecoverRetryInterval,
+		CheckpointInterval:   cfg.CheckpointInterval,
+		DisableGC:            cfg.DisableGC,
+		MaxUncheckpointed:    cfg.MaxUncheckpointed,
+		InstrumentHistories:  cfg.InstrumentHistories,
+		TickInterval:         cfg.TickInterval,
+		Ops:                  cfg.Ops,
 	})
 }
 
 // RestartNode crash-restarts replica node i: the old node is stopped and
-// discarded, a fresh node comes up under the same identity, adopts the
-// merged-mirror state agreed by f+1 live peers (equal merged sequence and
-// digest), and state-syncs every per-shard sub-host from its peers, pinned
-// at or below the restored merge boundary so the mirror's suffix feeds
-// without a gap. It fails when fewer than f+1 live peers agree on a merged
-// boundary yet.
+// discarded, and a fresh node comes up under the same identity and rejoins
+// through the same network recovery plane the multi-process deployment uses
+// (shard.Node.RecoverFromPeers): it collects an f+1-agreed merged boundary
+// from the live peers over the wire (votes keyed by merged sequence, merged
+// digest, and the hash of the serialized merged application, accumulated
+// across collection rounds so a plane moving under traffic still converges),
+// restores the merged mirror there, and state-syncs every per-shard sub-host
+// pinned at or below the boundary so the mirror's suffix feeds without a
+// gap. The per-shard transfers complete asynchronously under the
+// re-agreement monitor (poll Node.Syncing). It fails when no f+1 agreement
+// forms within Config.RecoverTimeout (fewer than f+1 live peers).
 func (s *Sharded) RestartNode(i int) (*shard.Node, error) {
-	// The vote key covers the serialized merged-app bytes (by hash) as well:
-	// a peer agreeing on (seq, digest) but shipping different bytes forms its
-	// own group and cannot sneak a forged application state into an honest
-	// agreement.
-	type merged struct {
-		seq     uint64
-		dig     authn.Digest
-		appHash authn.Digest
-	}
-	votes := make(map[merged]int)
-	states := make(map[merged][]byte)
-	for j, peer := range s.Nodes {
-		if j == i {
-			continue
-		}
-		seq, dig, app := peer.Exec.MergedSnapshot()
-		k := merged{seq: seq, dig: dig, appHash: authn.Hash(app)}
-		votes[k]++
-		states[k] = app
-	}
-	var best merged
-	found := false
-	for k, n := range votes {
-		if n >= s.Cluster.F+1 && (!found || k.seq > best.seq) {
-			best = k
-			found = true
-		}
-	}
-	if !found {
-		return nil, fmt.Errorf("deploy: no f+1-agreed merged boundary among live nodes")
-	}
-
 	old := s.Nodes[i]
 	old.Stop()
 	s.Net.ResetEndpoint(ids.Replica(i))
 	n := s.buildNode(ids.Replica(i))
 	s.Nodes[i] = n
-	if err := n.Recover(best.seq, best.dig, states[best]); err != nil {
+	timeout := s.cfg.RecoverTimeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := n.RecoverFromPeers(ctx); err != nil {
 		return n, err
 	}
 	return n, nil

@@ -1,0 +1,268 @@
+// Package e2e holds the process-level end-to-end tests: real cmd/replica and
+// cmd/client OS processes on loopback TCP, driven through the same binaries
+// and topology files an operator deploys. This is the deployment fidelity the
+// in-process harnesses cannot give — separate address spaces, real sockets
+// with the connection handshake, SIGKILL crashes, and -recover rejoins.
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/proccluster"
+)
+
+// dumpLogs attaches every process log to the test output (failure
+// diagnostics).
+func dumpLogs(t *testing.T, cluster *proccluster.Cluster) {
+	t.Helper()
+	entries, _ := os.ReadDir(cluster.Dir)
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".log") {
+			continue
+		}
+		data, _ := os.ReadFile(cluster.Dir + "/" + e.Name())
+		t.Logf("=== %s ===\n%s", e.Name(), data)
+	}
+}
+
+// sharedBins builds the replica/client binaries once per test process.
+var (
+	binOnce    sync.Once
+	binDir     string
+	replicaBin string
+	clientBin  string
+	binErr     error
+)
+
+func buildBins(t *testing.T) (string, string) {
+	t.Helper()
+	binOnce.Do(func() {
+		binDir, binErr = os.MkdirTemp("", "abstractbft-e2e-bin")
+		if binErr != nil {
+			return
+		}
+		replicaBin, clientBin, binErr = proccluster.BuildBinaries(binDir)
+	})
+	if binErr != nil {
+		t.Fatalf("building binaries: %v", binErr)
+	}
+	return replicaBin, clientBin
+}
+
+// testTopology is the 4-replica sharded KV deployment the process tests run:
+// two shards (so the crash-restart exercises the multi-shard pin race),
+// short checkpoints (so recovery goes through real snapshot transfer), and a
+// client delta generous enough that the kill-to-recover window stalls
+// clients instead of panicking them into instance switches.
+func testTopology() deploy.Topology {
+	return deploy.Topology{
+		F:                  1,
+		Shards:             2,
+		Composition:        "azyzzyva",
+		KeyExtractor:       "kv",
+		App:                "kv",
+		ShardEpoch:         1,
+		CheckpointInterval: 8,
+		// The kill-to-recovered window (a second or two, more on a loaded CI
+		// box) must stay well inside the clients' panic timers, or the
+		// composition switches instances mid-outage and the run degrades
+		// through Backup k-cycles instead of resuming at full rate.
+		DeltaMs:  8000,
+		Pipeline: 2,
+	}
+}
+
+func startCluster(t *testing.T) *proccluster.Cluster {
+	t.Helper()
+	rb, cb := buildBins(t)
+	cluster, err := proccluster.Start(proccluster.Config{
+		Dir:        t.TempDir(),
+		Topology:   testTopology(),
+		ReplicaBin: rb,
+		ClientBin:  cb,
+	})
+	if err != nil {
+		t.Fatalf("starting process cluster: %v", err)
+	}
+	t.Cleanup(cluster.StopAll)
+	return cluster
+}
+
+// clientPorts reserves a listen-port base for one cmd/client process so
+// concurrent tests do not collide on the default base.
+func clientPorts(t *testing.T, n int) int {
+	t.Helper()
+	ports, err := proccluster.FreePorts(n)
+	if err != nil {
+		t.Fatalf("reserving client ports: %v", err)
+	}
+	return ports[0]
+}
+
+// TestProcessShardedClusterSmoke is the -short-friendly smoke: a 4-replica
+// sharded KV cluster as real OS processes over authenticated TCP, a real
+// cmd/client process committing a keyed workload against it, and an in-test
+// verifier reading a written key back.
+func TestProcessShardedClusterSmoke(t *testing.T) {
+	cluster := startCluster(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	out, err := cluster.RunClient(ctx, "-clients", "2", "-requests", "40",
+		"-listen-base", fmt.Sprint(clientPorts(t, 2)))
+	if err != nil {
+		t.Fatalf("client process failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "committed 80 requests") {
+		t.Fatalf("client process did not commit the full workload:\n%s", out)
+	}
+
+	ep, v, err := cluster.NewVerifier(90, 0)
+	if err != nil {
+		t.Fatalf("verifier: %v", err)
+	}
+	defer ep.Close()
+	defer v.Close()
+	if _, err := v.Put(ctx, "smoke", "works"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, _, err := v.Get(ctx, "smoke")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got != "works" {
+		t.Fatalf("get returned %q, want %q", got, "works")
+	}
+}
+
+// TestProcessShardedCrashRestart is the crash-restart e2e over real
+// processes: a keyed KV workload runs through a cmd/client process while one
+// replica process is SIGKILLed mid-run and restarted with -recover. The
+// restarted process must collect the f+1-agreed merged boundary from its
+// peers, state-sync every shard over TCP, and serve commits again — and
+// because per-shard ZLight commits require matching RESPs from all 3f+1
+// replicas, every post-restart commit certifies the restarted process's
+// digest convergence end to end. The test also asserts cached-reply
+// correctness across the restart: a retransmission of a pre-kill request
+// must return the original reply even after the key was overwritten.
+func TestProcessShardedCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level crash-restart e2e is skipped in -short mode")
+	}
+	cluster := startCluster(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	ep, v, err := cluster.NewVerifier(90, 0)
+	if err != nil {
+		t.Fatalf("verifier: %v", err)
+	}
+	defer ep.Close()
+	defer v.Close()
+
+	// Pre-kill state: a canary key and a committed read whose reply the
+	// cluster must later serve from cache.
+	if _, err := v.Put(ctx, "canary", "before-crash"); err != nil {
+		t.Fatalf("pre-kill put: %v", err)
+	}
+	cachedVal, cachedTS, err := v.Get(ctx, "canary")
+	if err != nil {
+		t.Fatalf("pre-kill get: %v", err)
+	}
+	if cachedVal != "before-crash" {
+		t.Fatalf("pre-kill get returned %q", cachedVal)
+	}
+
+	// Background workload through a real cmd/client process. It keeps
+	// committing while the replica is down (stalling, not failing, thanks to
+	// the generous delta) and must finish with every request committed.
+	workload, err := cluster.StartClient("-clients", "2", "-requests", "3000",
+		"-listen-base", fmt.Sprint(clientPorts(t, 2)))
+	if err != nil {
+		t.Fatalf("starting workload client: %v", err)
+	}
+
+	// SIGKILL replica 3 mid-run and restart it with -recover.
+	time.Sleep(1500 * time.Millisecond)
+	if err := cluster.KillReplica(3); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if err := cluster.StartReplica(3, true); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+
+	// Convergence: a commit requires all 3f+1 replicas, so the first
+	// successful post-restart put proves the restarted process caught up via
+	// the statesync transfer and answers with converged digests. Each probe
+	// gets a budget covering several panic/switch cycles — a shorter one
+	// would abandon invocations mid-switch and livelock the composer through
+	// ever-higher instances.
+	probeDeadline := time.Now().Add(100 * time.Second)
+	for {
+		probeCtx, probeCancel := context.WithTimeout(ctx, 30*time.Second)
+		_, err := v.Put(probeCtx, "post-restart", "committed")
+		probeCancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(probeDeadline) {
+			dumpLogs(t, cluster)
+			t.Fatalf("no commit after restart: %v", err)
+		}
+	}
+
+	// The workload process must finish every request (exit status 0).
+	done := make(chan error, 1)
+	go func() { done <- workload.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			log, _ := os.ReadFile(workload.LogPath)
+			t.Fatalf("workload client: %v\n%s", err, log)
+		}
+	case <-time.After(240 * time.Second):
+		workload.Kill()
+		log, _ := os.ReadFile(workload.LogPath)
+		dumpLogs(t, cluster)
+		t.Fatalf("workload client did not finish\n%s", log)
+	}
+
+	// Cached-reply correctness across the restart: overwrite the canary,
+	// then retransmit the pre-kill read at its original timestamp. The reply
+	// rings (restored on the recovered replica via the snapshot's timestamp
+	// windows and reply caches of the live ones) must serve the original
+	// value, not re-execute the read against the new state.
+	if _, err := v.Put(ctx, "canary", "after-restart"); err != nil {
+		t.Fatalf("overwrite put: %v", err)
+	}
+	reCtx, reCancel := context.WithTimeout(ctx, 30*time.Second)
+	replay, err := v.Reinvoke(reCtx, cachedTS, app.EncodeKVGet("canary"))
+	reCancel()
+	if err != nil {
+		t.Fatalf("retransmission of pre-kill get: %v", err)
+	}
+	if string(replay) != "before-crash" {
+		for s := 0; s < cluster.Topo.ShardCount(); s++ {
+			t.Logf("shard %d: active instance %d, %d switches", s, v.Client.ActiveInstance(s), v.Client.Switches(s))
+		}
+		dumpLogs(t, cluster)
+		t.Fatalf("retransmitted get returned %q, want the cached %q", replay, "before-crash")
+	}
+
+	// Fresh reads still see the latest committed state.
+	got, _, err := v.Get(ctx, "canary")
+	if err != nil {
+		t.Fatalf("post-restart get: %v", err)
+	}
+	if got != "after-restart" {
+		t.Fatalf("post-restart get returned %q, want %q", got, "after-restart")
+	}
+}

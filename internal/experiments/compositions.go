@@ -24,6 +24,9 @@ var DefaultCompositionSpecs = []string{
 	"zlight-chain-backup",
 	"chain-backup",
 	"quorum-backup",
+	// The standalone always-progress baseline: the backup engine without the
+	// k-bound, a backup-only deployment that never switches.
+	"pbft",
 }
 
 // CompositionsConfig drives the composition-matrix measurement: the same

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/proccluster"
+	"abstractbft/internal/workload"
+)
+
+// ShardingTCPConfig drives the multi-process sharded measurement: a
+// 4-replica sharded KV cluster as real cmd/replica OS processes on loopback
+// TCP (spawned through internal/proccluster), a keyed closed-loop workload
+// through real shard clients, a SIGKILL of one replica process mid-run, and
+// a -recover restart. It is the deployment-fidelity counterpart of
+// MeasureSharding/MeasureRecovery: same protocols, but across real process
+// and socket boundaries.
+type ShardingTCPConfig struct {
+	// Shards is the number of parallel ordering shards (default 2).
+	Shards int
+	// Clients is the number of concurrent closed-loop clients (default 8).
+	Clients int
+	// Pipeline is the per-shard client pipeline depth (default 2).
+	Pipeline int
+	// Duration is the measured window per phase (default 1s).
+	Duration time.Duration
+	// KeySpace is the number of distinct KV keys (default 64).
+	KeySpace int
+	// Dir is the working directory for binaries, topology, and logs
+	// (default: a fresh temp dir).
+	Dir string
+}
+
+func (c ShardingTCPConfig) withDefaults() ShardingTCPConfig {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 2
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.KeySpace <= 0 {
+		c.KeySpace = 64
+	}
+	return c
+}
+
+// ShardingTCPRow is one measured phase of the process-level run.
+type ShardingTCPRow struct {
+	// Phase is "pre-crash" (all four replica processes live) or
+	// "post-restart" (after the SIGKILL + -recover cycle).
+	Phase         string  `json:"phase"`
+	Committed     uint64  `json:"committed"`
+	Errors        uint64  `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// ShardingTCPResult is the outcome of one process-level run.
+type ShardingTCPResult struct {
+	Shards int `json:"shards"`
+	// Rows are the pre-crash and post-restart workload windows; committing
+	// at a comparable rate after the restart is the acceptance signal that
+	// the recovered process serves at full rate again (per-shard ZLight
+	// commits need all 3f+1 replicas, so every post-restart commit includes
+	// the restarted one).
+	Rows []ShardingTCPRow `json:"rows"`
+	// CatchUpMs is the time from restarting the killed replica process (with
+	// -recover) to the first committed request — boundary collection, merged
+	// restore, per-shard FETCH-STATE transfer over TCP, and the resumed
+	// all-replica commit path included.
+	CatchUpMs float64 `json:"catch_up_ms"`
+	// PostOverPre is the post-restart / pre-crash throughput ratio.
+	PostOverPre float64 `json:"post_over_pre_throughput"`
+}
+
+// MeasureShardingTCP runs the process-level sharded deployment end to end
+// and measures it. The replica plane runs as real OS processes; the workload
+// clients run in-process over real TCP (they are indistinguishable from
+// cmd/client processes at the replicas).
+func MeasureShardingTCP(ctx context.Context, cfg ShardingTCPConfig) (ShardingTCPResult, error) {
+	cfg = cfg.withDefaults()
+	res := ShardingTCPResult{Shards: cfg.Shards}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "abstractbft-sharding-tcp")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	cluster, err := proccluster.Start(proccluster.Config{
+		Dir:      dir,
+		Topology: topologyForBench(cfg),
+	})
+	if err != nil {
+		return res, err
+	}
+	defer cluster.StopAll()
+
+	runPhase := func(phase string, firstClient int) (ShardingTCPRow, error) {
+		var eps []interface{ Close() }
+		defer func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+		}()
+		wres, err := workload.RunClosedLoop(ctx, workload.ClosedLoopConfig{
+			Clients:   cfg.Clients,
+			Duration:  cfg.Duration,
+			Pipeline:  cfg.Pipeline,
+			CommandOf: workload.KVPutCommandOf(0, cfg.KeySpace),
+		}, func(i int) (workload.Invoker, ids.ProcessID, error) {
+			ep, v, err := cluster.NewVerifier(firstClient+i, cfg.Pipeline)
+			if err != nil {
+				return nil, 0, err
+			}
+			eps = append(eps, ep, v)
+			return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+				return v.Client.Invoke(ctx, req)
+			}), v.ID, nil
+		})
+		if err != nil {
+			return ShardingTCPRow{}, fmt.Errorf("experiments: %s window: %w", phase, err)
+		}
+		return ShardingTCPRow{
+			Phase:         phase,
+			Committed:     wres.Committed,
+			Errors:        wres.Errors,
+			ThroughputRPS: wres.ThroughputOps(),
+			P50Ms:         float64(wres.Latency.Percentile(0.50).Microseconds()) / 1000,
+			P99Ms:         float64(wres.Latency.Percentile(0.99).Microseconds()) / 1000,
+		}, nil
+	}
+
+	pre, err := runPhase("pre-crash", 0)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, pre)
+
+	// SIGKILL one replica process and restart it with -recover; the catch-up
+	// time is measured to the first commit a probe client gets (which needs
+	// all 3f+1 replicas, the restarted process included).
+	if err := cluster.KillReplica(3); err != nil {
+		return res, err
+	}
+	restartAt := time.Now()
+	if err := cluster.StartReplica(3, true); err != nil {
+		return res, err
+	}
+	probeEp, probe, err := cluster.NewVerifier(900, 0)
+	if err != nil {
+		return res, err
+	}
+	probeCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	_, err = probe.Put(probeCtx, "catch-up-probe", "committed")
+	cancel()
+	probe.Close()
+	probeEp.Close()
+	if err != nil {
+		return res, fmt.Errorf("experiments: no commit after restart: %w", err)
+	}
+	res.CatchUpMs = float64(time.Since(restartAt).Microseconds()) / 1000
+
+	post, err := runPhase("post-restart", cfg.Clients)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, post)
+	if pre.ThroughputRPS > 0 {
+		res.PostOverPre = post.ThroughputRPS / pre.ThroughputRPS
+	}
+	return res, nil
+}
+
+// topologyForBench is the deployment the measurement runs: sharded KV over
+// authenticated TCP with short checkpoints (so the restart goes through real
+// snapshot transfer) and a client delta generous enough that the
+// kill-to-recover window stalls clients instead of switching instances.
+func topologyForBench(cfg ShardingTCPConfig) deploy.Topology {
+	return deploy.Topology{
+		F:                  1,
+		Shards:             cfg.Shards,
+		Composition:        "azyzzyva",
+		KeyExtractor:       "kv",
+		App:                "kv",
+		ShardEpoch:         1,
+		CheckpointInterval: 8,
+		DeltaMs:            3000,
+		Pipeline:           cfg.Pipeline,
+	}
+}
+
+// ShardingTCPTable formats the process-level rows.
+func ShardingTCPTable(res ShardingTCPResult) Table {
+	t := Table{
+		ID:     "sharding-tcp",
+		Title:  fmt.Sprintf("Multi-process sharded KV over TCP (shards=%d, real cmd/replica processes, SIGKILL + -recover)", res.Shards),
+		Header: []string{"phase", "committed", "req/s", "p50 ms", "p99 ms"},
+		Notes:  fmt.Sprintf("Crash-restart catch-up %.1f ms to first post-restart commit; post/pre throughput %.2fx.", res.CatchUpMs, res.PostOverPre),
+	}
+	for _, r := range res.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Phase,
+			fmt.Sprintf("%d", r.Committed),
+			fmt.Sprintf("%.0f", r.ThroughputRPS),
+			fmt.Sprintf("%.2f", r.P50Ms),
+			fmt.Sprintf("%.2f", r.P99Ms),
+		})
+	}
+	return t
+}

@@ -15,6 +15,7 @@ package host
 import (
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"abstractbft/internal/app"
@@ -196,6 +197,7 @@ type Host struct {
 	snapTrim    uint64
 	snapAcc     authn.Digest
 	snapWindows map[ids.ProcessID]tsState
+	snapRings   map[ids.ProcessID]*replyRing
 
 	// requestStore maps request digests to bodies across instances.
 	requestStore map[authn.Digest]msg.Request
@@ -211,8 +213,10 @@ type Host struct {
 	processingDelay time.Duration
 	crashed         bool
 
-	stopCh chan struct{}
-	doneCh chan struct{}
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
 }
 
 // New creates a replica host. Start must be called to begin processing.
@@ -241,13 +245,19 @@ func New(cfg Config) *Host {
 
 // Start launches the host's event loop.
 func (h *Host) Start() {
+	h.started.Store(true)
 	go h.run()
 }
 
-// Stop terminates the event loop.
+// Stop terminates the event loop. It is safe on a host that was never
+// started (a crash-restart rejoin can fail before Start, and the node
+// teardown must not block on an event loop that never ran) and on one
+// already stopped.
 func (h *Host) Stop() {
-	close(h.stopCh)
-	<-h.doneCh
+	h.stopOnce.Do(func() { close(h.stopCh) })
+	if h.started.Load() {
+		<-h.doneCh
+	}
 }
 
 // ID returns the replica identifier.

@@ -490,6 +490,7 @@ func (h *Host) takeActivationSnapshot() {
 	h.snapTrim = h.appliedTrim
 	h.snapAcc = h.appliedAcc
 	h.snapWindows = cloneWindows(h.appliedWindows)
+	h.snapRings = cloneRings(h.lastReply)
 }
 
 // cloneWindows copies a per-client window map.
@@ -527,9 +528,17 @@ func (h *Host) reconcileApplication(st *InstanceState) {
 		h.appliedTrim = h.snapTrim
 		h.appliedAcc = h.snapAcc
 		h.appliedWindows = cloneWindows(h.snapWindows)
+		h.lastReply = cloneRings(h.snapRings)
 		// Checkpoint-boundary snapshots taken inside the rolled-back tail
 		// describe state that never committed.
 		h.snaps.DropAbove(h.appliedSeq)
+		// The rollback moved the applied trim point back to the activation
+		// snapshot's, so the target computed against the pre-rollback trim no
+		// longer lines up with the applied sequence (if garbage collection
+		// advanced the trim since the snapshot was taken, applying against
+		// the stale base would index below it). Recompute against the
+		// restored state.
+		base, target = h.globalTarget(st)
 	}
 	// Apply the remaining target suffix for which bodies are known.
 	for h.appliedSeq < base+uint64(len(target)) {
@@ -722,6 +731,25 @@ func (h *Host) CachedReply(client ids.ProcessID, ts uint64) ([]byte, bool) {
 		return ring.get(ts)
 	}
 	return nil, false
+}
+
+// AppliedStale reports whether the request at (client, ts) already executed
+// in the host's applied prefix — the instance-independent at-most-once gate.
+// Instance timestamp windows are rebuilt from init histories at every
+// switch, and an init history only reaches back to its base checkpoint, so a
+// retransmission of a request committed before that base looks fresh to a
+// newly activated instance and would re-execute. Client-request entry gates
+// consult this alongside the instance window and serve the (host-level)
+// cached reply instead. Entry gates only — ORDER-log filtering stays
+// governed by the agreed instance windows, so replicas whose applied
+// prefixes transiently differ cannot diverge their histories through this
+// check.
+func (h *Host) AppliedStale(client ids.ProcessID, ts uint64) bool {
+	w, ok := h.appliedWindows[client]
+	if !ok {
+		return false
+	}
+	return !w.fresh(normalizeWindow(h.cfg.TimestampWindow), ts)
 }
 
 // RequestByDigest returns a request body from the host's store.

@@ -2,8 +2,8 @@ package host
 
 import "abstractbft/internal/ids"
 
-// replyRing is one client's reply cache: a ring of the last `width` replies,
-// keyed by request timestamp. The per-client timestamp window
+// replyRing is one client's reply cache: the `width` highest-timestamped
+// replies, keyed by request timestamp. The per-client timestamp window
 // (Config.TimestampWindow) accepts out-of-order timestamps from pipelining
 // clients, so a retransmission may name a request that was overtaken by up to
 // width-1 later requests of the same client; a single last-reply slot would
@@ -11,11 +11,17 @@ import "abstractbft/internal/ids"
 // wide as the timestamp window, so every retransmission the window can admit
 // is served from cache. It also bounds reply memory per client, which the
 // history garbage collector relies on for long runs.
+//
+// Eviction is by smallest timestamp, NOT insertion order: the cached set is
+// then a pure function of the applied prefix (the top-width timestamps with
+// their latest replies), identical across replicas that executed the same
+// prefix regardless of arrival interleavings or rollback re-executions.
+// Checkpoint snapshots fold the rings into the f+1-agreed payload digest, so
+// any layout-dependent eviction would make equal replicas disagree.
 type replyRing struct {
 	ts      []uint64
 	replies [][]byte
 	filled  []bool
-	next    int
 }
 
 func newReplyRing(width int) *replyRing {
@@ -29,22 +35,92 @@ func newReplyRing(width int) *replyRing {
 	}
 }
 
-// add records the reply for the request at timestamp ts, evicting the oldest
-// cached reply. An existing entry for the same timestamp is overwritten in
+// add records the reply for the request at timestamp ts, evicting the
+// smallest cached timestamp when full (a ts older than everything cached is
+// dropped). An existing entry for the same timestamp is overwritten in
 // place: a speculative rollback can re-execute a request after an adopted
 // prefix changed, and serving the stale pre-rollback reply to a
 // retransmission would leave the client unable to assemble matching RESPs.
 func (r *replyRing) add(ts uint64, reply []byte) {
+	minIdx, free := -1, -1
 	for i, ok := range r.filled {
-		if ok && r.ts[i] == ts {
+		if !ok {
+			free = i
+			continue
+		}
+		if r.ts[i] == ts {
 			r.replies[i] = reply
 			return
 		}
+		if minIdx < 0 || r.ts[i] < r.ts[minIdx] {
+			minIdx = i
+		}
 	}
-	r.ts[r.next] = ts
-	r.replies[r.next] = reply
-	r.filled[r.next] = true
-	r.next = (r.next + 1) % len(r.ts)
+	slot := free
+	if slot < 0 {
+		if r.ts[minIdx] > ts {
+			// Older than everything cached: the set of top-width timestamps
+			// is unchanged.
+			return
+		}
+		slot = minIdx
+	}
+	r.ts[slot] = ts
+	r.replies[slot] = reply
+	r.filled[slot] = true
+}
+
+// entries returns the cached (timestamp, reply) pairs sorted by timestamp —
+// the canonical form checkpoint snapshots carry so a restarted replica can
+// restore its reply caches. Runs at every checkpoint boundary, so it sorts
+// with a plain insertion sort over the (small, width-bounded) ring instead
+// of a reflection-based sort.
+func (r *replyRing) entries() ([]uint64, [][]byte) {
+	n := 0
+	for _, ok := range r.filled {
+		if ok {
+			n++
+		}
+	}
+	ts := make([]uint64, 0, n)
+	replies := make([][]byte, 0, n)
+	for i, ok := range r.filled {
+		if !ok {
+			continue
+		}
+		j := len(ts)
+		ts = append(ts, r.ts[i])
+		replies = append(replies, r.replies[i])
+		for j > 0 && ts[j-1] > ts[j] {
+			ts[j-1], ts[j] = ts[j], ts[j-1]
+			replies[j-1], replies[j] = replies[j], replies[j-1]
+			j--
+		}
+	}
+	return ts, replies
+}
+
+// clone deep-copies the ring (reply slices are shared; they are never
+// mutated in place).
+func (r *replyRing) clone() *replyRing {
+	return &replyRing{
+		ts:      append([]uint64(nil), r.ts...),
+		replies: append([][]byte(nil), r.replies...),
+		filled:  append([]bool(nil), r.filled...),
+	}
+}
+
+// cloneRings copies a per-client ring map (activation snapshots, so rolled
+// back speculative tails restore the rings along with the windows — ring
+// contents must stay a pure function of the applied prefix, or checkpoint
+// snapshot digests would disagree across replicas whose speculative tails
+// differed).
+func cloneRings(rs map[ids.ProcessID]*replyRing) map[ids.ProcessID]*replyRing {
+	out := make(map[ids.ProcessID]*replyRing, len(rs))
+	for c, r := range rs {
+		out[c] = r.clone()
+	}
+	return out
 }
 
 // get returns the cached reply for timestamp ts.

@@ -84,7 +84,19 @@ func (h *Host) maybeSnapshot() {
 	for c, w := range h.appliedWindows {
 		windows = append(windows, statesync.ClientWindow{Client: c, High: w.high, Mask: w.mask})
 	}
-	h.snaps.Add(statesync.NewSnapshot(h.appliedSeq, h.appliedAcc, h.application.Snapshot(), windows))
+	// The per-client reply rings ride along (deterministic contents of the
+	// applied prefix, digest-covered like the windows): a restarted replica
+	// must serve retransmissions of pre-snapshot requests from cache like
+	// its live peers, or it starves the all-replica commit rule.
+	rings := make([]statesync.ClientRing, 0, len(h.lastReply))
+	for c, ring := range h.lastReply {
+		ts, replies := ring.entries()
+		if len(ts) == 0 {
+			continue
+		}
+		rings = append(rings, statesync.ClientRing{Client: c, Timestamps: ts, Replies: replies})
+	}
+	h.snaps.Add(statesync.NewSnapshot(h.appliedSeq, h.appliedAcc, h.application.Snapshot(), windows, rings))
 	// A checkpoint can stabilize before the application executes up to it
 	// (logging runs ahead of execution within a batch): garbage collection
 	// deferred then runs now that the application crossed the boundary.
@@ -381,6 +393,17 @@ func (h *Host) adoptSyncedState(a *statesync.Adopted, inst core.InstanceID) {
 	for _, w := range a.Snap.Windows {
 		h.appliedWindows[w.Client] = h.appliedWindows[w.Client].merge(tsState{high: w.High, mask: w.Mask})
 		st.AdoptWindow(w.Client, w.High, w.Mask)
+	}
+	// Restore the transferred reply rings (oldest first, so eviction keeps
+	// the newest entries): retransmissions of requests from below the
+	// adopted boundary are served from cache exactly as on the live peers.
+	for _, ring := range a.Snap.Rings {
+		r := h.replyRingFor(ring.Client)
+		for i, ts := range ring.Timestamps {
+			if i < len(ring.Replies) {
+				r.add(ts, ring.Replies[i])
+			}
+		}
 	}
 	if st.BaseSeq == 0 && st.AbsLen() <= a.Snap.Seq && a.End() > st.AbsLen() {
 		st.trimmed = a.Snap.Seq

@@ -1,0 +1,56 @@
+package proccluster
+
+import (
+	"context"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/shard"
+)
+
+// VerifierClient is a sharded client with a timestamp counter and KV helpers
+// for assertion traffic: the process harness uses it to prove convergence
+// (per-shard ZLight commits require matching RESPs from all 3f+1 replicas,
+// so a successful post-restart commit certifies the restarted process's
+// digest convergence end to end) and cached-reply correctness
+// (re-invoking an already-committed request must return the original reply
+// from the reply rings, not a re-execution).
+type VerifierClient struct {
+	ID     ids.ProcessID
+	Client *shard.Client
+
+	nextTS uint64
+}
+
+// Close stops the underlying sharded client.
+func (v *VerifierClient) Close() { v.Client.Close() }
+
+// Invoke issues a raw command at the next timestamp and returns the reply
+// and the timestamp used.
+func (v *VerifierClient) Invoke(ctx context.Context, command []byte) ([]byte, uint64, error) {
+	v.nextTS++
+	ts := v.nextTS
+	reply, err := v.Client.Invoke(ctx, msg.Request{Client: v.ID, Timestamp: ts, Command: command})
+	return reply, ts, err
+}
+
+// Reinvoke re-issues a command at an already-used timestamp — a client
+// retransmission. Correct replicas must serve it from their reply caches
+// (and the commit rule makes any divergence between cached and re-executed
+// replies unresolvable, so a successful commit proves the cache answered).
+func (v *VerifierClient) Reinvoke(ctx context.Context, ts uint64, command []byte) ([]byte, error) {
+	return v.Client.Invoke(ctx, msg.Request{Client: v.ID, Timestamp: ts, Command: command})
+}
+
+// Put writes a KV pair and returns the timestamp the write used.
+func (v *VerifierClient) Put(ctx context.Context, key, value string) (uint64, error) {
+	_, ts, err := v.Invoke(ctx, app.EncodeKVPut(key, value))
+	return ts, err
+}
+
+// Get reads a KV key.
+func (v *VerifierClient) Get(ctx context.Context, key string) (string, uint64, error) {
+	reply, ts, err := v.Invoke(ctx, app.EncodeKVGet(key))
+	return string(reply), ts, err
+}

@@ -157,6 +157,21 @@ func (r *Replica) onBatchRequest(from ids.ProcessID, m *BatchRequestMessage) {
 	designated := r.h.ID() == r.h.Cluster().Head()
 	resps := make([]any, 0, m.Batch.Len())
 	fresh, stale := r.st.FilterFreshBatch(m.Batch)
+	// The cross-instance at-most-once gate applies to batched retransmissions
+	// too: a request committed before this instance's init history reaches
+	// (e.g. below a restarted replica's adopted snapshot) looks fresh to the
+	// instance window but must be served from cache, not re-executed.
+	if fresh.Len() > 0 {
+		kept := make([]msg.Request, 0, len(fresh.Requests))
+		for _, req := range fresh.Requests {
+			if r.h.AppliedStale(req.Client, req.Timestamp) {
+				stale = append(stale, req)
+				continue
+			}
+			kept = append(kept, req)
+		}
+		fresh.Requests = kept
+	}
 	for _, req := range stale {
 		if reply, ok := r.h.CachedReply(req.Client, req.Timestamp); ok {
 			resps = append(resps, r.h.BuildResp(r.st, req, reply, designated))
@@ -195,7 +210,9 @@ func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
 	if err := r.h.VerifyClientAuth(m.Auth, AuthBytes(r.st.ID, m.Req)); err != nil {
 		return
 	}
-	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) || r.h.AppliedStale(m.Req.Client, m.Req.Timestamp) {
+		// Stale per the instance window or the host's applied window (the
+		// cross-instance at-most-once gate): serve the cached reply.
 		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
 			resp := r.h.BuildResp(r.st, m.Req, reply, r.h.ID() == r.h.Cluster().Head())
 			r.h.Send(m.Req.Client, resp)

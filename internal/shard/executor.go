@@ -208,9 +208,11 @@ func (e *Executor) MergedSnapshot() (seq uint64, digest authn.Digest, appState [
 // application at a round boundary (its per-shard sub-hosts then catch up via
 // statesync and feed the suffix). The caller is responsible for the f+1
 // digest-agreement check across peers; seq must be a round-boundary multiple
-// of shards*epoch and at or beyond the current merged sequence. It must be
-// called before the per-shard feeds start (the recovery path restores the
-// node before starting its sub-hosts).
+// of shards*epoch and at or beyond the current merged sequence. The restore
+// runs inside the merge loop, so it is also safe while feeds are live: the
+// re-agreement retry uses it to move a stalled recovery to a newer boundary
+// (buffered un-merged entries are dropped and entries below the new boundary
+// are ignored — the re-pinned state transfers refill everything below it).
 func (e *Executor) RestoreMerged(seq uint64, digest authn.Digest, appState []byte) error {
 	errc := make(chan error, 1)
 	fn := func() {

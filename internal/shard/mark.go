@@ -25,6 +25,12 @@ func init() {
 // inbox.
 const routerQueueLen = 8192
 
+// controlShard is the reserved mark of the node-level control channel: the
+// recovery plane's merged-boundary collection (MergedQuery/MergedState)
+// shares the one physical endpoint with the S shards without belonging to
+// any of them.
+const controlShard int32 = -1
+
 // Router demultiplexes one process's endpoint into S per-shard virtual
 // endpoints: incoming Mark envelopes are routed to the inbox of their shard
 // (write-coalesced Packed payloads are expanded first), and sends through a
@@ -35,6 +41,7 @@ type Router struct {
 	ep     transport.Endpoint
 	shards int
 	subs   []*routerEndpoint
+	ctrl   *routerEndpoint
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -57,6 +64,7 @@ func NewRouter(ep transport.Endpoint, shards int) *Router {
 	for s := range r.subs {
 		r.subs[s] = &routerEndpoint{r: r, shard: int32(s), in: make(chan transport.Envelope, routerQueueLen)}
 	}
+	r.ctrl = &routerEndpoint{r: r, shard: controlShard, in: make(chan transport.Envelope, routerQueueLen)}
 	go r.run()
 	return r
 }
@@ -66,6 +74,11 @@ func (r *Router) Shards() int { return r.shards }
 
 // Endpoint returns shard s's virtual endpoint.
 func (r *Router) Endpoint(s int) transport.Endpoint { return r.subs[s] }
+
+// Control returns the node-level control endpoint: its traffic crosses the
+// wire marked with the reserved control shard, so it never collides with any
+// shard's protocol messages.
+func (r *Router) Control() transport.Endpoint { return r.ctrl }
 
 // Close detaches the router: the fan-out goroutine exits and every shard
 // inbox is closed. The underlying endpoint stays open for other users.
@@ -80,6 +93,7 @@ func (r *Router) run() {
 		for _, sub := range r.subs {
 			sub.closeInbox()
 		}
+		r.ctrl.closeInbox()
 	}()
 	for {
 		select {
@@ -93,18 +107,24 @@ func (r *Router) run() {
 				shard = mk.Shard
 				payload = mk.Payload
 			}
-			if int(shard) >= r.shards || shard < 0 {
+			var sub *routerEndpoint
+			switch {
+			case shard == controlShard:
+				sub = r.ctrl
+			case shard >= 0 && int(shard) < r.shards:
+				sub = r.subs[shard]
+			default:
 				continue
 			}
 			// Expand write-coalesced packs so shard inboxes only ever see
 			// protocol payloads (the mark wraps the pack as a whole).
 			if p, ok := payload.(*transport.Packed); ok {
 				for _, inner := range p.Payloads {
-					r.subs[shard].deliver(transport.Envelope{From: env.From, To: env.To, Payload: inner})
+					sub.deliver(transport.Envelope{From: env.From, To: env.To, Payload: inner})
 				}
 				continue
 			}
-			r.subs[shard].deliver(transport.Envelope{From: env.From, To: env.To, Payload: payload})
+			sub.deliver(transport.Envelope{From: env.From, To: env.To, Payload: payload})
 		case <-r.stop:
 			return
 		}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"log"
+	"sync"
 	"time"
 
 	"abstractbft/internal/app"
@@ -46,6 +47,11 @@ type NodeConfig struct {
 	// DefaultNullOpInterval; negative disables null-ops (an idle shard then
 	// stalls the merge, the pre-statesync behaviour).
 	NullOpInterval time.Duration
+	// RecoverRetryInterval is the poll period of the recovery control plane:
+	// the boundary-collection rounds of RecoverFromPeers and the
+	// re-agreement monitor that re-pins a stalled sync at a newer boundary.
+	// 0 selects DefaultRecoverRetryInterval.
+	RecoverRetryInterval time.Duration
 	// CheckpointInterval, MaxUncheckpointed, DisableGC, InstrumentHistories,
 	// TickInterval, Ops, and Logger are forwarded to every sub-host.
 	CheckpointInterval  int
@@ -62,6 +68,12 @@ type NodeConfig struct {
 // epoch position, slow enough to stay negligible next to real traffic.
 const DefaultNullOpInterval = 2 * time.Millisecond
 
+// DefaultRecoverRetryInterval is the default recovery-plane poll period:
+// short enough that a pruned pinned boundary re-pins within a few checkpoint
+// intervals of live traffic, long enough that collection rounds stay
+// negligible next to the transfers themselves.
+const DefaultRecoverRetryInterval = 100 * time.Millisecond
+
 // Node is one physical replica of the sharded plane: S sub-hosts (one
 // complete Abstract composition replica per shard, each with a different
 // leader assignment) over one network endpoint, plus the asynchronous
@@ -76,6 +88,20 @@ type Node struct {
 
 	nullStop chan struct{}
 	nullDone chan struct{}
+
+	// Recovery control plane (recover.go): the control loop answering
+	// MergedQuery messages, the collector of an in-flight recovery, and the
+	// re-agreement monitor re-pinning stalled syncs.
+	ctrlOnce sync.Once
+	ctrlDone chan struct{}
+	recMu    sync.Mutex
+	rec      *mergedCollector
+	recAsks  int
+	// recPinned is the merged boundary the shard syncs are currently pinned
+	// at (guarded by recMu).
+	recPinned uint64
+	recStop   chan struct{}
+	recDone   chan struct{}
 }
 
 // Lead returns the replica leading shard s (position 0 of the shard's
@@ -133,9 +159,11 @@ func NewNode(cfg NodeConfig) *Node {
 	return n
 }
 
-// Start launches every sub-host's event loop and the idle-shard null-op
+// Start launches every sub-host's event loop, the recovery control loop
+// (answering peers' merged-boundary queries), and the idle-shard null-op
 // probe.
 func (n *Node) Start() {
+	n.startControl()
 	for _, h := range n.Hosts {
 		h.Start()
 	}
@@ -171,17 +199,28 @@ func (n *Node) runNullOps(interval time.Duration) {
 	}
 }
 
-// Stop terminates the sub-hosts, the router, the null-op probe, and the
-// execution stage.
+// Stop terminates the sub-hosts, the re-agreement monitor, the router (which
+// ends the control loop), the null-op probe, and the execution stage.
 func (n *Node) Stop() {
 	for _, h := range n.Hosts {
 		h.Stop()
+	}
+	n.recMu.Lock()
+	recStop, recDone := n.recStop, n.recDone
+	n.recStop, n.recDone = nil, nil
+	n.recMu.Unlock()
+	if recStop != nil {
+		close(recStop)
+		<-recDone
 	}
 	if n.nullStop != nil {
 		close(n.nullStop)
 		<-n.nullDone
 	}
 	n.Router.Close()
+	if n.ctrlDone != nil {
+		<-n.ctrlDone
+	}
 	n.Exec.Stop()
 }
 
@@ -191,36 +230,31 @@ func (n *Node) Host(s int) *host.Host { return n.Hosts[s] }
 // Recover catches a freshly restarted node up to the live plane: it adopts a
 // peer's merged-mirror snapshot (the caller must have verified it against
 // f+1 peers — merged state is a pure function of the agreed per-shard
-// histories, so equal (seq, digest) across f+1 nodes pins it), then starts
-// the node and state-syncs every sub-host from its peers, pinning each
-// shard's snapshot at or below the restored merge boundary so the suffix
-// feeds seamlessly into the restored mirror. It must be called instead of
-// Start, before any traffic reaches the node.
+// histories, so equal (seq, digest) across f+1 nodes pins it; RecoverFromPeers
+// performs that collection over the network), then starts the node and
+// state-syncs every sub-host from its peers, pinning each shard's snapshot
+// at or below the restored merge boundary so the suffix feeds seamlessly
+// into the restored mirror. It must be called instead of Start, before any
+// traffic reaches the node.
 //
-// Liveness caveat: the pinned boundary is fixed at call time, while the
-// peers' GC retention floor advances with their own merged mirrors. Under
-// heavy concurrent traffic a peer can prune the pinned snapshot before f+1
-// responses land, stalling the pinned sync until the caller re-collects a
-// fresh boundary and retries (re-issuing Recover's SyncState with a newer
-// pin retargets the transfer); quiescing traffic around the restart, as the
-// recovery harness does, avoids the race entirely. An automatic
-// re-agreement loop is a recorded follow-on.
+// The pinned boundary is fixed at call time, while the peers' GC retention
+// floor advances with their own merged mirrors; under heavy concurrent
+// traffic a peer can prune the pinned snapshot before f+1 responses land.
+// Recover therefore starts the re-agreement monitor: while any sub-host's
+// pinned sync is still in flight, the node keeps collecting the peers'
+// merged boundaries and, whenever a newer f+1-agreed one appears, restores
+// the mirror there and re-pins the syncs — a pruned pin re-collects and
+// re-pins instead of stalling.
 func (n *Node) Recover(mergedSeq uint64, mergedDigest authn.Digest, mergedApp []byte) error {
 	if err := n.Exec.RestoreMerged(mergedSeq, mergedDigest, mergedApp); err != nil {
 		return err
 	}
+	n.recMu.Lock()
+	n.recPinned = mergedSeq
+	n.recMu.Unlock()
 	n.Start()
-	perShard := mergedSeq / uint64(len(n.Hosts))
-	if perShard == 0 {
-		// Nothing merged yet: pin the per-shard snapshots to boundary 0 (a
-		// maxSeq of 0 would mean "the peers' stable checkpoint", which could
-		// lie beyond the restored merge boundary and leave the mirror a
-		// permanent gap).
-		perShard = 1
-	}
-	for _, h := range n.Hosts {
-		h.SyncState(perShard)
-	}
+	n.pinShardSyncs(mergedSeq)
+	n.startReagreement()
 	return nil
 }
 

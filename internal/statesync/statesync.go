@@ -51,6 +51,60 @@ type ClientWindow struct {
 	Mask   uint64
 }
 
+// ClientRing is one client's reply-cache contents at a checkpoint boundary:
+// the (timestamp, reply) pairs of the client's last timestamp-window-width
+// executed requests in the covered prefix. Snapshots carry these so a
+// restarted replica serves retransmissions of pre-snapshot requests from
+// cache like its live peers do — without them, the one replica with an empty
+// ring starves the all-replica commit rule and pushes the retransmitting
+// client into the panicking machinery (and a re-execution on the next
+// instance). Ring contents are a deterministic function of the applied
+// request sequence, so replicas that executed the same prefix agree on them,
+// and they are covered by the snapshot's AppDigest.
+type ClientRing struct {
+	Client ids.ProcessID
+	// Timestamps and Replies are parallel, sorted by timestamp.
+	Timestamps []uint64
+	Replies    [][]byte
+}
+
+// EncodeRings serializes reply rings canonically (sorted by client, entries
+// sorted by timestamp, fixed-width length prefixes) so equal ring sets fold
+// into equal snapshot digests across replicas.
+func EncodeRings(rs []ClientRing) []byte {
+	sorted := append([]ClientRing(nil), rs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Client < sorted[j].Client })
+	size := 4
+	for _, r := range sorted {
+		size += 8 + 12*len(r.Timestamps)
+		for _, reply := range r.Replies {
+			size += len(reply)
+		}
+	}
+	buf := make([]byte, 0, size)
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], uint32(len(sorted)))
+	buf = append(buf, n[:4]...)
+	for _, r := range sorted {
+		binary.BigEndian.PutUint32(n[:4], uint32(r.Client))
+		buf = append(buf, n[:4]...)
+		binary.BigEndian.PutUint32(n[:4], uint32(len(r.Timestamps)))
+		buf = append(buf, n[:4]...)
+		for i, ts := range r.Timestamps {
+			binary.BigEndian.PutUint64(n[:], ts)
+			buf = append(buf, n[:]...)
+			var reply []byte
+			if i < len(r.Replies) {
+				reply = r.Replies[i]
+			}
+			binary.BigEndian.PutUint32(n[:4], uint32(len(reply)))
+			buf = append(buf, n[:4]...)
+			buf = append(buf, reply...)
+		}
+	}
+	return buf
+}
+
 // EncodeWindows serializes windows canonically (sorted by client, fixed-width
 // big-endian fields) so equal window sets serialize identically across
 // replicas and can be folded into the snapshot's agreed digest.
@@ -92,6 +146,11 @@ type Snapshot struct {
 	// them, and they are covered by AppDigest, so a Byzantine responder
 	// cannot deny service to chosen clients by forging high marks.
 	Windows []ClientWindow
+	// Rings are the per-client reply-cache contents of the covered prefix
+	// (deterministic and digest-covered like Windows); a restarted replica
+	// restores them so retransmissions of pre-snapshot requests are served
+	// from cache instead of starving the all-replica commit rule.
+	Rings []ClientRing
 	// Stripped marks a digest-only copy of the snapshot (the non-designated
 	// responders of the digest-first handshake): the identity fields vouch
 	// for the payload without carrying it. An explicit flag — rather than
@@ -101,19 +160,19 @@ type Snapshot struct {
 }
 
 // NewSnapshot assembles a snapshot, computing the payload digest over the
-// serialized application state and the canonical window encoding.
-func NewSnapshot(seq uint64, histDigest authn.Digest, appState []byte, windows []ClientWindow) Snapshot {
-	s := Snapshot{Seq: seq, HistDigest: histDigest, AppState: appState, Windows: windows}
+// serialized application state and the canonical window and ring encodings.
+func NewSnapshot(seq uint64, histDigest authn.Digest, appState []byte, windows []ClientWindow, rings []ClientRing) Snapshot {
+	s := Snapshot{Seq: seq, HistDigest: histDigest, AppState: appState, Windows: windows, Rings: rings}
 	s.AppDigest = s.PayloadDigest()
 	return s
 }
 
 // PayloadDigest returns the digest of the snapshot's transferable payload:
-// the serialized application bytes and the canonical window encoding. It is
-// the value f+1 replicas must agree on (as AppDigest) before the payload of
-// any single responder is trusted.
+// the serialized application bytes and the canonical window and ring
+// encodings. It is the value f+1 replicas must agree on (as AppDigest)
+// before the payload of any single responder is trusted.
 func (s Snapshot) PayloadDigest() authn.Digest {
-	return authn.HashAll(s.AppState, EncodeWindows(s.Windows))
+	return authn.HashAll(s.AppState, EncodeWindows(s.Windows), EncodeRings(s.Rings))
 }
 
 // IsZero reports whether the snapshot is the genesis snapshot (nothing
@@ -131,6 +190,7 @@ func (s Snapshot) HasPayload() bool { return !s.Stripped }
 func (s Snapshot) StripPayload() Snapshot {
 	s.AppState = nil
 	s.Windows = nil
+	s.Rings = nil
 	s.Stripped = true
 	return s
 }

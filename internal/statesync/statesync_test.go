@@ -18,7 +18,7 @@ func testState(from ids.ProcessID, seq uint64, appState []byte, suffix []msg.Req
 	st := &State{
 		Instance: 1,
 		From:     from,
-		Snap:     NewSnapshot(seq, authn.Hash([]byte{byte(seq)}), appState, nil),
+		Snap:     NewSnapshot(seq, authn.Hash([]byte{byte(seq)}), appState, nil, nil),
 	}
 	for _, r := range suffix {
 		st.SuffixDigests = append(st.SuffixDigests, r.Digest())

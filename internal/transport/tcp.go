@@ -2,11 +2,13 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"crypto/rand"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"abstractbft/internal/authn"
 	"abstractbft/internal/ids"
@@ -152,6 +154,11 @@ type TCP struct {
 	inMu     sync.RWMutex
 	in       chan Envelope
 	inClosed bool
+
+	// proofMu guards proofSent: per-peer signals closed once this endpoint
+	// has answered the peer's connection challenge (Prime waits on them).
+	proofMu   sync.Mutex
+	proofSent map[ids.ProcessID]chan struct{}
 }
 
 // NewTCP creates an unauthenticated TCP endpoint for process self listening
@@ -176,12 +183,13 @@ func NewTCPAuth(self ids.ProcessID, addrs map[ids.ProcessID]string, keys *authn.
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	t := &TCP{
-		self:  self,
-		addrs: addrs,
-		keys:  keys,
-		conns: make(map[ids.ProcessID]*tcpConn),
-		ln:    ln,
-		in:    make(chan Envelope, 8192),
+		self:      self,
+		addrs:     addrs,
+		keys:      keys,
+		conns:     make(map[ids.ProcessID]*tcpConn),
+		ln:        ln,
+		in:        make(chan Envelope, 8192),
+		proofSent: make(map[ids.ProcessID]chan struct{}),
 	}
 	go t.acceptLoop()
 	return t, nil
@@ -364,6 +372,10 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 				wconn.enqueue(wireEnvelope{From: t.self, To: env.From, Payload: &connProof{
 					Proof: t.keys.MAC(t.self, env.From, connProofBytes(hs.Nonce)),
 				}})
+				// The proof is ordered ahead of every envelope enqueued after
+				// this point, so the acceptor installs this endpoint's reply
+				// route before processing them: signal Prime waiters.
+				t.markProofSent(env.From)
 			}
 			continue
 		case *connProof:
@@ -422,6 +434,79 @@ func (t *TCP) deliverLocal(env Envelope) bool {
 	default:
 	}
 	return true
+}
+
+// proofSignal returns (lazily creating) the channel closed once this
+// endpoint has answered peer's connection challenge.
+func (t *TCP) proofSignal(peer ids.ProcessID) chan struct{} {
+	t.proofMu.Lock()
+	defer t.proofMu.Unlock()
+	ch, ok := t.proofSent[peer]
+	if !ok {
+		ch = make(chan struct{})
+		t.proofSent[peer] = ch
+	}
+	return ch
+}
+
+func (t *TCP) markProofSent(peer ids.ProcessID) {
+	// Closed under proofMu: two connections can answer the same peer's
+	// challenge concurrently (a redial racing a readLoop still draining the
+	// old connection), and a bare check-then-close would double-close.
+	t.proofMu.Lock()
+	defer t.proofMu.Unlock()
+	ch, ok := t.proofSent[peer]
+	if !ok {
+		ch = make(chan struct{})
+		t.proofSent[peer] = ch
+	}
+	select {
+	case <-ch:
+	default:
+		close(ch)
+	}
+}
+
+// Prime dials the given peers and waits until this endpoint has answered
+// each one's connection challenge. An address-less process (a client) whose
+// first envelope raced ahead of its proof would have the replies to that
+// envelope dropped at the acceptor (no reply route yet) and pay a full
+// retransmission timeout; priming before the first real send makes the proof
+// the first frame after the challenge, so the route exists before any
+// request is processed. A no-op on unauthenticated endpoints.
+func (t *TCP) Prime(ctx context.Context, peers []ids.ProcessID) error {
+	if t.keys == nil {
+		return nil
+	}
+	for _, p := range peers {
+		if p == t.self {
+			continue
+		}
+		// Retry dials until the deadline: a peer process may still be
+		// binding its listen socket (restarts, rolling deploys).
+		for {
+			_, err := t.conn(p)
+			if err == nil {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("transport: prime %v: %v (%w)", p, err, ctx.Err())
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}
+	for _, p := range peers {
+		if p == t.self {
+			continue
+		}
+		select {
+		case <-t.proofSignal(p):
+		case <-ctx.Done():
+			return fmt.Errorf("transport: prime %v: %w", p, ctx.Err())
+		}
+	}
+	return nil
 }
 
 // Close implements Endpoint.

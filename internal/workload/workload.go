@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"abstractbft/internal/app"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/metrics"
 	"abstractbft/internal/msg"
@@ -30,6 +31,22 @@ type InvokerFunc func(ctx context.Context, req msg.Request) ([]byte, error)
 
 // Invoke implements Invoker.
 func (f InvokerFunc) Invoke(ctx context.Context, req msg.Request) ([]byte, error) { return f(ctx, req) }
+
+// KVPutCommandOf returns a CommandOf generator issuing encoded KV puts over
+// a bounded key set (round-robin, offset per client): the keyed workload of
+// deployments routed by shard.KVKeyExtractor. Every put is readable back for
+// end-to-end verification. cmd/client and the TCP sharding benchmark share
+// it, so the CLI workload and the recorded rows cannot drift apart.
+func KVPutCommandOf(baseClient, keySpace int) func(client int, ts uint64) []byte {
+	if keySpace <= 0 {
+		keySpace = 1
+	}
+	return func(client int, ts uint64) []byte {
+		c := baseClient + client
+		k := (uint64(c) + ts) % uint64(keySpace)
+		return app.EncodeKVPut(fmt.Sprintf("key-%d", k), fmt.Sprintf("c%d-t%d", c, ts))
+	}
+}
 
 // Benchmark describes an x/y microbenchmark.
 type Benchmark struct {
@@ -76,6 +93,11 @@ type ClosedLoopConfig struct {
 	// KeyOf selects the key of client i's request with timestamp ts; nil
 	// selects round-robin over the key space, offset per client.
 	KeyOf func(client int, ts uint64) uint64
+	// CommandOf, when non-nil, builds the whole command of client i's request
+	// with timestamp ts, overriding the RequestSize/KeySpace generation —
+	// application-format workloads (e.g. encoded KV operations routed by
+	// shard.KVKeyExtractor) plug in here.
+	CommandOf func(client int, ts uint64) []byte
 }
 
 // Result aggregates the outcome of a closed-loop run.
@@ -158,7 +180,9 @@ func RunClosedLoop(ctx context.Context, cfg ClosedLoopConfig, newInvoker func(i 
 						return
 					}
 					command := payload
-					if keyOf != nil {
+					if cfg.CommandOf != nil {
+						command = cfg.CommandOf(clientIndex, ts)
+					} else if keyOf != nil {
 						command = shard.KeyedCommand(keyOf(clientIndex, ts), payload)
 					}
 					req := msg.Request{Client: clientID, Timestamp: ts, Command: command}

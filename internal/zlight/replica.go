@@ -77,9 +77,11 @@ func (r *Replica) onRequest(from ids.ProcessID, m *RequestMessage) {
 	if err := r.h.VerifyClientAuth(m.Auth, AuthBytes(r.st.ID, m.Req)); err != nil {
 		return
 	}
-	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) {
-		// Retransmission of the last request: resend the cached reply and
-		// re-order so the backups reply again as well — but only when the
+	if !r.st.TimestampFresh(m.Req.Client, m.Req.Timestamp) || r.h.AppliedStale(m.Req.Client, m.Req.Timestamp) {
+		// Retransmission (the instance window, or — across instance switches
+		// whose init histories don't reach back that far — the host's applied
+		// window, says the request already executed): resend the cached reply
+		// and re-order so the backups reply again as well — but only when the
 		// cached ORDER actually covers this timestamp, so a stale
 		// retransmission cannot re-multicast a whole unrelated batch.
 		if reply, ok := r.h.CachedReply(m.Req.Client, m.Req.Timestamp); ok {
