@@ -210,6 +210,53 @@ func runShardingTCP(out string, clients, pipeline int, seconds float64) error {
 	return nil
 }
 
+// wireReport is the schema of BENCH_wire.json: the wire-plane micro-matrix —
+// codec encode/decode cost (gob vs the hand-rolled binary codec), MAC-vector
+// strategies, and a loopback TCP envelope round-trip rate per codec.
+type wireReport struct {
+	Benchmark string `json:"benchmark"`
+	// Seconds is the measured window of each end-to-end TCP phase.
+	Seconds float64                `json:"seconds_per_e2e_phase"`
+	Result  experiments.WireResult `json:"result"`
+}
+
+func runWire(out string, seconds float64, short bool) error {
+	cfg := experiments.WireConfig{
+		Duration: time.Duration(seconds * float64(time.Second)),
+	}
+	if short {
+		// CI smoke: long enough to exercise the round-trip path per codec,
+		// short enough to keep the job fast. The micro rows (testing.Benchmark
+		// under the hood) self-calibrate and are unaffected.
+		cfg.Duration = 200 * time.Millisecond
+	}
+	// Two e2e phases plus the self-calibrating micro rows (which can take a
+	// minute or two of benchmark iterations on a slow box).
+	budget := 2*cfg.Duration + 5*time.Minute
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	res, err := experiments.MeasureWire(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	report := wireReport{
+		Benchmark: "wire",
+		Seconds:   cfg.Duration.Seconds(),
+		Result:    res,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Println(experiments.WireTable(res).Format())
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
 // recoveryReport is the schema of BENCH_recovery.json: the measured
 // crash-restart catch-up (statesync) plus the history-GC memory rows.
 type recoveryReport struct {
@@ -389,6 +436,8 @@ func main() {
 	sharding := flag.Bool("sharding", false, "run the live sharding measurement and write a JSON report")
 	shardingTCP := flag.Bool("sharding-tcp", false, "run the multi-process sharded measurement (real replica processes over TCP, SIGKILL + -recover) and write a JSON report")
 	recovery := flag.Bool("recovery", false, "run the live crash-restart recovery measurement and write a JSON report")
+	wire := flag.Bool("wire", false, "run the wire-plane micro-matrix (codec encode/decode, MAC strategies, loopback TCP e2e per codec) and write a JSON report")
+	short := flag.Bool("short", false, "with -wire: shrink the e2e windows for CI")
 	compositions := flag.Bool("compositions", false, "run the composition matrix and write a JSON report")
 	composition := flag.String("composition", "", "run one composition given as a Spec DSL string or registered name (e.g. quorum,chain,backup)")
 	smoke := flag.Bool("smoke", false, "with -compositions: short CI windows (0.3s per row)")
@@ -437,6 +486,23 @@ func main() {
 		return
 	}
 
+	if *wire {
+		path := *out
+		if path == "" {
+			path = "BENCH_wire.json"
+		}
+		// -wire defaults to 2s e2e windows (the micro rows self-calibrate);
+		// an explicitly passed -seconds value is honored, -short overrides.
+		secs := *seconds
+		if !secondsSet {
+			secs = 2.0
+		}
+		if err := runWire(path, secs, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "wire: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *recovery {
 		path := *out
 		if path == "" {

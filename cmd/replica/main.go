@@ -131,7 +131,7 @@ func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration) 
 		log.Fatalf("replica id %d out of range for f=%d (need 0..%d)", id, topo.F, cluster.N-1)
 	}
 	self := ids.Replica(id)
-	ep, err := transport.NewTCPAuth(self, topo.AddrMap(), topo.Keys())
+	ep, err := topo.NewReplicaEndpoint(self)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}

@@ -16,6 +16,7 @@ import (
 	"abstractbft/internal/ids"
 	"abstractbft/internal/shard"
 	"abstractbft/internal/transport"
+	"abstractbft/internal/transport/wirecodec"
 )
 
 // Topology describes a multi-process sharded deployment: one JSON file
@@ -67,6 +68,12 @@ type Topology struct {
 	// Pipeline is the clients' default per-shard pipeline depth (0 or 1 =
 	// strict invoke-then-wait).
 	Pipeline int `json:"pipeline,omitempty"`
+	// Codec selects the wire codec every process of the cluster frames its
+	// TCP streams with: "binary" (default — the hand-rolled zero-alloc codec)
+	// or "gob" (the reflective stdlib codec, kept as an opt-out). All
+	// endpoints of one deployment must agree; the shared topology file is
+	// what enforces that.
+	Codec string `json:"codec,omitempty"`
 }
 
 // LoadTopology reads and validates a topology file.
@@ -116,7 +123,33 @@ func (t Topology) Validate() error {
 	default:
 		return fmt.Errorf("unknown app %q (kv, counter, or null)", t.App)
 	}
+	if _, err := t.WireCodec(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// WireCodec resolves the topology's wire codec (empty = binary).
+func (t Topology) WireCodec() (transport.Codec, error) {
+	switch t.Codec {
+	case "", "binary":
+		return wirecodec.Binary(), nil
+	case "gob":
+		return transport.GobCodec(), nil
+	default:
+		return nil, fmt.Errorf("unknown codec %q (binary or gob)", t.Codec)
+	}
+}
+
+// NewReplicaEndpoint builds the authenticated TCP endpoint of replica self,
+// framed with the topology's wire codec. cmd/replica and the process
+// harnesses share this, so the cluster cannot end up with mixed codecs.
+func (t Topology) NewReplicaEndpoint(self ids.ProcessID) (*transport.TCP, error) {
+	codec, err := t.WireCodec()
+	if err != nil {
+		return nil, err
+	}
+	return transport.NewTCPCodec(self, t.AddrMap(), t.Keys(), codec)
 }
 
 // Cluster returns the replica group the topology describes.
@@ -246,7 +279,11 @@ func (t Topology) NewNode(self ids.ProcessID, ep transport.Endpoint, logger *log
 func (t Topology) DialClient(ctx context.Context, id ids.ProcessID, listenAddr string, depth int) (*transport.TCP, *shard.Client, error) {
 	addrs := t.AddrMap()
 	addrs[id] = listenAddr
-	ep, err := transport.NewTCPAuth(id, addrs, t.Keys())
+	codec, err := t.WireCodec()
+	if err != nil {
+		return nil, nil, err
+	}
+	ep, err := transport.NewTCPCodec(id, addrs, t.Keys(), codec)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -34,6 +34,9 @@ type ShardingTCPConfig struct {
 	// Dir is the working directory for binaries, topology, and logs
 	// (default: a fresh temp dir).
 	Dir string
+	// Codec is the wire codec the deployment frames its TCP streams with
+	// ("binary" or "gob"; empty = the topology default, binary).
+	Codec string
 }
 
 func (c ShardingTCPConfig) withDefaults() ShardingTCPConfig {
@@ -59,7 +62,10 @@ func (c ShardingTCPConfig) withDefaults() ShardingTCPConfig {
 type ShardingTCPRow struct {
 	// Phase is "pre-crash" (all four replica processes live) or
 	// "post-restart" (after the SIGKILL + -recover cycle).
-	Phase         string  `json:"phase"`
+	Phase string `json:"phase"`
+	// Codec records the wire codec the phase ran over, so benchmark
+	// trajectories across codec changes stay attributable.
+	Codec         string  `json:"codec"`
 	Committed     uint64  `json:"committed"`
 	Errors        uint64  `json:"errors"`
 	ThroughputRPS float64 `json:"throughput_rps"`
@@ -70,6 +76,8 @@ type ShardingTCPRow struct {
 // ShardingTCPResult is the outcome of one process-level run.
 type ShardingTCPResult struct {
 	Shards int `json:"shards"`
+	// Codec is the wire codec of the whole run (also recorded per row).
+	Codec string `json:"codec"`
 	// Rows are the pre-crash and post-restart workload windows; committing
 	// at a comparable rate after the restart is the acceptance signal that
 	// the recovered process serves at full rate again (per-shard ZLight
@@ -91,7 +99,12 @@ type ShardingTCPResult struct {
 // cmd/client processes at the replicas).
 func MeasureShardingTCP(ctx context.Context, cfg ShardingTCPConfig) (ShardingTCPResult, error) {
 	cfg = cfg.withDefaults()
-	res := ShardingTCPResult{Shards: cfg.Shards}
+	topo := topologyForBench(cfg)
+	codecName := topo.Codec
+	if codecName == "" {
+		codecName = "binary"
+	}
+	res := ShardingTCPResult{Shards: cfg.Shards, Codec: codecName}
 	dir := cfg.Dir
 	if dir == "" {
 		var err error
@@ -103,7 +116,7 @@ func MeasureShardingTCP(ctx context.Context, cfg ShardingTCPConfig) (ShardingTCP
 	}
 	cluster, err := proccluster.Start(proccluster.Config{
 		Dir:      dir,
-		Topology: topologyForBench(cfg),
+		Topology: topo,
 	})
 	if err != nil {
 		return res, err
@@ -137,6 +150,7 @@ func MeasureShardingTCP(ctx context.Context, cfg ShardingTCPConfig) (ShardingTCP
 		}
 		return ShardingTCPRow{
 			Phase:         phase,
+			Codec:         codecName,
 			Committed:     wres.Committed,
 			Errors:        wres.Errors,
 			ThroughputRPS: wres.ThroughputOps(),
@@ -201,6 +215,7 @@ func topologyForBench(cfg ShardingTCPConfig) deploy.Topology {
 		CheckpointInterval: 8,
 		DeltaMs:            3000,
 		Pipeline:           cfg.Pipeline,
+		Codec:              cfg.Codec,
 	}
 }
 
@@ -208,13 +223,14 @@ func topologyForBench(cfg ShardingTCPConfig) deploy.Topology {
 func ShardingTCPTable(res ShardingTCPResult) Table {
 	t := Table{
 		ID:     "sharding-tcp",
-		Title:  fmt.Sprintf("Multi-process sharded KV over TCP (shards=%d, real cmd/replica processes, SIGKILL + -recover)", res.Shards),
-		Header: []string{"phase", "committed", "req/s", "p50 ms", "p99 ms"},
+		Title:  fmt.Sprintf("Multi-process sharded KV over TCP (shards=%d, codec=%s, real cmd/replica processes, SIGKILL + -recover)", res.Shards, res.Codec),
+		Header: []string{"phase", "codec", "committed", "req/s", "p50 ms", "p99 ms"},
 		Notes:  fmt.Sprintf("Crash-restart catch-up %.1f ms to first post-restart commit; post/pre throughput %.2fx.", res.CatchUpMs, res.PostOverPre),
 	}
 	for _, r := range res.Rows {
 		t.Rows = append(t.Rows, []string{
 			r.Phase,
+			r.Codec,
 			fmt.Sprintf("%d", r.Committed),
 			fmt.Sprintf("%.0f", r.ThroughputRPS),
 			fmt.Sprintf("%.2f", r.P50Ms),

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"abstractbft/internal/authn"
+	"abstractbft/internal/core"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/transport"
+	"abstractbft/internal/transport/wirecodec"
+	"abstractbft/internal/zlight"
+)
+
+// WireConfig drives the wire-plane micro-matrix: codec encode/decode cost
+// (gob vs the hand-rolled binary codec, pooled streaming vs one-shot
+// marshal), MAC-vector strategies (per-receiver full-data MACs vs hash-once
+// digest MACs, fresh vs pooled HMAC states), and an end-to-end envelope
+// round-trip rate over a real loopback TCP connection per codec.
+type WireConfig struct {
+	// BatchSize is the number of requests in the representative batched ORDER
+	// message the micro rows measure (default 16).
+	BatchSize int
+	// CommandSize is each request's command payload size (default 64).
+	CommandSize int
+	// Receivers is the MAC vector width — one entry per replica (default 4,
+	// the f=1 cluster).
+	Receivers int
+	// Duration is the measured window of the end-to-end TCP phase per codec
+	// (default 2s).
+	Duration time.Duration
+	// Pipeline is the number of outstanding round trips in the end-to-end
+	// phase (default 64).
+	Pipeline int
+}
+
+func (c WireConfig) withDefaults() WireConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.CommandSize <= 0 {
+		c.CommandSize = 64
+	}
+	if c.Receivers <= 0 {
+		c.Receivers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 64
+	}
+	return c
+}
+
+// WireMicroRow is one measured micro-benchmark configuration.
+type WireMicroRow struct {
+	// Op is "encode" or "decode"; Variant names the measured configuration
+	// (codec + buffer strategy, or the MAC strategy).
+	Op          string  `json:"op"`
+	Variant     string  `json:"variant"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// WireE2ERow is the end-to-end loopback TCP phase of one codec.
+type WireE2ERow struct {
+	Codec         string  `json:"codec"`
+	RoundTrips    uint64  `json:"round_trips"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// WireResult is the schema of BENCH_wire.json's result field.
+type WireResult struct {
+	BatchSize   int `json:"batch_size"`
+	CommandSize int `json:"command_size"`
+	Receivers   int `json:"mac_receivers"`
+	// Micro are the codec and MAC micro rows (testing.B under the hood).
+	Micro []WireMicroRow `json:"micro"`
+	// E2E are the loopback TCP round-trip rates per codec.
+	E2E []WireE2ERow `json:"e2e"`
+	// EncodeSpeedup and DecodeSpeedup are gob ns/op over binary ns/op for the
+	// pooled streaming paths (the TCP writer's configuration).
+	EncodeSpeedup float64 `json:"encode_speedup_gob_over_binary"`
+	DecodeSpeedup float64 `json:"decode_speedup_gob_over_binary"`
+}
+
+// wireEnvelope builds the representative hot-path envelope: a batched ORDER
+// multicast with one client authenticator per request.
+func wireEnvelope(cfg WireConfig) transport.Envelope {
+	cmd := bytes.Repeat([]byte("x"), cfg.CommandSize)
+	reqs := make([]msg.Request, cfg.BatchSize)
+	auths := make([]authn.Authenticator, cfg.BatchSize)
+	for i := range reqs {
+		reqs[i] = msg.Request{Client: ids.Client(i), Timestamp: uint64(1000 + i), Command: cmd}
+		entries := make([]authn.AuthEntry, cfg.Receivers)
+		for j := range entries {
+			entries[j] = authn.AuthEntry{Receiver: ids.Replica(j), MAC: authn.MAC{byte(i), byte(j)}}
+		}
+		auths[i] = authn.Authenticator{Sender: ids.Client(i), Entries: entries}
+	}
+	return transport.Envelope{
+		From: ids.Replica(0),
+		To:   ids.Replica(1),
+		Payload: &zlight.OrderMessage{
+			Instance:   1,
+			Batch:      msg.Batch{Requests: reqs},
+			Seq:        1 << 33, // past u32 range, so width bugs cannot hide
+			Auths:      auths,
+			PrimaryMAC: authn.MAC{1, 2, 3},
+		},
+	}
+}
+
+func microRow(op, variant string, f func(b *testing.B)) WireMicroRow {
+	r := testing.Benchmark(f)
+	return WireMicroRow{
+		Op:          op,
+		Variant:     variant,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func encodeRow(variant string, codec transport.Codec, env transport.Envelope) WireMicroRow {
+	return microRow("encode", variant, func(b *testing.B) {
+		enc := codec.NewEncoder(io.Discard)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(&env); err != nil {
+				b.Fatal(err)
+			}
+			if err := enc.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func decodeRow(variant string, codec transport.Codec, env transport.Envelope) WireMicroRow {
+	return microRow("decode", variant, func(b *testing.B) {
+		const chunk = 256
+		var out transport.Envelope
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; done += chunk {
+			n := chunk
+			if rem := b.N - done; rem < n {
+				n = rem
+			}
+			b.StopTimer()
+			var buf bytes.Buffer
+			enc := codec.NewEncoder(&buf)
+			for i := 0; i < n; i++ {
+				if err := enc.Encode(&env); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := enc.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			dec := codec.NewDecoder(&buf)
+			b.StartTimer()
+			for i := 0; i < n; i++ {
+				if err := dec.Decode(&out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// macRows measures the authenticator strategies over the batch's concatenated
+// command bytes: the legacy per-receiver full-data MAC loop (O(n·|data|)
+// hashing), the hash-once digest path NewAuthenticator uses now (O(|data| +
+// n·32)), and the cost of a fresh HMAC construction per MAC as a baseline for
+// the pooled states inside the key store.
+func macRows(cfg WireConfig, data []byte) []WireMicroRow {
+	ks := authn.NewKeyStore("wire-bench")
+	sender := ids.Client(0)
+	receivers := make([]ids.ProcessID, cfg.Receivers)
+	for i := range receivers {
+		receivers[i] = ids.Replica(i)
+	}
+	rows := []WireMicroRow{
+		microRow("mac", "full-data-per-receiver", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, r := range receivers {
+					_ = ks.MAC(sender, r, data)
+				}
+			}
+		}),
+		microRow("mac", "hash-once-digest (pooled hmac)", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = ks.NewAuthenticator(sender, receivers, data)
+			}
+		}),
+		microRow("mac", "fresh-hmac-state-per-mac", func(b *testing.B) {
+			key := []byte("0123456789abcdef0123456789abcdef")
+			d := authn.Hash(data)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for range receivers {
+					h := hmac.New(sha256.New, key)
+					h.Write(d[:])
+					h.Sum(nil)
+				}
+			}
+		}),
+	}
+	return rows
+}
+
+// measureE2E pumps request/response round trips through two real TCP
+// endpoints on loopback with the given codec: one side echoes a small RESP
+// for every batched ORDER envelope it receives, the driver keeps
+// cfg.Pipeline round trips outstanding. The resulting rate is the wire
+// plane's envelope round-trip capacity — framing, coalescing, handshake, and
+// kernel included, protocol logic excluded.
+func measureE2E(ctx context.Context, cfg WireConfig, name string, codec transport.Codec) (WireE2ERow, error) {
+	row := WireE2ERow{Codec: name}
+	keys := authn.NewKeyStore("wire-bench")
+	addrsA := map[ids.ProcessID]string{ids.Replica(0): "127.0.0.1:0"}
+	a, err := transport.NewTCPCodec(ids.Replica(0), addrsA, keys, codec)
+	if err != nil {
+		return row, err
+	}
+	defer a.Close()
+	addrsB := map[ids.ProcessID]string{ids.Replica(0): a.Addr(), ids.Replica(1): "127.0.0.1:0"}
+	b, err := transport.NewTCPCodec(ids.Replica(1), addrsB, keys, codec)
+	if err != nil {
+		return row, err
+	}
+	defer b.Close()
+	if err := b.Prime(ctx, []ids.ProcessID{ids.Replica(0)}); err != nil {
+		return row, err
+	}
+
+	req := wireEnvelope(cfg).Payload
+	// Echo side: a small RESP per ORDER — the reply shape a client-visible
+	// commit needs, so the measured round trip carries one big and one small
+	// envelope like the real request path.
+	resp := &core.RespMessage{
+		Instance:      1,
+		Replica:       ids.Replica(0),
+		Client:        ids.Replica(1),
+		Timestamp:     1,
+		Reply:         []byte("ok"),
+		ReplyDigest:   authn.Hash([]byte("ok")),
+		HistoryDigest: authn.Hash([]byte("h")),
+		HistoryLen:    1,
+	}
+	go func() {
+		for env := range a.Inbox() {
+			if _, ok := env.Payload.(*zlight.OrderMessage); ok {
+				a.Send(env.From, resp)
+			}
+		}
+	}()
+
+	deadline := time.After(cfg.Duration)
+	var done uint64
+	start := time.Now()
+	for i := 0; i < cfg.Pipeline; i++ {
+		b.Send(ids.Replica(0), req)
+	}
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ctx.Done():
+			break loop
+		case _, ok := <-b.Inbox():
+			if !ok {
+				break loop
+			}
+			done++
+			b.Send(ids.Replica(0), req)
+		}
+	}
+	elapsed := time.Since(start)
+	row.RoundTrips = done
+	if elapsed > 0 {
+		row.ThroughputRPS = float64(done) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// MeasureWire runs the wire micro-matrix.
+func MeasureWire(ctx context.Context, cfg WireConfig) (WireResult, error) {
+	cfg = cfg.withDefaults()
+	res := WireResult{BatchSize: cfg.BatchSize, CommandSize: cfg.CommandSize, Receivers: cfg.Receivers}
+	env := wireEnvelope(cfg)
+
+	gob := transport.GobCodec()
+	bin := wirecodec.Binary()
+	encGob := encodeRow("gob (streaming)", gob, env)
+	encBin := encodeRow("binary (pooled streaming)", bin, env)
+	encOneShot := microRow("encode", "binary (one-shot marshal, unpooled output)", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wirecodec.MarshalWire(env.Payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	decGob := decodeRow("gob (streaming)", gob, env)
+	decBin := decodeRow("binary (pooled streaming)", bin, env)
+	res.Micro = append(res.Micro, encGob, encBin, encOneShot, decGob, decBin)
+
+	macData := bytes.Repeat([]byte("y"), cfg.BatchSize*cfg.CommandSize)
+	res.Micro = append(res.Micro, macRows(cfg, macData)...)
+
+	if encBin.NsPerOp > 0 {
+		res.EncodeSpeedup = encGob.NsPerOp / encBin.NsPerOp
+	}
+	if decBin.NsPerOp > 0 {
+		res.DecodeSpeedup = decGob.NsPerOp / decBin.NsPerOp
+	}
+
+	for _, c := range []struct {
+		name  string
+		codec transport.Codec
+	}{{"gob", gob}, {"binary", bin}} {
+		row, err := measureE2E(ctx, cfg, c.name, c.codec)
+		if err != nil {
+			return res, fmt.Errorf("experiments: wire e2e %s: %w", c.name, err)
+		}
+		res.E2E = append(res.E2E, row)
+	}
+	return res, nil
+}
+
+// WireTable formats the micro-matrix.
+func WireTable(res WireResult) Table {
+	t := Table{
+		ID:     "wire",
+		Title:  fmt.Sprintf("Wire plane micro-matrix (batch=%d, cmd=%dB, %d MAC receivers)", res.BatchSize, res.CommandSize, res.Receivers),
+		Header: []string{"op", "variant", "ns/op", "allocs/op", "B/op"},
+		Notes: fmt.Sprintf("Encode speedup gob→binary %.1fx, decode %.1fx (pooled streaming paths).",
+			res.EncodeSpeedup, res.DecodeSpeedup),
+	}
+	for _, r := range res.Micro {
+		t.Rows = append(t.Rows, []string{
+			r.Op, r.Variant,
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.BytesPerOp),
+		})
+	}
+	for _, e := range res.E2E {
+		t.Rows = append(t.Rows, []string{
+			"e2e-tcp", e.Codec,
+			fmt.Sprintf("%.0f rps", e.ThroughputRPS),
+			"-", "-",
+		})
+	}
+	return t
+}

@@ -44,6 +44,24 @@ func TestLocalSendBatchDegenerate(t *testing.T) {
 	}
 }
 
+// TestSendBatchSinglePayloadAllocs proves the degenerate fast path: a
+// single-payload SendBatch must not allocate at all — in particular it must
+// not build a Packed wrapper or a fresh payload slice.
+func TestSendBatchSinglePayloadAllocs(t *testing.T) {
+	net := NewLocal(Options{})
+	defer net.Close()
+	a := net.Endpoint(ids.Replica(0))
+	net.Endpoint(ids.Replica(1)) // receiver exists; its inbox dropping on full is fine
+
+	payload := any("steady-state payload")
+	single := []any{payload}
+	if allocs := testing.AllocsPerRun(100, func() {
+		SendBatch(a, ids.Replica(1), single)
+	}); allocs > 0 {
+		t.Fatalf("single-payload SendBatch allocates %.1f times per send, want 0", allocs)
+	}
+}
+
 func TestTCPSendBatchUnpacks(t *testing.T) {
 	addrs := map[ids.ProcessID]string{ids.Replica(0): "127.0.0.1:0"}
 	a, err := NewTCP(ids.Replica(0), addrs)

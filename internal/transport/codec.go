@@ -1,0 +1,75 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"io"
+)
+
+// Codec serializes envelopes onto a TCP connection. The TCP transport is
+// codec-agnostic: the default remains gob (every payload type registered via
+// RegisterWireType), while deployments select the hand-rolled binary codec
+// (internal/transport/wirecodec) through the topology's "codec" knob.
+type Codec interface {
+	// Name identifies the codec in benchmark metadata and topology files.
+	Name() string
+	// NewEncoder wraps the write half of a connection. Implementations own
+	// their buffering; the transport calls Flush at coalescing boundaries.
+	NewEncoder(w io.Writer) StreamEncoder
+	// NewDecoder wraps the read half of a connection.
+	NewDecoder(r io.Reader) StreamDecoder
+}
+
+// StreamEncoder encodes a sequence of envelopes onto one connection.
+type StreamEncoder interface {
+	// Encode serializes one envelope. An error wrapping ErrUnencodable means
+	// only this envelope could not be represented (the stream is still
+	// healthy, the envelope is dropped); any other error is fatal to the
+	// connection.
+	Encode(env *Envelope) error
+	// Flush writes out any buffered frames.
+	Flush() error
+}
+
+// StreamDecoder decodes a sequence of envelopes from one connection.
+type StreamDecoder interface {
+	Decode(env *Envelope) error
+}
+
+// ErrUnencodable marks an envelope whose payload the codec cannot represent.
+// The TCP writer drops such envelopes (fair-loss links) instead of killing
+// the connection.
+var ErrUnencodable = errors.New("transport: payload not encodable")
+
+// gobCodec is the default codec: encoding/gob over a buffered writer, exactly
+// the seed wire format.
+type gobCodec struct{}
+
+// GobCodec returns the gob wire codec.
+func GobCodec() Codec { return gobCodec{} }
+
+func (gobCodec) Name() string { return "gob" }
+
+func (gobCodec) NewEncoder(w io.Writer) StreamEncoder {
+	bw := bufio.NewWriterSize(w, 64*1024)
+	return &gobEncoder{bw: bw, enc: gob.NewEncoder(bw)}
+}
+
+func (gobCodec) NewDecoder(r io.Reader) StreamDecoder {
+	return &gobDecoder{dec: gob.NewDecoder(bufio.NewReaderSize(r, 64*1024))}
+}
+
+type gobEncoder struct {
+	bw  *bufio.Writer
+	enc *gob.Encoder
+}
+
+func (e *gobEncoder) Encode(env *Envelope) error { return e.enc.Encode(env) }
+func (e *gobEncoder) Flush() error               { return e.bw.Flush() }
+
+type gobDecoder struct {
+	dec *gob.Decoder
+}
+
+func (d *gobDecoder) Decode(env *Envelope) error { return d.dec.Decode(env) }

@@ -94,7 +94,7 @@ func (t *TCP) sendAs(from, dst ids.ProcessID, payload any) {
 	if err != nil {
 		return
 	}
-	conn.enqueue(wireEnvelope{From: from, To: dst, Payload: payload})
+	conn.enqueue(Envelope{From: from, To: dst, Payload: payload})
 }
 
 // TestTCPHandshakeNoProofOracle models the relay attack on the handshake
@@ -126,7 +126,7 @@ func TestTCPHandshakeNoProofOracle(t *testing.T) {
 	enc := gob.NewEncoder(raw)
 	dec := gob.NewDecoder(raw)
 	nonce := make([]byte, 32)
-	if err := enc.Encode(&wireEnvelope{From: replica, To: victim, Payload: &connChallenge{Nonce: nonce}}); err != nil {
+	if err := enc.Encode(&Envelope{From: replica, To: victim, Payload: &ConnChallenge{Nonce: nonce}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -134,11 +134,11 @@ func TestTCPHandshakeNoProofOracle(t *testing.T) {
 	// a connProof from the victim must not.
 	raw.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
 	for {
-		var env wireEnvelope
+		var env Envelope
 		if err := dec.Decode(&env); err != nil {
 			return // deadline or close: no proof leaked
 		}
-		if _, leaked := env.Payload.(*connProof); leaked {
+		if _, leaked := env.Payload.(*ConnProof); leaked {
 			t.Fatal("victim answered a challenge on a connection it did not dial: MAC oracle")
 		}
 	}

@@ -1,11 +1,13 @@
 package transport
 
 import (
-	"bufio"
 	"context"
 	"crypto/rand"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -17,26 +19,29 @@ import (
 // RegisterWireType registers a payload type for gob encoding over the TCP
 // transport. Protocol packages register their message types in init
 // functions so that both the in-process and TCP transports can carry them.
+// The binary codec (internal/transport/wirecodec) instead enumerates the
+// closed set of wire types explicitly; adding a type there is checked by the
+// round-trip audit in wire_roundtrip_test.go.
 func RegisterWireType(v any) { gob.Register(v) }
 
 func init() {
 	RegisterWireType(&Packed{})
-	RegisterWireType(&connChallenge{})
-	RegisterWireType(&connProof{})
+	RegisterWireType(&ConnChallenge{})
+	RegisterWireType(&ConnProof{})
 }
 
-// connChallenge is the first frame an authenticated acceptor sends on every
+// ConnChallenge is the first frame an authenticated acceptor sends on every
 // accepted connection: a fresh random nonce the dialer must MAC to prove its
 // claimed identity before the acceptor routes replies over the connection.
-type connChallenge struct {
+type ConnChallenge struct {
 	Nonce []byte
 }
 
-// connProof answers a connChallenge: a MAC over the nonce under the pairwise
+// ConnProof answers a ConnChallenge: a MAC over the nonce under the pairwise
 // key of (dialer, acceptor). The dialer's identity is the envelope's From
 // field; the MAC pins it, because only the two key holders can produce it and
 // the fresh nonce defeats replays.
-type connProof struct {
+type ConnProof struct {
 	Proof authn.MAC
 }
 
@@ -45,21 +50,17 @@ func connProofBytes(nonce []byte) []byte {
 	return append([]byte("tcp-conn-proof:"), nonce...)
 }
 
-// wireEnvelope is the on-the-wire representation of an Envelope.
-type wireEnvelope struct {
-	From    ids.ProcessID
-	To      ids.ProcessID
-	Payload any
-}
-
 // tcpConn is one outbound connection with write coalescing: senders enqueue
-// envelopes on out, and a single writer goroutine drains the queue through a
-// buffered writer, flushing only when the queue is momentarily empty. A burst
-// of messages to the same peer (a batch fan-out) therefore crosses the kernel
-// as one write instead of one syscall per message.
+// envelopes on out, and a single writer goroutine drains the queue through
+// the codec's stream encoder, flushing when the queue is momentarily empty or
+// a short flush tick fires. A burst of messages to the same peer (a batch
+// fan-out) therefore crosses the kernel as one write instead of one syscall
+// per message, and under sustained load the tick bounds how long an encoded
+// envelope can sit in the buffer.
 type tcpConn struct {
 	raw      net.Conn
-	out      chan wireEnvelope
+	codec    Codec
+	out      chan Envelope
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -68,12 +69,18 @@ type tcpConn struct {
 // tcpSendQueue is the per-connection outbound queue length.
 const tcpSendQueue = 4096
 
-func newTCPConn(raw net.Conn) *tcpConn {
+// tcpFlushTick bounds the time an encoded envelope may wait in the writer's
+// buffer while the queue stays non-empty (the flush-on-empty heuristic alone
+// never flushes under a perfectly sustained producer).
+const tcpFlushTick = time.Millisecond
+
+func newTCPConn(raw net.Conn, codec Codec) *tcpConn {
 	c := &tcpConn{
-		raw:  raw,
-		out:  make(chan wireEnvelope, tcpSendQueue),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		raw:   raw,
+		codec: codec,
+		out:   make(chan Envelope, tcpSendQueue),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	go c.writeLoop()
 	return c
@@ -82,23 +89,62 @@ func newTCPConn(raw net.Conn) *tcpConn {
 func (c *tcpConn) writeLoop() {
 	defer close(c.done)
 	defer c.raw.Close()
-	bw := bufio.NewWriterSize(c.raw, 64*1024)
-	enc := gob.NewEncoder(bw)
+	enc := c.codec.NewEncoder(c.raw)
+	// The flush timer is armed only while encoded data sits unflushed, so
+	// idle connections hold no ticking timer.
+	timer := time.NewTimer(tcpFlushTick)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	dirty := false
+	flush := func() bool {
+		if err := enc.Flush(); err != nil {
+			return false
+		}
+		if dirty {
+			dirty = false
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		return true
+	}
 	for {
 		select {
 		case env := <-c.out:
 			if err := enc.Encode(&env); err != nil {
+				if errors.Is(err, ErrUnencodable) {
+					// Only this envelope is unrepresentable; drop it
+					// (fair-loss links) and keep the connection. Loud, because
+					// a type missing from the binary codec's table shows up
+					// exactly here.
+					log.Printf("transport: dropping unencodable %T: %v", env.Payload, err)
+					continue
+				}
 				return
 			}
-			// Coalesce: flush only when no further messages are queued, so a
-			// burst crosses the kernel as a single write.
+			// Coalesce: flush when no further messages are queued, so a burst
+			// crosses the kernel as a single write; otherwise arm the flush
+			// tick so buffered envelopes never wait longer than the tick.
 			if len(c.out) == 0 {
-				if err := bw.Flush(); err != nil {
+				if !flush() {
 					return
 				}
+			} else if !dirty {
+				dirty = true
+				timer.Reset(tcpFlushTick)
+			}
+		case <-timer.C:
+			dirty = false
+			if err := enc.Flush(); err != nil {
+				return
 			}
 		case <-c.stop:
-			bw.Flush()
+			enc.Flush()
 			return
 		}
 	}
@@ -106,7 +152,7 @@ func (c *tcpConn) writeLoop() {
 
 // enqueue hands an envelope to the writer. A full queue drops the message
 // (fair-loss links); false reports a dead writer so the caller re-dials.
-func (c *tcpConn) enqueue(env wireEnvelope) bool {
+func (c *tcpConn) enqueue(env Envelope) bool {
 	select {
 	case <-c.done:
 		return false
@@ -143,6 +189,10 @@ type TCP struct {
 	// closes the reply-route squatting hole of the unauthenticated From
 	// field (a liveness-only attack; protocol MACs protect safety).
 	keys *authn.KeyStore
+	// codec serializes envelopes on every connection of this endpoint. Both
+	// sides of a connection must use the same codec; deployments agree on it
+	// through the shared topology file.
+	codec Codec
 
 	mu     sync.Mutex
 	conns  map[ids.ProcessID]*tcpConn
@@ -172,8 +222,17 @@ func NewTCP(self ids.ProcessID, addrs map[ids.ProcessID]string) (*TCP, error) {
 // NewTCPAuth creates a TCP endpoint with the connection handshake enabled:
 // accepted connections must answer a nonce challenge with a MAC under the
 // pairwise key from keys before replies are routed over them. A nil keys
-// value disables the handshake (NewTCP behaviour).
+// value disables the handshake (NewTCP behaviour). The wire codec is gob.
 func NewTCPAuth(self ids.ProcessID, addrs map[ids.ProcessID]string, keys *authn.KeyStore) (*TCP, error) {
+	return NewTCPCodec(self, addrs, keys, nil)
+}
+
+// NewTCPCodec creates a TCP endpoint using the given wire codec; a nil codec
+// selects gob. All endpoints of a deployment must use the same codec.
+func NewTCPCodec(self ids.ProcessID, addrs map[ids.ProcessID]string, keys *authn.KeyStore, codec Codec) (*TCP, error) {
+	if codec == nil {
+		codec = GobCodec()
+	}
 	addr, ok := addrs[self]
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for %v", self)
@@ -186,6 +245,7 @@ func NewTCPAuth(self ids.ProcessID, addrs map[ids.ProcessID]string, keys *authn.
 		self:      self,
 		addrs:     addrs,
 		keys:      keys,
+		codec:     codec,
 		conns:     make(map[ids.ProcessID]*tcpConn),
 		ln:        ln,
 		in:        make(chan Envelope, 8192),
@@ -211,7 +271,7 @@ func (t *TCP) Send(to ids.ProcessID, payload any) {
 	if err != nil {
 		return
 	}
-	if !conn.enqueue(wireEnvelope{From: t.self, To: to, Payload: payload}) {
+	if !conn.enqueue(Envelope{From: t.self, To: to, Payload: payload}) {
 		t.dropConn(to, conn)
 	}
 }
@@ -248,7 +308,7 @@ func (t *TCP) conn(to ids.ProcessID) (*tcpConn, error) {
 		raw.Close()
 		return c, nil
 	}
-	c := newTCPConn(raw)
+	c := newTCPConn(raw, t.codec)
 	t.conns[to] = c
 	t.mu.Unlock()
 	// Responses come back on the same connection (processes without a listed
@@ -320,10 +380,10 @@ func (t *TCP) acceptLoop() {
 		if err != nil {
 			return
 		}
-		// Every connection gets exactly one writer (one gob stream) created
+		// Every connection gets exactly one writer (one codec stream) created
 		// up front; the acceptor challenges the dialer over it when the
 		// handshake is enabled.
-		wconn := newTCPConn(conn)
+		wconn := newTCPConn(conn, t.codec)
 		var nonce []byte
 		if t.keys != nil {
 			nonce = make([]byte, 32)
@@ -332,7 +392,7 @@ func (t *TCP) acceptLoop() {
 				conn.Close()
 				continue
 			}
-			wconn.enqueue(wireEnvelope{From: t.self, Payload: &connChallenge{Nonce: nonce}})
+			wconn.enqueue(Envelope{From: t.self, Payload: &ConnChallenge{Nonce: nonce}})
 		}
 		go t.readLoop(conn, wconn, nonce, noPeer)
 	}
@@ -347,7 +407,7 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 	defer conn.Close()
 	defer wconn.close()
 	defer t.dropByRaw(conn)
-	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 64*1024))
+	dec := t.codec.NewDecoder(conn)
 	// registered caches which peers this connection already routes replies
 	// for, so the global registration lock is taken once per peer rather
 	// than once per message.
@@ -355,12 +415,18 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 	// proven is the peer that answered the challenge on this connection.
 	proven := ids.ProcessID(-1)
 	for {
-		var env wireEnvelope
+		var env Envelope
 		if err := dec.Decode(&env); err != nil {
+			// EOFs and local closes are the normal ends of a connection; a
+			// framing or codec error is not — it kills the connection (the
+			// peer re-dials) and deserves a trace.
+			if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.Is(err, net.ErrClosed) {
+				log.Printf("transport %v: closing connection on decode error: %v", t.self, err)
+			}
 			return
 		}
 		switch hs := env.Payload.(type) {
-		case *connChallenge:
+		case *ConnChallenge:
 			// The acceptor challenges us: prove our identity with a MAC over
 			// the nonce under the pairwise key shared with it. Only answer on
 			// a connection we dialed, and only for the peer we dialed —
@@ -369,7 +435,7 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 			// here, harvest the proof, and replay it to squat our reply
 			// route at that acceptor).
 			if t.keys != nil && dialed != noPeer && env.From == dialed {
-				wconn.enqueue(wireEnvelope{From: t.self, To: env.From, Payload: &connProof{
+				wconn.enqueue(Envelope{From: t.self, To: env.From, Payload: &ConnProof{
 					Proof: t.keys.MAC(t.self, env.From, connProofBytes(hs.Nonce)),
 				}})
 				// The proof is ordered ahead of every envelope enqueued after
@@ -378,7 +444,7 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 				t.markProofSent(env.From)
 			}
 			continue
-		case *connProof:
+		case *ConnProof:
 			if t.keys != nil && nonce != nil && proven < 0 {
 				if t.keys.VerifyMAC(env.From, t.self, connProofBytes(nonce), hs.Proof) == nil {
 					proven = env.From
@@ -412,7 +478,7 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 			}
 			continue
 		}
-		if !t.deliverLocal(Envelope(env)) {
+		if !t.deliverLocal(env) {
 			return
 		}
 	}

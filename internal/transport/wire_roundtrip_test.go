@@ -1,11 +1,12 @@
 package transport_test
 
-// The gob registration audit: every message type that crosses a
+// The wire registration audit: every message type that crosses a
 // transport.Endpoint — protocol messages, batches, null-ops, the state
 // transfer plane, and the sharded plane's mark and recovery control messages
-// — must encode/decode through a real gob-over-TCP stream and come back
-// equal. A type missing its transport.RegisterWireType registration (or
-// carrying a field gob cannot represent) fails here instead of silently
+// — must encode/decode through a real TCP stream under BOTH wire codecs (gob
+// and the hand-rolled binary codec) and come back equal. A type missing its
+// transport.RegisterWireType registration or its wirecodec tag arm (or
+// carrying a field a codec cannot represent) fails here instead of silently
 // breaking the multi-process path: the TCP writer drops envelopes whose
 // encoding fails, so without this audit a forgotten registration shows up
 // only as mysterious liveness loss in deployment.
@@ -28,17 +29,27 @@ import (
 	"abstractbft/internal/shard"
 	"abstractbft/internal/statesync"
 	"abstractbft/internal/transport"
+	"abstractbft/internal/transport/wirecodec"
 	"abstractbft/internal/zlight"
 )
 
-// newTCPPair builds two mutually addressed TCP endpoints on loopback.
-func newTCPPair(t *testing.T) (*transport.TCP, *transport.TCP) {
+// wireCodecs enumerates the codecs the audit runs against; nil selects the
+// default (gob).
+func wireCodecs() map[string]transport.Codec {
+	return map[string]transport.Codec{
+		"gob":    nil,
+		"binary": wirecodec.Binary(),
+	}
+}
+
+// newTCPPair builds two mutually addressed TCP endpoints on loopback using
+// the given wire codec (nil = gob).
+func newTCPPair(t *testing.T, codec transport.Codec) (*transport.TCP, *transport.TCP) {
 	t.Helper()
-	// Reserve two ports by listening on :0 twice via temporary endpoints.
 	addrs := map[ids.ProcessID]string{
 		ids.Replica(0): "127.0.0.1:0",
 	}
-	a, err := transport.NewTCP(ids.Replica(0), addrs)
+	a, err := transport.NewTCPCodec(ids.Replica(0), addrs, nil, codec)
 	if err != nil {
 		t.Fatalf("endpoint a: %v", err)
 	}
@@ -46,7 +57,7 @@ func newTCPPair(t *testing.T) (*transport.TCP, *transport.TCP) {
 		ids.Replica(0): a.Addr(),
 		ids.Replica(1): "127.0.0.1:0",
 	}
-	b, err := transport.NewTCP(ids.Replica(1), addrs2)
+	b, err := transport.NewTCPCodec(ids.Replica(1), addrs2, nil, codec)
 	if err != nil {
 		t.Fatalf("endpoint b: %v", err)
 	}
@@ -143,24 +154,58 @@ func wirePayloads() []any {
 	}
 }
 
-// TestWireRoundTrips sends every wire message through a real gob-over-TCP
-// stream and asserts it arrives intact and equal.
+// TestWireRoundTrips sends every wire message through a real TCP stream under
+// each codec and asserts it arrives intact and equal.
 func TestWireRoundTrips(t *testing.T) {
-	a, b := newTCPPair(t)
+	for name, codec := range wireCodecs() {
+		codec := codec
+		t.Run(name, func(t *testing.T) {
+			a, b := newTCPPair(t, codec)
+			for i, payload := range wirePayloads() {
+				payload := payload
+				t.Run(fmt.Sprintf("%02d_%T", i, payload), func(t *testing.T) {
+					b.Send(ids.Replica(0), payload)
+					select {
+					case env, ok := <-a.Inbox():
+						if !ok {
+							t.Fatal("endpoint closed")
+						}
+						if !reflect.DeepEqual(env.Payload, payload) {
+							t.Fatalf("round trip mutated the message:\nsent %#v\ngot  %#v", payload, env.Payload)
+						}
+					case <-time.After(10 * time.Second):
+						t.Fatalf("message %T never arrived: dropped by the %s encoder (missing registration or tag arm?)", payload, name)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestWireByteEquality asserts the binary codec's one-shot marshal of every
+// audit payload decodes back equal and re-encodes to identical bytes (the
+// encoding is canonical: no map iteration, no per-stream state).
+func TestWireByteEquality(t *testing.T) {
 	for i, payload := range wirePayloads() {
 		payload := payload
 		t.Run(fmt.Sprintf("%02d_%T", i, payload), func(t *testing.T) {
-			b.Send(ids.Replica(0), payload)
-			select {
-			case env, ok := <-a.Inbox():
-				if !ok {
-					t.Fatal("endpoint closed")
-				}
-				if !reflect.DeepEqual(env.Payload, payload) {
-					t.Fatalf("round trip mutated the message:\nsent %#v\ngot  %#v", payload, env.Payload)
-				}
-			case <-time.After(10 * time.Second):
-				t.Fatalf("message %T never arrived: dropped by the gob encoder (missing RegisterWireType?)", payload)
+			first, err := wirecodec.MarshalWire(payload)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			decoded, err := wirecodec.UnmarshalWire(first)
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(decoded, payload) {
+				t.Fatalf("round trip mutated the message:\nsent %#v\ngot  %#v", payload, decoded)
+			}
+			second, err := wirecodec.MarshalWire(decoded)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("re-encoding is not byte-identical:\nfirst  %x\nsecond %x", first, second)
 			}
 		})
 	}
@@ -170,24 +215,29 @@ func TestWireRoundTrips(t *testing.T) {
 // the expanded protocol payloads, never the pack itself — including when a
 // pack travels under a shard mark.
 func TestPackedRoundTrip(t *testing.T) {
-	a, b := newTCPPair(t)
-	req := msg.Request{Client: ids.Client(3), Timestamp: 7, Command: []byte("cmd")}
-	inner := []any{
-		&core.FetchRequest{Instance: 1, From: ids.Replica(1), Digests: []authn.Digest{authn.Hash([]byte("x"))}},
-		&core.FetchResponse{Instance: 1, From: ids.Replica(1), Requests: []msg.Request{req}},
-	}
-	transport.SendBatch(b, ids.Replica(0), inner)
-	for i := 0; i < len(inner); i++ {
-		select {
-		case env, ok := <-a.Inbox():
-			if !ok {
-				t.Fatal("endpoint closed")
+	for name, codec := range wireCodecs() {
+		codec := codec
+		t.Run(name, func(t *testing.T) {
+			a, b := newTCPPair(t, codec)
+			req := msg.Request{Client: ids.Client(3), Timestamp: 7, Command: []byte("cmd")}
+			inner := []any{
+				&core.FetchRequest{Instance: 1, From: ids.Replica(1), Digests: []authn.Digest{authn.Hash([]byte("x"))}},
+				&core.FetchResponse{Instance: 1, From: ids.Replica(1), Requests: []msg.Request{req}},
 			}
-			if !reflect.DeepEqual(env.Payload, inner[i]) {
-				t.Fatalf("pack element %d mutated:\nsent %#v\ngot  %#v", i, inner[i], env.Payload)
+			transport.SendBatch(b, ids.Replica(0), inner)
+			for i := 0; i < len(inner); i++ {
+				select {
+				case env, ok := <-a.Inbox():
+					if !ok {
+						t.Fatal("endpoint closed")
+					}
+					if !reflect.DeepEqual(env.Payload, inner[i]) {
+						t.Fatalf("pack element %d mutated:\nsent %#v\ngot  %#v", i, inner[i], env.Payload)
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatalf("pack element %d never arrived", i)
+				}
 			}
-		case <-time.After(10 * time.Second):
-			t.Fatalf("pack element %d never arrived", i)
-		}
+		})
 	}
 }
