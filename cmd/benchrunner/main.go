@@ -323,6 +323,10 @@ type compositionsReport struct {
 	Clients int                          `json:"clients"`
 	Seconds float64                      `json:"seconds_per_row"`
 	Rows    []experiments.CompositionRow `json:"rows"`
+	// MetricsOverhead compares the in-process quorum path with and without
+	// the observability registry, alongside the instrumented run's internal
+	// counters (the JSON snapshot of the obs registry).
+	MetricsOverhead *experiments.MetricsOverheadRow `json:"metrics_overhead,omitempty"`
 }
 
 // runCompositions measures the given schedules (nil = the default matrix)
@@ -346,14 +350,24 @@ func runCompositions(out string, specs []string, clients int, seconds float64) e
 		return err
 	}
 	fmt.Println(experiments.CompositionsTable(rows).Format())
+	overhead, err := experiments.MeasureMetricsOverhead(ctx, experiments.MetricsOverheadConfig{
+		Clients:  cfg.Clients,
+		Duration: cfg.Duration,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics overhead on %s: baseline %.0f req/s, instrumented %.0f req/s (%.2f%%)\n",
+		overhead.Composition, overhead.BaselineRPS, overhead.InstrumentedRPS, overhead.OverheadPct)
 	if out == "" {
 		return nil
 	}
 	report := compositionsReport{
-		Benchmark: "compositions",
-		Clients:   cfg.Clients,
-		Seconds:   seconds,
-		Rows:      rows,
+		Benchmark:       "compositions",
+		Clients:         cfg.Clients,
+		Seconds:         seconds,
+		Rows:            rows,
+		MetricsOverhead: &overhead,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

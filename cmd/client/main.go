@@ -31,6 +31,7 @@ import (
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/transport"
 	"abstractbft/internal/workload"
 )
@@ -51,6 +52,7 @@ func main() {
 		baseID      = flag.Int("base-id", 0, "first client index (use distinct ranges per client process)")
 		delta       = flag.Duration("delta", 30*time.Millisecond, "synchrony bound used for client timers (legacy mode)")
 		listenBase  = flag.Int("listen-base", 8100, "first local TCP port for client endpoints")
+		metricsAt   = flag.String("metrics-addr", "", "observability listen address serving /metrics and /metrics.json (empty = metrics off)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 		Duration:          *duration,
 		RequestSize:       *requestSize,
 	}
+	traceRate := 128
 
 	if *topoPath != "" {
 		topo, err := deploy.LoadTopology(*topoPath)
@@ -87,6 +90,7 @@ func main() {
 			depth = topo.Pipeline
 		}
 		cfg.Pipeline = depth
+		traceRate = topo.TraceRate()
 		newInvoker = func(i int) (workload.Invoker, ids.ProcessID, error) {
 			clientID := ids.Client(*baseID + i)
 			// DialClient primes the endpoint (connection proof completed with
@@ -148,10 +152,51 @@ func main() {
 		}
 	}
 
+	// When requested, serve the client's own observability front door and wrap
+	// every invoker with the request/error counters, the RTT histogram, and
+	// the sampled end-to-end reply trace stage.
+	var srv *obs.Server
+	if *metricsAt != "" {
+		reg := obs.NewRegistry()
+		var err error
+		if srv, err = obs.Serve(*metricsAt, reg); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		log.Printf("metrics on http://%s/metrics", srv.Addr())
+		reqs := reg.Counter("client_requests_total")
+		errs := reg.Counter("client_errors_total")
+		rtt := reg.Histogram("client_rtt_seconds", obs.LatencyBuckets)
+		tracer := obs.NewTracer(reg, traceRate)
+		inner := newInvoker
+		newInvoker = func(i int) (workload.Invoker, ids.ProcessID, error) {
+			inv, id, err := inner(i)
+			if err != nil {
+				return nil, 0, err
+			}
+			return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+				start := time.Now()
+				out, err := inv.Invoke(ctx, req)
+				d := time.Since(start)
+				reqs.Inc()
+				if err != nil {
+					errs.Inc()
+				}
+				rtt.ObserveDuration(d)
+				if tracer.Sample() {
+					tracer.Observe(obs.StageReply, d)
+				}
+				return out, err
+			}), id, nil
+		}
+	}
+
 	ctx := context.Background()
 	res, err := workload.RunClosedLoop(ctx, cfg, newInvoker)
 	if err != nil {
 		log.Fatalf("run: %v", err)
+	}
+	if srv != nil {
+		defer srv.Close()
 	}
 	fmt.Printf("committed %d requests in %v\n", res.Committed, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f req/s\n", res.ThroughputOps())

@@ -24,6 +24,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -38,6 +39,7 @@ import (
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/transport"
 )
 
@@ -53,11 +55,17 @@ func main() {
 		secret     = flag.String("secret", "abstract-bft", "cluster key-derivation secret (legacy mode)")
 		appName    = flag.String("app", "kv", "replicated application: kv, counter, or null (legacy mode)")
 		replySize  = flag.Int("reply-size", 0, "reply size for the null application (legacy mode)")
+		metricsAt  = flag.String("metrics-addr", "", "observability listen address serving /metrics and /metrics.json (overrides the topology's metrics_addrs entry; empty in legacy mode = metrics off)")
 	)
 	flag.Parse()
 
+	// Every log line carries the replica identity, so interleaved multi-process
+	// logs (and the shard-tagged sub-host lines layered on top) stay
+	// attributable.
+	log.SetPrefix(fmt.Sprintf("[r%d] ", *id))
+
 	if *topoPath != "" {
-		runTopology(*topoPath, *id, *recoverOpt, *recoverTO)
+		runTopology(*topoPath, *id, *recoverOpt, *recoverTO, *metricsAt)
 		return
 	}
 
@@ -98,6 +106,11 @@ func main() {
 		factory = aliph.ReplicaFactory(cluster, aliph.Options{LowLoadAfter: 2 * time.Second})
 	}
 
+	// Metrics stay off in legacy mode unless explicitly requested.
+	reg, srv := serveMetrics(*metricsAt)
+	keys.SetMetrics(reg)
+	ep.SetMetrics(transport.NewTCPMetrics(reg))
+
 	h := host.New(host.Config{
 		Cluster:       cluster,
 		Replica:       self,
@@ -106,7 +119,8 @@ func main() {
 		Endpoint:      ep,
 		FirstInstance: 1,
 		NewProtocol:   factory,
-		Logger:        log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds),
+		Logger:        newReplicaLogger(*id),
+		Metrics:       reg,
 	})
 	h.Start()
 	log.Printf("replica %v (%s, f=%d) listening on %s", self, *protocol, *f, ep.Addr())
@@ -114,6 +128,34 @@ func main() {
 	awaitSignal()
 	h.Stop()
 	ep.Close()
+	closeMetrics(srv)
+}
+
+// newReplicaLogger builds the replica's logger: stderr with microsecond
+// timestamps, every line prefixed by the replica identity.
+func newReplicaLogger(id int) *log.Logger {
+	return log.New(os.Stderr, fmt.Sprintf("[r%d] ", id), log.LstdFlags|log.Lmicroseconds)
+}
+
+// serveMetrics starts the observability front door on addr (empty = off) and
+// returns the registry to instrument the stack with (nil when off).
+func serveMetrics(addr string) (*obs.Registry, *obs.Server) {
+	if addr == "" {
+		return nil, nil
+	}
+	reg := obs.NewRegistry()
+	srv, err := obs.Serve(addr, reg)
+	if err != nil {
+		log.Fatalf("metrics: %v", err)
+	}
+	log.Printf("metrics on http://%s/metrics", srv.Addr())
+	return reg, srv
+}
+
+func closeMetrics(srv *obs.Server) {
+	if srv != nil {
+		srv.Close()
+	}
 }
 
 // runTopology runs one sharded replica node of a topology-file deployment:
@@ -121,7 +163,7 @@ func main() {
 // one authenticated TCP endpoint, the shard router demultiplexing
 // shard.Mark-wrapped traffic, and the asynchronous execution stage merging
 // the shards' ordered spans.
-func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration) {
+func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration, metricsAt string) {
 	topo, err := deploy.LoadTopology(path)
 	if err != nil {
 		log.Fatalf("topology: %v", err)
@@ -135,8 +177,13 @@ func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration) 
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
-	node, err := topo.NewNode(self, ep, logger)
+	if metricsAt == "" {
+		metricsAt = topo.MetricsAddr(self)
+	}
+	reg, srv := serveMetrics(metricsAt)
+	ep.SetMetrics(transport.NewTCPMetrics(reg))
+	logger := newReplicaLogger(id)
+	node, err := topo.NewNode(self, ep, logger, reg)
 	if err != nil {
 		log.Fatalf("node: %v", err)
 	}
@@ -169,6 +216,7 @@ func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration) 
 	awaitSignal()
 	node.Stop()
 	ep.Close()
+	closeMetrics(srv)
 }
 
 func awaitSignal() {

@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"sync/atomic"
 
 	"abstractbft/internal/ids"
+	"abstractbft/internal/obs"
 )
 
 // DigestSize is the size in bytes of message digests.
@@ -79,6 +81,33 @@ type KeyStore struct {
 	macPool map[pairKeyID]*sync.Pool
 	signKey map[ids.ProcessID]ed25519.PrivateKey
 	pubKey  map[ids.ProcessID]ed25519.PublicKey
+
+	// met instruments MAC operations and the HMAC-state pool when set
+	// (SetMetrics); atomic because MAC callers never hold ks.mu.
+	met atomic.Pointer[keyMetrics]
+}
+
+// keyMetrics holds the authn series: total MAC computations (MAC, VerifyMAC,
+// authenticators, and chain MACs all funnel through macWith) and the
+// digest-MAC state pool's effectiveness (gets vs. misses — a miss pays the
+// full hmac.New key schedule, a hit only a Reset).
+type keyMetrics struct {
+	macOps     *obs.Counter // authn_mac_ops_total
+	poolGets   *obs.Counter // authn_hmac_pool_gets_total
+	poolMisses *obs.Counter // authn_hmac_pool_misses_total
+}
+
+// SetMetrics instruments the key store's MAC fast path against r. Safe to
+// call at any time; metric recording is one atomic pointer load per MAC.
+func (ks *KeyStore) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	ks.met.Store(&keyMetrics{
+		macOps:     r.Counter("authn_mac_ops_total"),
+		poolGets:   r.Counter("authn_hmac_pool_gets_total"),
+		poolMisses: r.Counter("authn_hmac_pool_misses_total"),
+	})
 }
 
 type pairKeyID struct {
@@ -142,10 +171,18 @@ func (ks *KeyStore) hmacState(p, q ids.ProcessID) (hash.Hash, *sync.Pool) {
 		key := ks.pairwiseKey(p, q)
 		ks.mu.Lock()
 		if pool = ks.macPool[id]; pool == nil {
-			pool = &sync.Pool{New: func() any { return hmac.New(sha256.New, key) }}
+			pool = &sync.Pool{New: func() any {
+				if m := ks.met.Load(); m != nil {
+					m.poolMisses.Inc()
+				}
+				return hmac.New(sha256.New, key)
+			}}
 			ks.macPool[id] = pool
 		}
 		ks.mu.Unlock()
+	}
+	if m := ks.met.Load(); m != nil {
+		m.poolGets.Inc()
 	}
 	h := pool.Get().(hash.Hash)
 	h.Reset()
@@ -163,6 +200,9 @@ const (
 )
 
 func (ks *KeyStore) macWith(sender, receiver ids.ProcessID, domain byte, data []byte) MAC {
+	if m := ks.met.Load(); m != nil {
+		m.macOps.Inc()
+	}
 	h, pool := ks.hmacState(sender, receiver)
 	var hdr [9]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(sender))

@@ -15,6 +15,7 @@ import (
 	"abstractbft/internal/core"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/shard"
 	"abstractbft/internal/transport"
 )
@@ -92,6 +93,21 @@ type Config struct {
 	// tests). The function receives the replica identifier and returns the
 	// observer for that replica (nil for none).
 	Observer func(r ids.ProcessID, h *host.Host) host.Observer
+	// Metrics, when non-nil, instruments every replica of the cluster into
+	// one shared registry (per-replica series aggregate; sharded planes label
+	// by shard). Nil keeps the hot paths on the no-op metric path.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, samples request lifecycles across the replicas.
+	Tracer *obs.Tracer
+}
+
+// protocolName derives the instance-protocol naming function for the
+// compose_active_protocol gauge (nil without a declared Composition).
+func (cfg *Config) protocolName() func(core.InstanceID) string {
+	if cfg.Composition == nil {
+		return nil
+	}
+	return cfg.Composition.ProtocolOf
 }
 
 // Cluster is a running in-process deployment.
@@ -170,6 +186,9 @@ func New(cfg Config) (*Cluster, error) {
 			InstrumentHistories: cfg.InstrumentHistories,
 			Ops:                 cfg.Ops,
 			TickInterval:        cfg.TickInterval,
+			Metrics:             cfg.Metrics,
+			Tracer:              cfg.Tracer,
+			ProtocolName:        cfg.protocolName(),
 		})
 		if cfg.Observer != nil {
 			if obs := cfg.Observer(r, h); obs != nil {
@@ -212,6 +231,9 @@ func (c *Cluster) RestartReplica(i int) *host.Host {
 		InstrumentHistories: c.cfg.InstrumentHistories,
 		Ops:                 c.cfg.Ops,
 		TickInterval:        c.cfg.TickInterval,
+		Metrics:             c.cfg.Metrics,
+		Tracer:              c.cfg.Tracer,
+		ProtocolName:        c.cfg.protocolName(),
 	})
 	if c.cfg.Observer != nil {
 		if obs := c.cfg.Observer(r, h); obs != nil {

@@ -93,6 +93,9 @@ func (s *Sharded) buildNode(r ids.ProcessID) *shard.Node {
 		InstrumentHistories:  cfg.InstrumentHistories,
 		TickInterval:         cfg.TickInterval,
 		Ops:                  cfg.Ops,
+		Metrics:              cfg.Metrics,
+		Tracer:               cfg.Tracer,
+		ProtocolName:         cfg.protocolName(),
 	})
 }
 

@@ -14,6 +14,7 @@ import (
 	"abstractbft/internal/core"
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/shard"
 	"abstractbft/internal/transport"
 	"abstractbft/internal/transport/wirecodec"
@@ -74,6 +75,15 @@ type Topology struct {
 	// endpoints of one deployment must agree; the shared topology file is
 	// what enforces that.
 	Codec string `json:"codec,omitempty"`
+	// MetricsAddrs are the replicas' observability listen addresses, in
+	// replica order (either empty — metrics off — or exactly one per
+	// replica). Each replica serves Prometheus text at /metrics and a JSON
+	// snapshot at /metrics.json on its address.
+	MetricsAddrs []string `json:"metrics_addrs,omitempty"`
+	// TraceSampleRate samples one request lifecycle out of every N through
+	// the stage tracer when metrics are enabled (0 = default 128, negative =
+	// tracing off).
+	TraceSampleRate int `json:"trace_sample_rate,omitempty"`
 }
 
 // LoadTopology reads and validates a topology file.
@@ -126,7 +136,32 @@ func (t Topology) Validate() error {
 	if _, err := t.WireCodec(); err != nil {
 		return err
 	}
+	if len(t.MetricsAddrs) != 0 && len(t.MetricsAddrs) != cluster.N {
+		return fmt.Errorf("need 0 or %d metrics addresses for f=%d, got %d", cluster.N, t.F, len(t.MetricsAddrs))
+	}
 	return nil
+}
+
+// MetricsAddr returns the observability listen address of replica self
+// (empty when the topology leaves metrics off).
+func (t Topology) MetricsAddr(self ids.ProcessID) string {
+	i := int(self)
+	if i < 0 || i >= len(t.MetricsAddrs) {
+		return ""
+	}
+	return t.MetricsAddrs[i]
+}
+
+// TraceRate resolves the effective lifecycle-tracer sample rate (0 when
+// tracing is off).
+func (t Topology) TraceRate() int {
+	if t.TraceSampleRate < 0 {
+		return 0
+	}
+	if t.TraceSampleRate == 0 {
+		return 128
+	}
+	return t.TraceSampleRate
 }
 
 // WireCodec resolves the topology's wire codec (empty = binary).
@@ -244,19 +279,23 @@ func (t Topology) ShardCount() int {
 
 // NewNode builds the sharded replica node of process self over the given
 // endpoint — the exact configuration cmd/replica runs, assembled here so the
-// process harnesses and the binary cannot diverge. Start (or
+// process harnesses and the binary cannot diverge. A non-nil registry
+// instruments every layer of the node (plus a lifecycle tracer at the
+// topology's sample rate); nil leaves the plane uninstrumented. Start (or
 // RecoverFromPeers, for a crash-restarted process) must be called on the
 // result.
-func (t Topology) NewNode(self ids.ProcessID, ep transport.Endpoint, logger *log.Logger) (*shard.Node, error) {
+func (t Topology) NewNode(self ids.ProcessID, ep transport.Endpoint, logger *log.Logger, reg *obs.Registry) (*shard.Node, error) {
 	comp, err := t.Compile()
 	if err != nil {
 		return nil, err
 	}
+	keys := t.Keys()
+	keys.SetMetrics(reg)
 	return shard.NewNode(shard.NodeConfig{
 		Shards:   t.ShardCount(),
 		Cluster:  t.Cluster(),
 		Replica:  self,
-		Keys:     t.Keys(),
+		Keys:     keys,
 		Endpoint: ep,
 		NewApp:   t.NewApp(),
 		NewProtocol: func(sh int, cl ids.Cluster) host.ProtocolFactory {
@@ -267,6 +306,9 @@ func (t Topology) NewNode(self ids.ProcessID, ep transport.Endpoint, logger *log
 		Epoch:              t.ShardEpoch,
 		CheckpointInterval: t.CheckpointInterval,
 		Logger:             logger,
+		Metrics:            reg,
+		Tracer:             obs.NewTracer(reg, t.TraceRate()),
+		ProtocolName:       comp.ProtocolOf,
 	}), nil
 }
 

@@ -7,8 +7,12 @@ package e2e
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -16,6 +20,7 @@ import (
 
 	"abstractbft/internal/app"
 	"abstractbft/internal/deploy"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/proccluster"
 )
 
@@ -141,6 +146,77 @@ func TestProcessShardedClusterSmoke(t *testing.T) {
 	if got != "works" {
 		t.Fatalf("get returned %q, want %q", got, "works")
 	}
+
+	// Observability front door: every replica process serves Prometheus text
+	// on its topology-assigned metrics address, and a cluster that just
+	// committed a workload must show non-zero core series from every layer.
+	for _, series := range []string{
+		"host_logged_requests_total",
+		"transport_frames_total",
+		"shard_merged_requests_total",
+		"authn_mac_ops_total",
+		"compose_active_protocol",
+	} {
+		if err := assertSeriesNonZero(cluster.MetricsAddr(0), series); err != nil {
+			dumpLogs(t, cluster)
+			t.Fatalf("replica 0 /metrics: %v", err)
+		}
+	}
+	// The JSON snapshot front door serves the same registry.
+	snap, err := fetchSnapshot(cluster.MetricsAddr(0))
+	if err != nil {
+		t.Fatalf("replica 0 /metrics.json: %v", err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatalf("replica 0 /metrics.json returned no counters")
+	}
+}
+
+// assertSeriesNonZero scrapes http://addr/metrics and checks that at least
+// one sample of the family has a non-zero value.
+func assertSeriesNonZero(addr, family string) error {
+	if addr == "" {
+		return fmt.Errorf("no metrics address assigned")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, family) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		found = true
+		if v, err := strconv.ParseFloat(fields[1], 64); err == nil && v != 0 {
+			return nil
+		}
+	}
+	if !found {
+		return fmt.Errorf("series %s absent from exposition:\n%s", family, body)
+	}
+	return fmt.Errorf("series %s present but all samples are zero:\n%s", family, body)
+}
+
+// fetchSnapshot reads the JSON snapshot endpoint.
+func fetchSnapshot(addr string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
 }
 
 // TestProcessShardedCrashRestart is the crash-restart e2e over real

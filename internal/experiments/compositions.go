@@ -143,8 +143,8 @@ func measureOneComposition(ctx context.Context, cfg CompositionsConfig, dsl stri
 		Committed:     res.Committed,
 		Errors:        res.Errors,
 		ThroughputRPS: res.ThroughputOps(),
-		P50Ms:         float64(res.Latency.Percentile(0.50).Microseconds()) / 1000,
-		P99Ms:         float64(res.Latency.Percentile(0.99).Microseconds()) / 1000,
+		P50Ms:         float64(res.Latency.Percentile(50).Microseconds()) / 1000,
+		P99Ms:         float64(res.Latency.Percentile(99).Microseconds()) / 1000,
 		FinalInstance: 1,
 	}
 	for _, c := range clients {

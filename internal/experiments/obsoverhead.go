@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"abstractbft/internal/app"
+	"abstractbft/internal/compose"
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/ids"
+	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
+	"abstractbft/internal/workload"
+)
+
+// MetricsOverheadConfig drives the observability-overhead measurement: the
+// same closed-loop workload runs alternately against an uninstrumented
+// cluster (nil registry — the metric hot paths reduce to one nil check) and a
+// fully instrumented one (registry plus lifecycle tracer), so the reported
+// overhead isolates the cost of recording itself.
+type MetricsOverheadConfig struct {
+	// Spec is the switching schedule to measure under (default
+	// "quorum-backup" — the quorum fast path is the latency-critical hot path
+	// instrumentation must not tax).
+	Spec string
+	// Clients is the number of concurrent closed-loop clients (default 4).
+	Clients int
+	// Duration is the measured window per run (default 1s).
+	Duration time.Duration
+	// Reps is how many times each mode runs; the best run of each mode is
+	// compared, since scheduling noise only ever slows a run down (default 3).
+	Reps int
+	// TraceSampleRate is the instrumented runs' lifecycle-tracer rate
+	// (default 128, matching the deployment default).
+	TraceSampleRate int
+}
+
+func (c MetricsOverheadConfig) withDefaults() MetricsOverheadConfig {
+	if c.Spec == "" {
+		c.Spec = "quorum-backup"
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.TraceSampleRate <= 0 {
+		c.TraceSampleRate = 128
+	}
+	return c
+}
+
+// MetricsOverheadRow is the measured cost of the observability plane on the
+// in-process quorum path, alongside the instrumented run's own internal
+// counters (the registry snapshot benchrunner records next to external
+// throughput).
+type MetricsOverheadRow struct {
+	Composition string `json:"composition"`
+	// BaselineRPS and InstrumentedRPS are the best runs of each mode.
+	BaselineRPS     float64 `json:"baseline_rps"`
+	InstrumentedRPS float64 `json:"instrumented_rps"`
+	// OverheadPct is (baseline-instrumented)/baseline*100 (negative = the
+	// instrumented run was faster, i.e. the difference is noise).
+	OverheadPct float64 `json:"overhead_pct"`
+	// Counters is the instrumented best run's internal counter snapshot.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// MeasureMetricsOverhead measures the observability plane's hot-path cost:
+// Reps runs per mode, alternating, best-vs-best.
+func MeasureMetricsOverhead(ctx context.Context, cfg MetricsOverheadConfig) (MetricsOverheadRow, error) {
+	cfg = cfg.withDefaults()
+	row := MetricsOverheadRow{Composition: cfg.Spec}
+	for i := 0; i < cfg.Reps; i++ {
+		base, _, err := runOverheadOnce(ctx, cfg, false)
+		if err != nil {
+			return row, fmt.Errorf("experiments: overhead baseline: %w", err)
+		}
+		inst, snap, err := runOverheadOnce(ctx, cfg, true)
+		if err != nil {
+			return row, fmt.Errorf("experiments: overhead instrumented: %w", err)
+		}
+		if base > row.BaselineRPS {
+			row.BaselineRPS = base
+		}
+		if inst > row.InstrumentedRPS {
+			row.InstrumentedRPS = inst
+			row.Counters = snap.Counters
+		}
+	}
+	if row.BaselineRPS > 0 {
+		row.OverheadPct = (row.BaselineRPS - row.InstrumentedRPS) / row.BaselineRPS * 100
+	}
+	return row, nil
+}
+
+// runOverheadOnce runs the closed-loop workload once against a fresh cluster,
+// instrumented or not, and returns the throughput (and, when instrumented,
+// the registry snapshot at the end of the run).
+func runOverheadOnce(ctx context.Context, cfg MetricsOverheadConfig, instrumented bool) (float64, obs.Snapshot, error) {
+	comp, err := compose.New(compose.MustParse(cfg.Spec), compose.Options{})
+	if err != nil {
+		return 0, obs.Snapshot{}, err
+	}
+	var reg *obs.Registry
+	if instrumented {
+		reg = obs.NewRegistry()
+	}
+	cluster, err := deploy.New(deploy.Config{
+		F:           1,
+		NewApp:      func() app.Application { return app.NewNull(0) },
+		Composition: comp,
+		Delta:       100 * time.Millisecond,
+		Metrics:     reg,
+		Tracer:      obs.NewTracer(reg, cfg.TraceSampleRate),
+	})
+	if err != nil {
+		return 0, obs.Snapshot{}, err
+	}
+	defer cluster.Stop()
+
+	res, err := workload.RunClosedLoop(ctx, workload.ClosedLoopConfig{
+		Clients:  cfg.Clients,
+		Duration: cfg.Duration,
+	}, func(i int) (workload.Invoker, ids.ProcessID, error) {
+		client, err := cluster.NewClient(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+			return client.Invoke(ctx, req)
+		}), ids.Client(i), nil
+	})
+	if err != nil {
+		return 0, obs.Snapshot{}, err
+	}
+	var snap obs.Snapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+	}
+	return res.ThroughputOps(), snap, nil
+}

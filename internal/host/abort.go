@@ -41,6 +41,7 @@ func (h *Host) handlePanic(from ids.ProcessID, m *core.PanicMessage) {
 	}
 	if !st.Stopped {
 		st.Stopped = true
+		h.met.aborts.Inc()
 		if h.observer != nil {
 			h.observer.InstanceStopped(st.ID)
 		}
@@ -97,6 +98,7 @@ func (h *Host) signedAbort(st *InstanceState) *core.SignedAbort {
 func (h *Host) StopInstance(st *InstanceState) {
 	if !st.Stopped {
 		st.Stopped = true
+		h.met.aborts.Inc()
 		if h.observer != nil {
 			h.observer.InstanceStopped(st.ID)
 		}

@@ -7,6 +7,7 @@ import (
 	"abstractbft/internal/authn"
 	"abstractbft/internal/core"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 )
 
 // Batching defaults: a flush is triggered by the first of MaxBatch buffered
@@ -70,6 +71,10 @@ type Batcher struct {
 	// gen invalidates pending timers when the buffer they were armed for has
 	// already been flushed by size.
 	gen uint64
+	// firstAdd is the arrival time of the oldest buffered request, taken only
+	// when lifecycle tracing is on: flush-time minus firstAdd is the batch
+	// assembly stage of a sampled request.
+	firstAdd time.Time
 }
 
 // NewBatcher creates a batch assembler bound to this host's batch policy.
@@ -96,6 +101,9 @@ func (b *Batcher) Add(it BatchItem) {
 		}
 	}
 	b.buf = append(b.buf, it)
+	if len(b.buf) == 1 && b.h.cfg.Tracer != nil {
+		b.firstAdd = time.Now()
+	}
 	if len(b.buf) >= b.policy.MaxBatch {
 		b.Flush()
 		return
@@ -128,6 +136,17 @@ func (b *Batcher) Flush() {
 	}
 	items := b.buf
 	b.buf = nil
+	b.h.met.batches.Inc()
+	b.h.met.batchFill.Observe(float64(len(items)))
+	if !b.firstAdd.IsZero() {
+		if b.h.cfg.Tracer.Sample() {
+			now := time.Now()
+			b.h.cfg.Tracer.Observe(obs.StageAssemble, now.Sub(b.firstAdd))
+			// Hand the sampled batch to LogBatch for the ordering stage.
+			b.h.traceFlushT = now
+		}
+		b.firstAdd = time.Time{}
+	}
 	sort.SliceStable(items, func(i, j int) bool {
 		if items[i].Req.Client != items[j].Req.Client {
 			return items[i].Req.Client < items[j].Req.Client

@@ -24,6 +24,7 @@ import (
 	"abstractbft/internal/history"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/statesync"
 	"abstractbft/internal/transport"
 )
@@ -154,6 +155,20 @@ type Config struct {
 	Ops *authn.OpCounter
 	// Logger, when non-nil, receives debug output.
 	Logger *log.Logger
+	// Metrics, when non-nil, receives the host's runtime metrics (ordering,
+	// execution, checkpoint/GC, statesync, and composition series). Nil keeps
+	// every record a no-op.
+	Metrics *obs.Registry
+	// MetricsLabels are label pairs baked into every host-registered series;
+	// the sharded plane labels each sub-host by shard so their series stay
+	// distinguishable in a shared registry.
+	MetricsLabels []string
+	// Tracer, when non-nil, samples request lifecycles and records per-stage
+	// durations (batch assembly, ordering, execution).
+	Tracer *obs.Tracer
+	// ProtocolName, when non-nil, names the protocol of an instance for the
+	// compose_active_protocol gauge (wired from the composition's schedule).
+	ProtocolName func(core.InstanceID) string
 }
 
 // Host is one replica of a composed Abstract protocol.
@@ -209,6 +224,16 @@ type Host struct {
 
 	observer Observer
 
+	// met holds the host's metric series (always non-nil; no-op without a
+	// registry). The trace* fields are the single-slot lifecycle trace state:
+	// at most one sampled batch/request is in flight per stage, which keeps
+	// tracing allocation-free. All are event-loop state under h.mu.
+	met          *hostMetrics
+	traceFlushT  time.Time // a sampled batch was flushed, awaiting LogBatch
+	traceExecT   time.Time // a sampled request was logged, awaiting apply
+	traceExecPos uint64    // applied seq at which the sampled request is applied
+	traceExecOn  bool
+
 	// fault/attack injection knobs.
 	processingDelay time.Duration
 	crashed         bool
@@ -237,6 +262,7 @@ func New(cfg Config) *Host {
 		lastReply:      make(map[ids.ProcessID]*replyRing),
 		requestStore:   make(map[authn.Digest]msg.Request),
 		snaps:          statesync.NewStore(cfg.SnapshotRetain),
+		met:            newHostMetrics(cfg.Metrics, cfg.MetricsLabels),
 		stopCh:         make(chan struct{}),
 		doneCh:         make(chan struct{}),
 	}

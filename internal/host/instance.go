@@ -1,11 +1,14 @@
 package host
 
 import (
+	"time"
+
 	"abstractbft/internal/authn"
 	"abstractbft/internal/core"
 	"abstractbft/internal/history"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 )
 
 // DefaultTimestampWindow is the default per-client timestamp window width: a
@@ -142,6 +145,12 @@ type InstanceState struct {
 	missing map[authn.Digest]bool
 	// cachedAbort caches the signed ABORT message once the instance stops.
 	cachedAbort *core.SignedAbort
+	// staleCtr / readmitCtr count timestamp-window rejections and window
+	// re-admissions during batch filtering (wired from the host's metrics at
+	// activation; nil no-ops otherwise). They live on the instance because
+	// FilterFreshBatch has no host receiver.
+	staleCtr   *obs.Counter
+	readmitCtr *obs.Counter
 	// proto-specific sequence counter (sn_j for the primary/head).
 	NextSeq uint64
 }
@@ -318,7 +327,13 @@ func (st *InstanceState) FilterFreshBatch(batch msg.Batch) (fresh msg.Batch, sta
 		}
 		if !w.fresh(width, req.Timestamp) {
 			stale = append(stale, req)
+			st.staleCtr.Inc()
 			continue
+		}
+		if req.Timestamp < w.high {
+			// Logged only thanks to the window: a strict high-water rule
+			// would have rejected this overtaken pipelined request.
+			st.readmitCtr.Inc()
 		}
 		if sim == nil {
 			sim = make(map[ids.ProcessID]tsState, batch.Len())
@@ -347,6 +362,8 @@ func (h *Host) activate(id core.InstanceID, init *core.InitHistory) *InstanceSta
 		tsWidth:       h.cfg.TimestampWindow,
 		Checkpoint:    history.NewCheckpointState(h.cluster.N, ckptInterval),
 		digestDirty:   true,
+		staleCtr:      h.met.windowStale,
+		readmitCtr:    h.met.windowHits,
 	}
 
 	switch {
@@ -371,11 +388,15 @@ func (h *Host) activate(id core.InstanceID, init *core.InitHistory) *InstanceSta
 				ls.Stopped = true
 			}
 		}
+		if h.active != 0 {
+			h.met.switches.Inc()
+		}
 		h.active = id
 	}
 	h.protocols[id] = h.cfg.NewProtocol(h, st)
 	if st.Initialized {
 		h.takeActivationSnapshot()
+		h.noteActivated(id)
 		if h.observer != nil {
 			h.observer.InstanceActivated(id)
 		}
@@ -475,6 +496,7 @@ func (h *Host) finishInit(st *InstanceState) {
 		h.startStateSync(st.ID, st.BaseSeq)
 	}
 	h.takeActivationSnapshot()
+	h.noteActivated(st.ID)
 	if h.observer != nil {
 		h.observer.InstanceActivated(st.ID)
 	}
@@ -603,6 +625,11 @@ func (h *Host) applyRequest(r msg.Request) []byte {
 	h.appliedDigs = append(h.appliedDigs, r.Digest())
 	h.appliedSeq++
 	h.appliedAcc = history.DigestStep(h.appliedAcc, r.Digest())
+	h.met.appliedSeq.Set(int64(h.appliedSeq))
+	if h.traceExecOn && h.appliedSeq >= h.traceExecPos {
+		h.cfg.Tracer.Observe(obs.StageExecute, time.Since(h.traceExecT))
+		h.traceExecOn = false
+	}
 	h.maybeSnapshot()
 	return reply
 }
@@ -642,6 +669,25 @@ func (h *Host) LogBatch(st *InstanceState, batch msg.Batch) (uint64, bool) {
 		}
 	}
 	st.digestDirty = true
+	h.met.logged.Add(uint64(batch.Len()))
+	if h.cfg.Tracer != nil {
+		var now time.Time
+		if !h.traceFlushT.IsZero() {
+			// This batch was sampled at assembler flush: the flush→log gap is
+			// the ordering stage (one protocol round trip on the orderer).
+			now = time.Now()
+			h.cfg.Tracer.Observe(obs.StageOrder, now.Sub(h.traceFlushT))
+			h.traceFlushT = time.Time{}
+		}
+		if !h.traceExecOn && h.cfg.Tracer.Sample() {
+			if now.IsZero() {
+				now = time.Now()
+			}
+			h.traceExecOn = true
+			h.traceExecPos = st.AbsLen()
+			h.traceExecT = now
+		}
+	}
 	h.maybeCheckpoint(st)
 	return start, true
 }

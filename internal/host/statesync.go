@@ -97,6 +97,7 @@ func (h *Host) maybeSnapshot() {
 		rings = append(rings, statesync.ClientRing{Client: c, Timestamps: ts, Replies: replies})
 	}
 	h.snaps.Add(statesync.NewSnapshot(h.appliedSeq, h.appliedAcc, h.application.Snapshot(), windows, rings))
+	h.met.checkpoints.Inc()
 	// A checkpoint can stabilize before the application executes up to it
 	// (logging runs ahead of execution within a batch): garbage collection
 	// deferred then runs now that the application crossed the boundary.
@@ -164,6 +165,8 @@ func (h *Host) onStableCheckpoint(st *InstanceState) {
 	if len(dropped) == 0 && len(appliedDropped) == 0 {
 		return
 	}
+	h.met.gcRuns.Inc()
+	h.met.stableSeq.Set(int64(s))
 	// Release request bodies named only by the dropped prefixes.
 	retained := make(map[authn.Digest]bool)
 	for _, inst := range h.instances {
@@ -177,7 +180,10 @@ func (h *Host) onStableCheckpoint(st *InstanceState) {
 	release := func(ds history.DigestHistory) {
 		for _, d := range ds {
 			if !retained[d] {
-				delete(h.requestStore, d)
+				if _, ok := h.requestStore[d]; ok {
+					delete(h.requestStore, d)
+					h.met.gcBodies.Inc()
+				}
 			}
 		}
 	}
@@ -239,6 +245,8 @@ func (h *Host) handleFetchState(from ids.ProcessID, m *statesync.FetchState) {
 			resp.SuffixRequests = append(resp.SuffixRequests, r.Clone())
 		}
 	}
+	h.met.ssServed.Inc()
+	h.met.ssBytesOut.Add(uint64(len(resp.Snap.AppState)))
 	h.Send(m.From, resp)
 }
 
@@ -253,6 +261,7 @@ func (h *Host) startStateSync(inst core.InstanceID, seq uint64) {
 		col.ExpectAtOrBelow(seq)
 	}
 	h.sync = &syncState{inst: inst, seq: seq, col: col}
+	h.met.ssStarted.Inc()
 	h.logf("statesync: fetching state (instance %d, max seq %d)", inst, seq)
 	h.sendFetchState()
 }
@@ -315,6 +324,7 @@ func (h *Host) tickSync() {
 	// lied, another peer of the agreed group serves the next round.
 	h.sync.payloadIdx++
 	h.sync.sawDesignated = false
+	h.met.ssRetries.Inc()
 	h.sendFetchState()
 }
 
@@ -364,6 +374,8 @@ func (h *Host) handleState(from ids.ProcessID, m *statesync.State) {
 // suffix becomes the instance's history, with the covered prefix represented
 // by its digest fold exactly as garbage collection would leave it.
 func (h *Host) adoptSyncedState(a *statesync.Adopted, inst core.InstanceID) {
+	h.met.ssAdopted.Inc()
+	h.met.ssBytesIn.Add(uint64(len(a.Snap.AppState)))
 	for _, r := range a.Bodies {
 		h.requestStore[r.Digest()] = r
 	}

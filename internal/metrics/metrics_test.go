@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -27,6 +28,37 @@ func TestLatencyRecorder(t *testing.T) {
 	}
 	if got := l.Percentile(100); got != 100*time.Millisecond {
 		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestLatencyRecorderBounded(t *testing.T) {
+	l := NewLatencyRecorder()
+	// 10x the reservoir capacity of a uniform 1..n ms ramp: memory must stay
+	// at the cap, the mean must remain exact, and the reservoir percentiles
+	// must land within a few percent of the true ranks.
+	n := reservoirCap * 10
+	for i := 1; i <= n; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if l.Count() != n {
+		t.Fatalf("count = %d, want %d", l.Count(), n)
+	}
+	l.mu.Lock()
+	kept := len(l.samples)
+	l.mu.Unlock()
+	if kept != reservoirCap {
+		t.Fatalf("reservoir holds %d samples, want the cap %d", kept, reservoirCap)
+	}
+	wantMean := time.Duration(n+1) * time.Millisecond / 2
+	if got := l.Mean(); got != wantMean {
+		t.Fatalf("mean = %v, want the exact %v", got, wantMean)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		got := float64(l.Percentile(p) / time.Millisecond)
+		want := p / 100 * float64(n)
+		if math.Abs(got-want) > 0.03*float64(n) {
+			t.Fatalf("p%v = %vms, want within 3%% of %vms", p, got, want)
+		}
 	}
 }
 

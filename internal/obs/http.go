@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is the /metrics front door of one process: a plain net/http server
+// exposing the registry as Prometheus text at /metrics and as a JSON
+// snapshot at /metrics.json.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts listening on addr (host:port; port 0 picks an ephemeral port)
+// and serves the registry until Close. The listener is bound synchronously so
+// a returned *Server is immediately scrapeable via Addr.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Request lifecycle stages, in pipeline order. A traced request is timed
+// through: client send → (Reply covers the whole round trip), while on the
+// replica side Assemble covers enqueue→batch-cut, Order covers
+// batch-cut→logged, Execute covers logged→applied, and Merge covers
+// logged→merged into the cross-shard total order.
+const (
+	StageAssemble = iota
+	StageOrder
+	StageExecute
+	StageMerge
+	StageReply
+	numStages
+)
+
+var stageNames = [numStages]string{"assemble", "order", "execute", "merge", "reply"}
+
+// Tracer samples request lifecycles at a fixed rate (one in every N
+// decisions) and records per-stage durations into histograms registered as
+// trace_stage_seconds{stage="..."}. The sampling decision is one atomic add;
+// recording a stage is one histogram observe — both allocation-free, so the
+// tracer can stay enabled under load.
+//
+// A nil *Tracer never samples and ignores observations, so instrumented code
+// calls it unconditionally.
+type Tracer struct {
+	every  uint64
+	n      atomic.Uint64
+	stages [numStages]*Histogram
+}
+
+// NewTracer builds a tracer that samples one in every `every` decisions,
+// recording stage durations into r. Returns nil (a disabled tracer) if r is
+// nil or every <= 0.
+func NewTracer(r *Registry, every int) *Tracer {
+	if r == nil || every <= 0 {
+		return nil
+	}
+	t := &Tracer{every: uint64(every)}
+	for s := 0; s < numStages; s++ {
+		t.stages[s] = r.Histogram("trace_stage_seconds", LatencyBuckets, "stage", stageNames[s])
+	}
+	return t
+}
+
+// Sample reports whether the caller should trace the current request.
+func (t *Tracer) Sample() bool {
+	if t == nil {
+		return false
+	}
+	return t.n.Add(1)%t.every == 0
+}
+
+// Observe records the duration of one lifecycle stage for a sampled request.
+func (t *Tracer) Observe(stage int, d time.Duration) {
+	if t == nil || stage < 0 || stage >= numStages {
+		return
+	}
+	t.stages[stage].ObserveDuration(d)
+}

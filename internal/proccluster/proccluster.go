@@ -151,6 +151,17 @@ func Start(cfg Config) (*Cluster, error) {
 			c.Topo.Replicas = append(c.Topo.Replicas, fmt.Sprintf("127.0.0.1:%d", p))
 		}
 	}
+	if len(c.Topo.MetricsAddrs) == 0 {
+		// Every replica process serves its observability front door; harnesses
+		// scrape MetricsAddr(i) to assert on live internals.
+		ports, err := FreePorts(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range ports {
+			c.Topo.MetricsAddrs = append(c.Topo.MetricsAddrs, fmt.Sprintf("127.0.0.1:%d", p))
+		}
+	}
 	if err := c.Topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -210,6 +221,15 @@ func (c *Cluster) KillReplica(i int) error {
 	p.wait()
 	c.procs[i] = nil
 	return nil
+}
+
+// MetricsAddr returns replica i's observability listen address (empty when
+// the topology runs without metrics).
+func (c *Cluster) MetricsAddr(i int) string {
+	if i < 0 || i >= len(c.Topo.MetricsAddrs) {
+		return ""
+	}
+	return c.Topo.MetricsAddrs[i]
 }
 
 // WaitReady blocks until every replica's listen address accepts connections.

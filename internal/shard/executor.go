@@ -3,11 +3,13 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"abstractbft/internal/app"
 	"abstractbft/internal/authn"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 )
 
 // DefaultEpoch is the default number of per-shard positions merged per shard
@@ -26,6 +28,12 @@ type ExecutorConfig struct {
 	// to; nil skips application execution (the merged digest chain is still
 	// maintained).
 	NewApp func() app.Application
+	// Metrics, when non-nil, receives the execution-stage series (merged
+	// progress, per-shard throughput, null-op fills, lag/backlog gauges).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, samples logged→merged latencies (the merge stage
+	// of the request lifecycle).
+	Tracer *obs.Tracer
 }
 
 // Executor is the asynchronous execution stage: it consumes the ordered
@@ -74,6 +82,17 @@ type Executor struct {
 	rounds       uint64
 	inOrder      []uint64
 	poppedView   []uint64
+	oooView      []uint64
+
+	// observability: met is always non-nil (no-op metrics without a
+	// registry); tracer samples logged→merged latencies through a single
+	// trace slot owned by the merge loop.
+	met        *execMetrics
+	tracer     *obs.Tracer
+	traceSet   bool
+	traceShard int
+	tracePos   uint64
+	traceT     time.Time
 }
 
 // loggedRequest is one intake entry: an ordered request at its per-shard
@@ -107,6 +126,8 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		ooo:        make([]map[uint64]msg.Request, cfg.Shards),
 		inOrder:    make([]uint64, cfg.Shards),
 		poppedView: make([]uint64, cfg.Shards),
+		oooView:    make([]uint64, cfg.Shards),
+		tracer:     cfg.Tracer,
 	}
 	for s := range e.ooo {
 		e.ooo[s] = make(map[uint64]msg.Request)
@@ -114,6 +135,7 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 	if cfg.NewApp != nil {
 		e.mergedApp = cfg.NewApp()
 	}
+	e.met = newExecMetrics(cfg.Metrics, e)
 	go e.run()
 	return e
 }
@@ -254,7 +276,9 @@ func (e *Executor) applyRestore(seq uint64, digest authn.Digest, appState []byte
 		e.popped[s] = perShard
 		e.inOrder[s] = perShard
 		e.poppedView[s] = perShard
+		e.oooView[s] = 0
 	}
+	e.traceSet = false
 	e.mergedSeq = seq
 	e.mergedDigest = digest
 	e.rounds = seq / round
@@ -319,6 +343,7 @@ func (e *Executor) publishProgress() {
 	for s := 0; s < e.shards; s++ {
 		e.inOrder[s] = e.popped[s] + uint64(len(e.pending[s]))
 		e.poppedView[s] = e.popped[s]
+		e.oooView[s] = uint64(len(e.ooo[s]))
 	}
 	e.stateMu.Unlock()
 }
@@ -377,6 +402,11 @@ func (e *Executor) drainIntake() {
 			}
 			continue
 		}
+		if !e.traceSet && e.tracer.Sample() {
+			// Trace this entry through to its merge (single slot: at most one
+			// sampled entry in flight keeps the loop allocation-free).
+			e.traceSet, e.traceShard, e.tracePos, e.traceT = true, s, lr.pos, time.Now()
+		}
 		e.pending[s] = append(e.pending[s], lr.req)
 		for {
 			next = e.popped[s] + uint64(len(e.pending[s]))
@@ -410,6 +440,13 @@ func (e *Executor) mergeRounds() {
 			round = append(round, e.pending[s][:e.epoch]...)
 			e.pending[s] = e.pending[s][e.epoch:]
 			e.popped[s] += uint64(e.epoch)
+			if e.met.merged != nil {
+				e.met.merged[s].Add(uint64(e.epoch))
+			}
+		}
+		if e.traceSet && e.tracePos < e.popped[e.traceShard] {
+			e.tracer.Observe(obs.StageMerge, time.Since(e.traceT))
+			e.traceSet = false
 		}
 		// Execute and fold outside any lock contended by the ordering path;
 		// stateMu only serializes against snapshot readers.
@@ -422,9 +459,14 @@ func (e *Executor) mergeRounds() {
 			if e.mergedApp != nil && req.Client != ids.NullOp {
 				e.mergedApp.Execute(req.Command)
 			}
+			if req.Client == ids.NullOp {
+				e.met.nullOps.Inc()
+			}
 			e.mergedSeq++
 		}
 		e.rounds++
+		e.met.mergedSeq.Set(int64(e.mergedSeq))
+		e.met.rounds.Inc()
 		e.stateMu.Unlock()
 	}
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"log"
 	"sync"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"abstractbft/internal/host"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/transport"
 )
 
@@ -61,6 +63,16 @@ type NodeConfig struct {
 	TickInterval        time.Duration
 	Ops                 *authn.OpCounter
 	Logger              *log.Logger
+	// Metrics, when non-nil, instruments the node: every sub-host registers
+	// its series labeled by shard, and the execution stage adds merge
+	// progress, lag, and backlog series.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, samples request lifecycles across the sub-hosts
+	// and the execution stage.
+	Tracer *obs.Tracer
+	// ProtocolName, when non-nil, names the protocol of an instance for the
+	// compose_active_protocol gauge of every sub-host.
+	ProtocolName func(core.InstanceID) string
 }
 
 // DefaultNullOpInterval is the default idle-shard probe period: fast enough
@@ -123,14 +135,22 @@ func NewNode(cfg NodeConfig) *Node {
 		cfg:    cfg,
 		Router: NewRouter(cfg.Endpoint, cfg.Shards),
 		Exec: NewExecutor(ExecutorConfig{
-			Shards: cfg.Shards,
-			Epoch:  cfg.Epoch,
-			NewApp: cfg.NewApp,
+			Shards:  cfg.Shards,
+			Epoch:   cfg.Epoch,
+			NewApp:  cfg.NewApp,
+			Metrics: cfg.Metrics,
+			Tracer:  cfg.Tracer,
 		}),
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		s := s
 		cl := cfg.Cluster.WithLead(s % cfg.Cluster.N)
+		// Each sub-host logs under a shard-tagged prefix so multi-shard logs
+		// stay attributable to the shard that emitted them.
+		logger := cfg.Logger
+		if logger != nil && cfg.Shards > 1 {
+			logger = log.New(logger.Writer(), logger.Prefix()+fmt.Sprintf("[s%d] ", s), logger.Flags())
+		}
 		h := host.New(host.Config{
 			Cluster:            cl,
 			Replica:            cfg.Replica,
@@ -151,7 +171,11 @@ func NewNode(cfg NodeConfig) *Node {
 			InstrumentHistories: cfg.InstrumentHistories,
 			TickInterval:        cfg.TickInterval,
 			Ops:                 cfg.Ops,
-			Logger:              cfg.Logger,
+			Logger:              logger,
+			Metrics:             cfg.Metrics,
+			MetricsLabels:       shardLabel(s),
+			Tracer:              cfg.Tracer,
+			ProtocolName:        cfg.ProtocolName,
 		})
 		h.SetObserver(&execFeed{exec: n.Exec, shard: s})
 		n.Hosts = append(n.Hosts, h)

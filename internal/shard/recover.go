@@ -344,6 +344,7 @@ func (n *Node) runReagreement(stop, done chan struct{}) {
 					n.recPinned = key.seq
 					n.recMu.Unlock()
 					n.pinShardSyncs(key.seq)
+					n.Exec.met.reagreed.Inc()
 					if n.cfg.Logger != nil {
 						n.cfg.Logger.Printf("shard: re-agreed merged boundary %d (pinned %d was stalled)", key.seq, pinned)
 					}

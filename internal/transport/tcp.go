@@ -10,6 +10,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"abstractbft/internal/authn"
@@ -60,6 +61,7 @@ func connProofBytes(nonce []byte) []byte {
 type tcpConn struct {
 	raw      net.Conn
 	codec    Codec
+	m        *TCPMetrics // nil on uninstrumented endpoints
 	out      chan Envelope
 	stop     chan struct{}
 	done     chan struct{}
@@ -74,10 +76,11 @@ const tcpSendQueue = 4096
 // never flushes under a perfectly sustained producer).
 const tcpFlushTick = time.Millisecond
 
-func newTCPConn(raw net.Conn, codec Codec) *tcpConn {
+func newTCPConn(raw net.Conn, codec Codec, m *TCPMetrics) *tcpConn {
 	c := &tcpConn{
 		raw:   raw,
 		codec: codec,
+		m:     m,
 		out:   make(chan Envelope, tcpSendQueue),
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
@@ -89,7 +92,26 @@ func newTCPConn(raw net.Conn, codec Codec) *tcpConn {
 func (c *tcpConn) writeLoop() {
 	defer close(c.done)
 	defer c.raw.Close()
-	enc := c.codec.NewEncoder(c.raw)
+	var w io.Writer = c.raw
+	var cw *countingWriter
+	if c.m != nil {
+		cw = &countingWriter{w: c.raw, total: c.m.bytesOut}
+		w = cw
+	}
+	enc := c.codec.NewEncoder(w)
+	// noteFlush sizes each coalesced write: the bytes the flush pushed onto
+	// the wire since the previous one.
+	var lastFlushed uint64
+	noteFlush := func() {
+		if cw == nil {
+			return
+		}
+		if n := cw.n.Load(); n > lastFlushed {
+			c.m.flushes.Inc()
+			c.m.flushBytes.Observe(float64(n - lastFlushed))
+			lastFlushed = n
+		}
+	}
 	// The flush timer is armed only while encoded data sits unflushed, so
 	// idle connections hold no ticking timer.
 	timer := time.NewTimer(tcpFlushTick)
@@ -102,6 +124,7 @@ func (c *tcpConn) writeLoop() {
 		if err := enc.Flush(); err != nil {
 			return false
 		}
+		noteFlush()
 		if dirty {
 			dirty = false
 			if !timer.Stop() {
@@ -122,10 +145,17 @@ func (c *tcpConn) writeLoop() {
 					// (fair-loss links) and keep the connection. Loud, because
 					// a type missing from the binary codec's table shows up
 					// exactly here.
-					log.Printf("transport: dropping unencodable %T: %v", env.Payload, err)
+					if c.m != nil {
+						c.m.encodeDrops.Inc()
+					}
+					log.Printf("transport: dropping unencodable %T to %v (%v): %v",
+						env.Payload, env.To, c.raw.RemoteAddr(), err)
 					continue
 				}
 				return
+			}
+			if c.m != nil {
+				c.m.framesOut.Inc()
 			}
 			// Coalesce: flush when no further messages are queued, so a burst
 			// crosses the kernel as a single write; otherwise arm the flush
@@ -143,8 +173,11 @@ func (c *tcpConn) writeLoop() {
 			if err := enc.Flush(); err != nil {
 				return
 			}
+			noteFlush()
 		case <-c.stop:
-			enc.Flush()
+			if enc.Flush() == nil {
+				noteFlush()
+			}
 			return
 		}
 	}
@@ -162,6 +195,9 @@ func (c *tcpConn) enqueue(env Envelope) bool {
 	case c.out <- env:
 	default:
 		// Dropped under overload; the connection is still healthy.
+		if c.m != nil {
+			c.m.queueDrops.Inc()
+		}
 	}
 	return true
 }
@@ -209,6 +245,10 @@ type TCP struct {
 	// has answered the peer's connection challenge (Prime waits on them).
 	proofMu   sync.Mutex
 	proofSent map[ids.ProcessID]chan struct{}
+
+	// metrics instruments the endpoint when set (SetMetrics); atomic because
+	// connections read it without the conns lock.
+	metrics atomic.Pointer[TCPMetrics]
 }
 
 // NewTCP creates an unauthenticated TCP endpoint for process self listening
@@ -308,7 +348,7 @@ func (t *TCP) conn(to ids.ProcessID) (*tcpConn, error) {
 		raw.Close()
 		return c, nil
 	}
-	c := newTCPConn(raw, t.codec)
+	c := newTCPConn(raw, t.codec, t.metrics.Load())
 	t.conns[to] = c
 	t.mu.Unlock()
 	// Responses come back on the same connection (processes without a listed
@@ -383,7 +423,7 @@ func (t *TCP) acceptLoop() {
 		// Every connection gets exactly one writer (one codec stream) created
 		// up front; the acceptor challenges the dialer over it when the
 		// handshake is enabled.
-		wconn := newTCPConn(conn, t.codec)
+		wconn := newTCPConn(conn, t.codec, t.metrics.Load())
 		var nonce []byte
 		if t.keys != nil {
 			nonce = make([]byte, 32)
@@ -407,7 +447,12 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 	defer conn.Close()
 	defer wconn.close()
 	defer t.dropByRaw(conn)
-	dec := t.codec.NewDecoder(conn)
+	m := t.metrics.Load()
+	var r io.Reader = conn
+	if m != nil {
+		r = &countingReader{r: conn, total: m.bytesIn}
+	}
+	dec := t.codec.NewDecoder(r)
 	// registered caches which peers this connection already routes replies
 	// for, so the global registration lock is taken once per peer rather
 	// than once per message.
@@ -419,11 +464,26 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 		if err := dec.Decode(&env); err != nil {
 			// EOFs and local closes are the normal ends of a connection; a
 			// framing or codec error is not — it kills the connection (the
-			// peer re-dials) and deserves a trace.
+			// peer re-dials) and deserves a trace naming the peer, so
+			// multi-process e2e logs stay attributable.
 			if err != io.EOF && err != io.ErrUnexpectedEOF && !errors.Is(err, net.ErrClosed) {
-				log.Printf("transport %v: closing connection on decode error: %v", t.self, err)
+				if m != nil {
+					m.decodeErrors.Inc()
+				}
+				peer := "unproven peer"
+				switch {
+				case dialed != noPeer:
+					peer = fmt.Sprintf("dialed peer %v", dialed)
+				case proven >= 0:
+					peer = fmt.Sprintf("proven peer %v", proven)
+				}
+				log.Printf("transport %v: closing connection to %s (%v) on decode error: %v",
+					t.self, peer, conn.RemoteAddr(), err)
 			}
 			return
+		}
+		if m != nil {
+			m.framesIn.Inc()
 		}
 		switch hs := env.Payload.(type) {
 		case *ConnChallenge:
@@ -471,6 +531,9 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 		// Expand write-coalesced packs so inbox consumers only ever see
 		// protocol payloads.
 		if p, ok := env.Payload.(*Packed); ok {
+			if m != nil {
+				m.packsIn.Add(uint64(len(p.Payloads)))
+			}
 			for _, payload := range p.Payloads {
 				if !t.deliverLocal(Envelope{From: env.From, To: env.To, Payload: payload}) {
 					return
