@@ -53,6 +53,7 @@ func main() {
 		delta       = flag.Duration("delta", 30*time.Millisecond, "synchrony bound used for client timers (legacy mode)")
 		listenBase  = flag.Int("listen-base", 8100, "first local TCP port for client endpoints")
 		metricsAt   = flag.String("metrics-addr", "", "observability listen address serving /metrics and /metrics.json (empty = metrics off)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof on the observability address (also enabled by the topology's pprof knob)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,10 @@ func main() {
 		RequestSize:       *requestSize,
 	}
 	traceRate := 128
+	// tracer makes the cluster-wide head sampling decision at the client (set
+	// when metrics are on): sampled requests carry their trace context on the
+	// wire so every downstream process records spans under the same trace ID.
+	var tracer *obs.Tracer
 
 	if *topoPath != "" {
 		topo, err := deploy.LoadTopology(*topoPath)
@@ -91,6 +96,9 @@ func main() {
 		}
 		cfg.Pipeline = depth
 		traceRate = topo.TraceRate()
+		if topo.Pprof {
+			*pprofOn = true
+		}
 		newInvoker = func(i int) (workload.Invoker, ids.ProcessID, error) {
 			clientID := ids.Client(*baseID + i)
 			// DialClient primes the endpoint (connection proof completed with
@@ -102,6 +110,10 @@ func main() {
 			if err != nil {
 				return nil, 0, err
 			}
+			// The sharded client stamps sampled requests itself and records
+			// the root send span, so the metrics wrapper below only keeps the
+			// counters and the RTT histogram.
+			client.SetTracer(tracer)
 			return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
 				return client.Invoke(ctx, req)
 			}), clientID, nil
@@ -152,21 +164,32 @@ func main() {
 		}
 	}
 
-	// When requested, serve the client's own observability front door and wrap
-	// every invoker with the request/error counters, the RTT histogram, and
-	// the sampled end-to-end reply trace stage.
+	// When requested, serve the client's own observability front door (metrics,
+	// span ring, flight recorder, optional pprof) and wrap every invoker with
+	// the request/error counters and the RTT histogram. The tracer head-samples
+	// at the topology's trace_sample_rate: in topology mode the sharded client
+	// stamps and records the root span itself, in legacy mode the wrapper does.
 	var srv *obs.Server
+	legacy := *topoPath == ""
 	if *metricsAt != "" {
 		reg := obs.NewRegistry()
+		spans := obs.NewSpanRing(fmt.Sprintf("client-%d", *baseID), 0)
+		flight := obs.NewFlight(fmt.Sprintf("client-%d", *baseID), 0)
 		var err error
-		if srv, err = obs.Serve(*metricsAt, reg); err != nil {
+		srv, err = obs.ServeObs(*metricsAt, obs.ServeConfig{
+			Registry: reg,
+			Spans:    spans,
+			Flight:   flight,
+			Pprof:    *pprofOn,
+		})
+		if err != nil {
 			log.Fatalf("metrics: %v", err)
 		}
 		log.Printf("metrics on http://%s/metrics", srv.Addr())
 		reqs := reg.Counter("client_requests_total")
 		errs := reg.Counter("client_errors_total")
 		rtt := reg.Histogram("client_rtt_seconds", obs.LatencyBuckets)
-		tracer := obs.NewTracer(reg, traceRate)
+		tracer = obs.NewTracerRing(reg, traceRate, spans)
 		inner := newInvoker
 		newInvoker = func(i int) (workload.Invoker, ids.ProcessID, error) {
 			inv, id, err := inner(i)
@@ -174,6 +197,12 @@ func main() {
 				return nil, 0, err
 			}
 			return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+				var tc obs.TraceContext
+				if legacy {
+					if tc = tracer.NewTrace(); tc.Sampled() {
+						req.Trace = obs.TraceContext{TraceID: tc.TraceID, Parent: tc.TraceID}
+					}
+				}
 				start := time.Now()
 				out, err := inv.Invoke(ctx, req)
 				d := time.Since(start)
@@ -182,8 +211,8 @@ func main() {
 					errs.Inc()
 				}
 				rtt.ObserveDuration(d)
-				if tracer.Sample() {
-					tracer.Observe(obs.StageReply, d)
+				if tc.Sampled() {
+					tracer.Record(tc, obs.StageSend, 0, start, d)
 				}
 				return out, err
 			}), id, nil
@@ -196,7 +225,7 @@ func main() {
 		log.Fatalf("run: %v", err)
 	}
 	if srv != nil {
-		defer srv.Close()
+		defer srv.Shutdown()
 	}
 	fmt.Printf("committed %d requests in %v\n", res.Committed, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.0f req/s\n", res.ThroughputOps())

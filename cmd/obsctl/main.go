@@ -1,0 +1,81 @@
+// Command obsctl is the cluster-wide introspection CLI: it scrapes every
+// process of a topology-file deployment (replica observability addresses from
+// the topology's metrics_addrs, plus any extra addresses such as client front
+// doors via -addrs), renders a replica health table, flags divergence against
+// the f+1 majority, and — on request — prints the stitched cross-process
+// trace trees and the protocol flight recorders.
+//
+//	go run ./cmd/obsctl -topology cluster.json
+//	go run ./cmd/obsctl -topology cluster.json -traces 3 -flight
+//	go run ./cmd/obsctl -addrs 127.0.0.1:9100,127.0.0.1:9101 -f 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"abstractbft/internal/deploy"
+	"abstractbft/internal/obsctl"
+)
+
+func main() {
+	var (
+		topoPath = flag.String("topology", "", "topology JSON file; scrapes its metrics_addrs and uses its f for majorities")
+		addrs    = flag.String("addrs", "", "comma-separated extra observability addresses to scrape (clients, or a full list without -topology)")
+		f        = flag.Int("f", 1, "tolerated Byzantine replicas for majority checks (overridden by the topology's f)")
+		traces   = flag.Int("traces", 0, "print up to N stitched cross-process traces, newest first (0 = none)")
+		flight   = flag.Bool("flight", false, "print every process's protocol flight recorder")
+		seqSlack = flag.Float64("seq-slack", 64, "applied-seq distance from the f+1 watermark tolerated before flagging a replica as diverged (absorbs scrape skew on a moving cluster)")
+		timeout  = flag.Duration("timeout", obsctl.DefaultTimeout, "per-process scrape timeout")
+	)
+	flag.Parse()
+
+	var targets []string
+	if *topoPath != "" {
+		topo, err := deploy.LoadTopology(*topoPath)
+		if err != nil {
+			log.Fatalf("topology: %v", err)
+		}
+		if len(topo.MetricsAddrs) == 0 {
+			log.Fatalf("topology %s declares no metrics_addrs to scrape", *topoPath)
+		}
+		targets = append(targets, topo.MetricsAddrs...)
+		*f = topo.F
+	}
+	for _, a := range strings.Split(*addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		log.Fatal("nothing to scrape: pass -topology and/or -addrs")
+	}
+
+	dumps := obsctl.ScrapeAll(targets, *timeout)
+	healths := obsctl.HealthAll(dumps)
+	obsctl.WriteHealthTable(os.Stdout, healths)
+
+	diverged := obsctl.Divergence(healths, *f, *seqSlack)
+	for _, d := range diverged {
+		fmt.Printf("DIVERGENCE %s\n", d)
+	}
+	if len(diverged) == 0 {
+		fmt.Printf("cluster healthy: %d processes agree within f+1 majorities (f=%d)\n", len(targets), *f)
+	}
+
+	if *traces > 0 {
+		stitched := obsctl.Stitch(dumps)
+		fmt.Printf("\n%d stitched traces across %d processes\n", len(stitched), len(targets))
+		obsctl.WriteTraces(os.Stdout, stitched, *traces)
+	}
+	if *flight {
+		fmt.Println()
+		obsctl.WriteFlight(os.Stdout, dumps)
+	}
+	if len(diverged) > 0 {
+		os.Exit(1)
+	}
+}

@@ -56,6 +56,7 @@ func main() {
 		appName    = flag.String("app", "kv", "replicated application: kv, counter, or null (legacy mode)")
 		replySize  = flag.Int("reply-size", 0, "reply size for the null application (legacy mode)")
 		metricsAt  = flag.String("metrics-addr", "", "observability listen address serving /metrics and /metrics.json (overrides the topology's metrics_addrs entry; empty in legacy mode = metrics off)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof on the observability address (also enabled by the topology's pprof knob)")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func main() {
 	log.SetPrefix(fmt.Sprintf("[r%d] ", *id))
 
 	if *topoPath != "" {
-		runTopology(*topoPath, *id, *recoverOpt, *recoverTO, *metricsAt)
+		runTopology(*topoPath, *id, *recoverOpt, *recoverTO, *metricsAt, *pprofOn)
 		return
 	}
 
@@ -107,9 +108,10 @@ func main() {
 	}
 
 	// Metrics stay off in legacy mode unless explicitly requested.
-	reg, srv := serveMetrics(*metricsAt)
+	reg, srv, spans, flight := serveObs(*metricsAt, fmt.Sprintf("replica-%d", *id), nil, *pprofOn)
 	keys.SetMetrics(reg)
 	ep.SetMetrics(transport.NewTCPMetrics(reg))
+	ep.SetFlight(flight)
 
 	h := host.New(host.Config{
 		Cluster:       cluster,
@@ -121,6 +123,8 @@ func main() {
 		NewProtocol:   factory,
 		Logger:        newReplicaLogger(*id),
 		Metrics:       reg,
+		Tracer:        obs.NewTracerRing(reg, 1, spans),
+		Flight:        flight,
 	})
 	h.Start()
 	log.Printf("replica %v (%s, f=%d) listening on %s", self, *protocol, *f, ep.Addr())
@@ -137,24 +141,36 @@ func newReplicaLogger(id int) *log.Logger {
 	return log.New(os.Stderr, fmt.Sprintf("[r%d] ", id), log.LstdFlags|log.Lmicroseconds)
 }
 
-// serveMetrics starts the observability front door on addr (empty = off) and
-// returns the registry to instrument the stack with (nil when off).
-func serveMetrics(addr string) (*obs.Registry, *obs.Server) {
+// serveObs starts the observability front door on addr (empty = off):
+// /metrics + /metrics.json off the registry, /debug/traces.json off the span
+// ring, /debug/flight.json off the flight recorder, and net/http/pprof when
+// pprofOn. The span ring and flight recorder are labelled with the process
+// name so cluster-wide dumps stay attributable. All returns are nil when off.
+func serveObs(addr, process string, reg *obs.Registry, pprofOn bool) (*obs.Registry, *obs.Server, *obs.SpanRing, *obs.Flight) {
 	if addr == "" {
-		return nil, nil
+		return nil, nil, nil, nil
 	}
-	reg := obs.NewRegistry()
-	srv, err := obs.Serve(addr, reg)
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	spans := obs.NewSpanRing(process, 0)
+	flight := obs.NewFlight(process, 0)
+	srv, err := obs.ServeObs(addr, obs.ServeConfig{
+		Registry: reg,
+		Spans:    spans,
+		Flight:   flight,
+		Pprof:    pprofOn,
+	})
 	if err != nil {
 		log.Fatalf("metrics: %v", err)
 	}
 	log.Printf("metrics on http://%s/metrics", srv.Addr())
-	return reg, srv
+	return reg, srv, spans, flight
 }
 
 func closeMetrics(srv *obs.Server) {
 	if srv != nil {
-		srv.Close()
+		srv.Shutdown()
 	}
 }
 
@@ -163,7 +179,7 @@ func closeMetrics(srv *obs.Server) {
 // one authenticated TCP endpoint, the shard router demultiplexing
 // shard.Mark-wrapped traffic, and the asynchronous execution stage merging
 // the shards' ordered spans.
-func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration, metricsAt string) {
+func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration, metricsAt string, pprofOn bool) {
 	topo, err := deploy.LoadTopology(path)
 	if err != nil {
 		log.Fatalf("topology: %v", err)
@@ -180,10 +196,11 @@ func runTopology(path string, id int, recoverOpt bool, recoverTO time.Duration, 
 	if metricsAt == "" {
 		metricsAt = topo.MetricsAddr(self)
 	}
-	reg, srv := serveMetrics(metricsAt)
+	reg, srv, spans, flight := serveObs(metricsAt, fmt.Sprintf("replica-%d", id), nil, pprofOn || topo.Pprof)
 	ep.SetMetrics(transport.NewTCPMetrics(reg))
+	ep.SetFlight(flight)
 	logger := newReplicaLogger(id)
-	node, err := topo.NewNode(self, ep, logger, reg)
+	node, err := topo.NewNodeObs(self, ep, logger, reg, spans, flight)
 	if err != nil {
 		log.Fatalf("node: %v", err)
 	}

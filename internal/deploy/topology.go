@@ -80,10 +80,16 @@ type Topology struct {
 	// replica). Each replica serves Prometheus text at /metrics and a JSON
 	// snapshot at /metrics.json on its address.
 	MetricsAddrs []string `json:"metrics_addrs,omitempty"`
-	// TraceSampleRate samples one request lifecycle out of every N through
-	// the stage tracer when metrics are enabled (0 = default 128, negative =
-	// tracing off).
+	// TraceSampleRate head-samples one request lifecycle out of every N at the
+	// client when metrics are enabled: the sampled request is stamped with a
+	// trace context that rides the wire, so every process of the cluster
+	// records spans for the same one-in-N requests (0 = default 128, negative
+	// = tracing off).
 	TraceSampleRate int `json:"trace_sample_rate,omitempty"`
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/ on every
+	// process's observability address. Off by default: profiling endpoints
+	// can stall a process and belong behind an explicit operator opt-in.
+	Pprof bool `json:"pprof,omitempty"`
 }
 
 // LoadTopology reads and validates a topology file.
@@ -285,6 +291,14 @@ func (t Topology) ShardCount() int {
 // RecoverFromPeers, for a crash-restarted process) must be called on the
 // result.
 func (t Topology) NewNode(self ids.ProcessID, ep transport.Endpoint, logger *log.Logger, reg *obs.Registry) (*shard.Node, error) {
+	return t.NewNodeObs(self, ep, logger, reg, nil, nil)
+}
+
+// NewNodeObs builds the same node as NewNode with the full observability
+// plane attached: spans, when non-nil, collects the spans of client-sampled
+// traces (served at /debug/traces.json), and flight, when non-nil, records
+// the node's protocol events (served at /debug/flight.json).
+func (t Topology) NewNodeObs(self ids.ProcessID, ep transport.Endpoint, logger *log.Logger, reg *obs.Registry, spans *obs.SpanRing, flight *obs.Flight) (*shard.Node, error) {
 	comp, err := t.Compile()
 	if err != nil {
 		return nil, err
@@ -307,7 +321,8 @@ func (t Topology) NewNode(self ids.ProcessID, ep transport.Endpoint, logger *log
 		CheckpointInterval: t.CheckpointInterval,
 		Logger:             logger,
 		Metrics:            reg,
-		Tracer:             obs.NewTracer(reg, t.TraceRate()),
+		Tracer:             obs.NewTracerRing(reg, t.TraceRate(), spans),
+		Flight:             flight,
 		ProtocolName:       comp.ProtocolOf,
 	}), nil
 }

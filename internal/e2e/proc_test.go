@@ -21,6 +21,7 @@ import (
 	"abstractbft/internal/app"
 	"abstractbft/internal/deploy"
 	"abstractbft/internal/obs"
+	"abstractbft/internal/obsctl"
 	"abstractbft/internal/proccluster"
 )
 
@@ -82,6 +83,9 @@ func testTopology() deploy.Topology {
 		// through Backup k-cycles instead of resuming at full rate.
 		DeltaMs:  8000,
 		Pipeline: 2,
+		// Head-sample every request: the stitched-trace assertions below need
+		// deterministic span coverage, and the e2e workload is tiny.
+		TraceSampleRate: 1,
 	}
 }
 
@@ -136,6 +140,11 @@ func TestProcessShardedClusterSmoke(t *testing.T) {
 	}
 	defer ep.Close()
 	defer v.Close()
+	// Head-sample the verifier's requests (rate 1 from the test topology):
+	// each put/get below stamps a trace context that rides the wire, so the
+	// replica processes record spans for it in their own address spaces.
+	spans := obs.NewSpanRing("verifier-90", 0)
+	v.Client.SetTracer(obs.NewTracerRing(obs.NewRegistry(), cluster.Topo.TraceRate(), spans))
 	if _, err := v.Put(ctx, "smoke", "works"); err != nil {
 		t.Fatalf("put: %v", err)
 	}
@@ -170,6 +179,62 @@ func TestProcessShardedClusterSmoke(t *testing.T) {
 	if len(snap.Counters) == 0 {
 		t.Fatalf("replica 0 /metrics.json returned no counters")
 	}
+
+	// Distributed tracing, stitched cluster-wide: scrape every replica
+	// process's span ring over HTTP, add the in-test verifier's own ring (the
+	// cmd/client process has already exited), and stitch. At least one trace
+	// must span three or more OS processes — the verifier plus two replicas —
+	// proving the context propagated across real sockets.
+	dumps := scrapeCluster(cluster)
+	dumps = append(dumps, obsctl.ProcessDump{Addr: "in-test", Process: "verifier-90", Traces: spans.Dump()})
+	traces := obsctl.Stitch(dumps)
+	if len(traces) == 0 {
+		dumpLogs(t, cluster)
+		t.Fatalf("no stitched traces: verifier ring %d spans", len(spans.Snapshot()))
+	}
+	var wide *obsctl.Trace
+	for _, tr := range traces {
+		if tr.Covers(3) && tr.HasStage("send") && tr.HasStage("execute") {
+			wide = tr
+			break
+		}
+	}
+	if wide == nil {
+		var b strings.Builder
+		obsctl.WriteTraces(&b, traces, 10)
+		t.Fatalf("no trace spans 3+ processes with send+execute stages:\n%s", b.String())
+	}
+
+	// The protocol flight recorder: a run that committed checkpoints must
+	// have recorded events on every replica's black box.
+	for i, d := range dumps[:cluster.Topo.Cluster().N] {
+		if d.Err != nil {
+			t.Fatalf("replica %d flight scrape: %v", i, d.Err)
+		}
+		if len(d.Flight.Events) == 0 {
+			t.Fatalf("replica %d flight recorder is empty after a checkpointing run", i)
+		}
+	}
+
+	// The health plane obsctl renders: no replica may diverge from the f+1
+	// majority on active protocol, and the quiesced cluster agrees on applied
+	// sequence within the scrape slack.
+	healths := obsctl.HealthAll(dumps[:cluster.Topo.Cluster().N])
+	if flags := obsctl.Divergence(healths, cluster.Topo.F, 64); len(flags) != 0 {
+		var b strings.Builder
+		obsctl.WriteHealthTable(&b, healths)
+		t.Fatalf("healthy cluster flagged as diverged: %v\n%s", flags, b.String())
+	}
+}
+
+// scrapeCluster scrapes every replica's observability front door.
+func scrapeCluster(cluster *proccluster.Cluster) []obsctl.ProcessDump {
+	n := cluster.Topo.Cluster().N
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		addrs[i] = cluster.MetricsAddr(i)
+	}
+	return obsctl.ScrapeAll(addrs, 5*time.Second)
 }
 
 // assertSeriesNonZero scrapes http://addr/metrics and checks that at least
@@ -243,6 +308,8 @@ func TestProcessShardedCrashRestart(t *testing.T) {
 	}
 	defer ep.Close()
 	defer v.Close()
+	spans := obs.NewSpanRing("verifier-90", 0)
+	v.Client.SetTracer(obs.NewTracerRing(obs.NewRegistry(), cluster.Topo.TraceRate(), spans))
 
 	// Pre-kill state: a canary key and a committed read whose reply the
 	// cluster must later serve from cache.
@@ -295,6 +362,27 @@ func TestProcessShardedCrashRestart(t *testing.T) {
 		}
 	}
 
+	// Flight-recorder acceptance, scraped NOW: the restarted replica just
+	// state-synced, so its (fresh) flight ring still holds the
+	// statesync-start/adopt events near its head. Scraping at test end would
+	// race the 3000-request workload's checkpoint/GC events evicting them
+	// from the bounded ring.
+	sawStatesync := false
+	for i, d := range scrapeCluster(cluster) {
+		if d.Err != nil {
+			t.Fatalf("replica %d flight scrape: %v", i, d.Err)
+		}
+		for _, e := range d.Flight.Events {
+			if strings.HasPrefix(e.Kind, "statesync") {
+				sawStatesync = true
+			}
+		}
+	}
+	if !sawStatesync {
+		dumpLogs(t, cluster)
+		t.Fatal("no replica's flight recorder captured the statesync recovery")
+	}
+
 	// The workload process must finish every request (exit status 0).
 	done := make(chan error, 1)
 	go func() { done <- workload.Wait() }()
@@ -340,5 +428,39 @@ func TestProcessShardedCrashRestart(t *testing.T) {
 	}
 	if got != "after-restart" {
 		t.Fatalf("post-restart get returned %q, want %q", got, "after-restart")
+	}
+
+	// Stitched-trace acceptance: the post-restart traffic above was
+	// head-sampled, so scraping the recovered cluster and stitching with the
+	// verifier's ring must yield a single trace ID that crossed from the
+	// client into at least two replica processes and covered the full request
+	// lifecycle — send (client), order (primary), execute, merge, and the
+	// reply point event.
+	dumps := scrapeCluster(cluster)
+	dumps = append(dumps, obsctl.ProcessDump{Addr: "in-test", Process: "verifier-90", Traces: spans.Dump()})
+	traces := obsctl.Stitch(dumps)
+	stages := []string{"send", "order", "execute", "merge", "reply"}
+	var full *obsctl.Trace
+	for _, tr := range traces {
+		if !tr.Covers(3) {
+			continue
+		}
+		ok := true
+		for _, s := range stages {
+			if !tr.HasStage(s) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			full = tr
+			break
+		}
+	}
+	if full == nil {
+		var b strings.Builder
+		obsctl.WriteTraces(&b, traces, 10)
+		dumpLogs(t, cluster)
+		t.Fatalf("no stitched trace covers 3+ processes with stages %v:\n%s", stages, b.String())
 	}
 }

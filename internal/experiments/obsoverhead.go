@@ -108,8 +108,14 @@ func runOverheadOnce(ctx context.Context, cfg MetricsOverheadConfig, instrumente
 		return 0, obs.Snapshot{}, err
 	}
 	var reg *obs.Registry
+	// clientTracer makes the head-sampling decision the real client makes:
+	// one request in every TraceSampleRate gets a trace context stamped on it,
+	// so the instrumented run pays the full traced path — the per-request
+	// sampling check, the wire trace block, and the replica-side span records.
+	var clientTracer *obs.Tracer
 	if instrumented {
 		reg = obs.NewRegistry()
+		clientTracer = obs.NewTracer(reg, cfg.TraceSampleRate)
 	}
 	cluster, err := deploy.New(deploy.Config{
 		F:           1,
@@ -133,6 +139,13 @@ func runOverheadOnce(ctx context.Context, cfg MetricsOverheadConfig, instrumente
 			return nil, 0, err
 		}
 		return workload.InvokerFunc(func(ctx context.Context, req msg.Request) ([]byte, error) {
+			if tc := clientTracer.NewTrace(); tc.Sampled() {
+				req.Trace = obs.TraceContext{TraceID: tc.TraceID, Parent: tc.TraceID}
+				start := time.Now()
+				out, err := client.Invoke(ctx, req)
+				clientTracer.Record(tc, obs.StageSend, 0, start, time.Since(start))
+				return out, err
+			}
 			return client.Invoke(ctx, req)
 		}), ids.Client(i), nil
 	})

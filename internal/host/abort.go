@@ -42,6 +42,8 @@ func (h *Host) handlePanic(from ids.ProcessID, m *core.PanicMessage) {
 	if !st.Stopped {
 		st.Stopped = true
 		h.met.aborts.Inc()
+		h.cfg.Flight.Record("abort", h.cfg.Shard,
+			"instance %d stopped on PANIC from %v (t=%d)", st.ID, m.Client, m.Timestamp)
 		if h.observer != nil {
 			h.observer.InstanceStopped(st.ID)
 		}
@@ -99,6 +101,7 @@ func (h *Host) StopInstance(st *InstanceState) {
 	if !st.Stopped {
 		st.Stopped = true
 		h.met.aborts.Inc()
+		h.cfg.Flight.Record("abort", h.cfg.Shard, "instance %d stopped by replica", st.ID)
 		if h.observer != nil {
 			h.observer.InstanceStopped(st.ID)
 		}

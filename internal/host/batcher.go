@@ -139,10 +139,20 @@ func (b *Batcher) Flush() {
 	b.h.met.batches.Inc()
 	b.h.met.batchFill.Observe(float64(len(items)))
 	if !b.firstAdd.IsZero() {
-		if b.h.cfg.Tracer.Sample() {
+		// The batch is traced iff a member carries a client-stamped trace
+		// context (head sampling happens at the client, not here).
+		var ctx obs.TraceContext
+		for i := range items {
+			if items[i].Req.Trace.Sampled() {
+				ctx = items[i].Req.Trace
+				break
+			}
+		}
+		if ctx.Sampled() {
 			now := time.Now()
-			b.h.cfg.Tracer.Observe(obs.StageAssemble, now.Sub(b.firstAdd))
+			b.h.cfg.Tracer.Record(ctx, obs.StageAssemble, b.h.cfg.Shard, b.firstAdd, now.Sub(b.firstAdd))
 			// Hand the sampled batch to LogBatch for the ordering stage.
+			b.h.traceCtx = ctx
 			b.h.traceFlushT = now
 		}
 		b.firstAdd = time.Time{}

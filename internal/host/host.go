@@ -163,9 +163,19 @@ type Config struct {
 	// the sharded plane labels each sub-host by shard so their series stay
 	// distinguishable in a shared registry.
 	MetricsLabels []string
-	// Tracer, when non-nil, samples request lifecycles and records per-stage
-	// durations (batch assembly, ordering, execution).
+	// Tracer, when non-nil, records per-stage durations (batch assembly,
+	// ordering, execution) for requests carrying a wire-propagated trace
+	// context — and, when the tracer has a span ring, the spans themselves.
+	// The sampling decision is the client's (head sampling); the host never
+	// samples on its own.
 	Tracer *obs.Tracer
+	// Shard labels this host's spans and flight events in the sharded plane
+	// (0 for unsharded deployments).
+	Shard int
+	// Flight, when non-nil, receives the host's protocol flight-recorder
+	// events: instance switches with the abort reporter set, aborts,
+	// checkpoints, GC runs, and state-transfer phases.
+	Flight *obs.Flight
 	// ProtocolName, when non-nil, names the protocol of an instance for the
 	// compose_active_protocol gauge (wired from the composition's schedule).
 	ProtocolName func(core.InstanceID) string
@@ -229,9 +239,11 @@ type Host struct {
 	// at most one sampled batch/request is in flight per stage, which keeps
 	// tracing allocation-free. All are event-loop state under h.mu.
 	met          *hostMetrics
-	traceFlushT  time.Time // a sampled batch was flushed, awaiting LogBatch
-	traceExecT   time.Time // a sampled request was logged, awaiting apply
-	traceExecPos uint64    // applied seq at which the sampled request is applied
+	traceCtx     obs.TraceContext // context of the flushed sampled batch
+	traceFlushT  time.Time        // a sampled batch was flushed, awaiting LogBatch
+	traceExecCtx obs.TraceContext // context of the logged sampled batch
+	traceExecT   time.Time        // a sampled request was logged, awaiting apply
+	traceExecPos uint64           // applied seq at which the sampled request is applied
 	traceExecOn  bool
 
 	// fault/attack injection knobs.

@@ -390,6 +390,18 @@ func (h *Host) activate(id core.InstanceID, init *core.InitHistory) *InstanceSta
 		}
 		if h.active != 0 {
 			h.met.switches.Inc()
+			if h.cfg.Flight != nil {
+				// Record the switch with the abort reporter set of the init
+				// proof: which replicas' signed aborts justified it.
+				var reporters []ids.ProcessID
+				if init != nil {
+					for _, s := range init.Proof {
+						reporters = append(reporters, s.Abort.Replica)
+					}
+				}
+				h.cfg.Flight.Record("switch", h.cfg.Shard,
+					"instance %d -> %d, reporters %v", h.active, id, reporters)
+			}
 		}
 		h.active = id
 	}
@@ -627,8 +639,9 @@ func (h *Host) applyRequest(r msg.Request) []byte {
 	h.appliedAcc = history.DigestStep(h.appliedAcc, r.Digest())
 	h.met.appliedSeq.Set(int64(h.appliedSeq))
 	if h.traceExecOn && h.appliedSeq >= h.traceExecPos {
-		h.cfg.Tracer.Observe(obs.StageExecute, time.Since(h.traceExecT))
+		h.cfg.Tracer.Record(h.traceExecCtx, obs.StageExecute, h.cfg.Shard, h.traceExecT, time.Since(h.traceExecT))
 		h.traceExecOn = false
+		h.traceExecCtx = obs.TraceContext{}
 	}
 	h.maybeSnapshot()
 	return reply
@@ -671,19 +684,23 @@ func (h *Host) LogBatch(st *InstanceState, batch msg.Batch) (uint64, bool) {
 	st.digestDirty = true
 	h.met.logged.Add(uint64(batch.Len()))
 	if h.cfg.Tracer != nil {
+		ctx := batch.TraceCtx()
 		var now time.Time
-		if !h.traceFlushT.IsZero() {
-			// This batch was sampled at assembler flush: the flush→log gap is
-			// the ordering stage (one protocol round trip on the orderer).
+		if !h.traceFlushT.IsZero() && ctx.TraceID == h.traceCtx.TraceID {
+			// This batch was flushed carrying a sampled context (the orderer's
+			// assembler armed the slot): the flush→log gap is the ordering
+			// stage (one protocol round trip on the orderer).
 			now = time.Now()
-			h.cfg.Tracer.Observe(obs.StageOrder, now.Sub(h.traceFlushT))
+			h.cfg.Tracer.Record(h.traceCtx, obs.StageOrder, h.cfg.Shard, h.traceFlushT, now.Sub(h.traceFlushT))
+			h.traceCtx = obs.TraceContext{}
 			h.traceFlushT = time.Time{}
 		}
-		if !h.traceExecOn && h.cfg.Tracer.Sample() {
+		if !h.traceExecOn && ctx.Sampled() {
 			if now.IsZero() {
 				now = time.Now()
 			}
 			h.traceExecOn = true
+			h.traceExecCtx = ctx
 			h.traceExecPos = st.AbsLen()
 			h.traceExecT = now
 		}

@@ -1,10 +1,13 @@
 package host
 
 import (
+	"time"
+
 	"abstractbft/internal/authn"
 	"abstractbft/internal/core"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 )
 
 // BuildResp assembles the speculative RESP message sent to a client by
@@ -29,6 +32,11 @@ func (h *Host) BuildResp(st *InstanceState, req msg.Request, reply []byte, desig
 	}
 	resp.MAC = h.keys.MAC(h.id, req.Client, resp.MACBytes())
 	h.cfg.Ops.CountMACGen(h.id, 1)
+	// A traced request marks the speculative reply leaving the replica as a
+	// zero-duration point event (span only; no histogram sample).
+	if req.Trace.Sampled() {
+		h.cfg.Tracer.Record(req.Trace, obs.StageReply, h.cfg.Shard, time.Now(), 0)
+	}
 	return resp
 }
 

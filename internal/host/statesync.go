@@ -98,6 +98,7 @@ func (h *Host) maybeSnapshot() {
 	}
 	h.snaps.Add(statesync.NewSnapshot(h.appliedSeq, h.appliedAcc, h.application.Snapshot(), windows, rings))
 	h.met.checkpoints.Inc()
+	h.cfg.Flight.Record("checkpoint", h.cfg.Shard, "snapshot at seq %d", h.appliedSeq)
 	// A checkpoint can stabilize before the application executes up to it
 	// (logging runs ahead of execution within a batch): garbage collection
 	// deferred then runs now that the application crossed the boundary.
@@ -167,6 +168,9 @@ func (h *Host) onStableCheckpoint(st *InstanceState) {
 	}
 	h.met.gcRuns.Inc()
 	h.met.stableSeq.Set(int64(s))
+	h.cfg.Flight.Record("gc", h.cfg.Shard,
+		"trimmed below stable seq %d (%d instance digests, %d applied digests)",
+		s, len(dropped), len(appliedDropped))
 	// Release request bodies named only by the dropped prefixes.
 	retained := make(map[authn.Digest]bool)
 	for _, inst := range h.instances {
@@ -262,6 +266,7 @@ func (h *Host) startStateSync(inst core.InstanceID, seq uint64) {
 	}
 	h.sync = &syncState{inst: inst, seq: seq, col: col}
 	h.met.ssStarted.Inc()
+	h.cfg.Flight.Record("statesync-start", h.cfg.Shard, "instance %d, max seq %d", inst, seq)
 	h.logf("statesync: fetching state (instance %d, max seq %d)", inst, seq)
 	h.sendFetchState()
 }
@@ -325,6 +330,8 @@ func (h *Host) tickSync() {
 	h.sync.payloadIdx++
 	h.sync.sawDesignated = false
 	h.met.ssRetries.Inc()
+	h.cfg.Flight.Record("statesync-retry", h.cfg.Shard,
+		"instance %d, max seq %d", h.sync.inst, h.sync.seq)
 	h.sendFetchState()
 }
 
@@ -376,6 +383,8 @@ func (h *Host) handleState(from ids.ProcessID, m *statesync.State) {
 func (h *Host) adoptSyncedState(a *statesync.Adopted, inst core.InstanceID) {
 	h.met.ssAdopted.Inc()
 	h.met.ssBytesIn.Add(uint64(len(a.Snap.AppState)))
+	h.cfg.Flight.Record("statesync-adopt", h.cfg.Shard,
+		"instance %d adopted snapshot seq %d (%d bodies)", inst, a.Snap.Seq, len(a.Bodies))
 	for _, r := range a.Bodies {
 		h.requestStore[r.Digest()] = r
 	}

@@ -2,6 +2,7 @@ package msg
 
 import (
 	"abstractbft/internal/authn"
+	"abstractbft/internal/obs"
 )
 
 // Batch is an ordered sequence of client requests treated as one unit of the
@@ -11,10 +12,41 @@ import (
 // degenerate case and is semantically identical to the unbatched path.
 type Batch struct {
 	Requests []Request
+	// Trace is the batch-level tracing context: the context of the first
+	// sampled member (BatchOf hoists it so batch-granular trace hooks need no
+	// member scan). Like Request.Trace it is excluded from Digest — tracing
+	// never changes agreement identity.
+	Trace obs.TraceContext
 }
 
-// BatchOf builds a batch from the given requests.
-func BatchOf(reqs ...Request) Batch { return Batch{Requests: reqs} }
+// BatchOf builds a batch from the given requests, hoisting the first sampled
+// member's trace context to the batch level.
+func BatchOf(reqs ...Request) Batch {
+	b := Batch{Requests: reqs}
+	for i := range reqs {
+		if reqs[i].Trace.Sampled() {
+			b.Trace = reqs[i].Trace
+			break
+		}
+	}
+	return b
+}
+
+// TraceCtx returns the batch's effective tracing context: the hoisted
+// batch-level one when set, otherwise the first sampled member's (batches
+// reassembled on the receiving side of a wire may carry the context only on
+// their members). The zero context means the batch is untraced.
+func (b Batch) TraceCtx() obs.TraceContext {
+	if b.Trace.Sampled() {
+		return b.Trace
+	}
+	for i := range b.Requests {
+		if b.Requests[i].Trace.Sampled() {
+			return b.Requests[i].Trace
+		}
+	}
+	return obs.TraceContext{}
+}
 
 // Len returns the number of requests in the batch.
 func (b Batch) Len() int { return len(b.Requests) }

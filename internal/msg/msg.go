@@ -9,6 +9,7 @@ import (
 
 	"abstractbft/internal/authn"
 	"abstractbft/internal/ids"
+	"abstractbft/internal/obs"
 )
 
 // Request is a client request to the replicated state machine. Requests are
@@ -25,6 +26,15 @@ type Request struct {
 	// ReadOnly marks requests that do not modify the state machine and may
 	// be executed using read-only optimizations.
 	ReadOnly bool
+	// Trace is the wire-propagated distributed-tracing context: zero (the
+	// common case) for unsampled requests, a head-sampled trace ID plus parent
+	// span otherwise. It rides on the request through every protocol message,
+	// batch, and retransmission, so one sampled request's spans share a trace
+	// ID across processes. Trace is deliberately EXCLUDED from Marshal,
+	// Digest, and Equal: tracing is an observability overlay and must never
+	// change a request's agreement identity (digests, MACs, signatures, and
+	// duplicate detection are all computed over the Marshal bytes).
+	Trace obs.TraceContext
 }
 
 // RequestID uniquely identifies a request: well-formed clients never reuse a

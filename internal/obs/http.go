@@ -1,39 +1,86 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
-// Server is the /metrics front door of one process: a plain net/http server
-// exposing the registry as Prometheus text at /metrics and as a JSON
-// snapshot at /metrics.json.
+// Server is the observability front door of one process: a plain net/http
+// server exposing the registry as Prometheus text at /metrics and as a JSON
+// snapshot at /metrics.json, plus — when configured — the distributed-tracing
+// span ring at /debug/traces.json, the protocol flight recorder at
+// /debug/flight.json, and the opt-in net/http/pprof handlers under
+// /debug/pprof/.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
-// Serve starts listening on addr (host:port; port 0 picks an ephemeral port)
-// and serves the registry until Close. The listener is bound synchronously so
-// a returned *Server is immediately scrapeable via Addr.
+// ServeConfig selects what the observability server exposes.
+type ServeConfig struct {
+	// Registry backs /metrics and /metrics.json (nil serves empty documents).
+	Registry *Registry
+	// Spans backs /debug/traces.json (nil serves an empty dump).
+	Spans *SpanRing
+	// Flight backs /debug/flight.json (nil serves an empty dump).
+	Flight *Flight
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/. Off by
+	// default: profiling endpoints can stall the process (CPU profiles block
+	// for their duration) and belong behind an explicit operator opt-in.
+	Pprof bool
+}
+
+// shutdownGrace is how long Shutdown waits for in-flight scrapes to finish
+// before falling back to a hard Close. Scrapes are small; a scraper that
+// cannot finish within this window is stuck, not slow.
+const shutdownGrace = 2 * time.Second
+
+// Serve starts the metrics-only front door on addr: the pre-tracing
+// signature, kept for call sites that only have a registry.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeObs(addr, ServeConfig{Registry: r})
+}
+
+// ServeObs starts listening on addr (host:port; port 0 picks an ephemeral
+// port) and serves the configured observability documents until Shutdown or
+// Close. The listener is bound synchronously so a returned *Server is
+// immediately scrapeable via Addr.
+func ServeObs(addr string, cfg ServeConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		r.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+	writeJSON := func(w http.ResponseWriter, doc any) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(r.Snapshot())
+		enc.Encode(doc)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
 	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, cfg.Registry.Snapshot())
+	})
+	mux.HandleFunc("/debug/traces.json", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, cfg.Spans.Dump())
+	})
+	mux.HandleFunc("/debug/flight.json", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, cfg.Flight.Dump())
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s := &Server{
 		ln:  ln,
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
@@ -45,5 +92,19 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the port.
+// Shutdown stops the server gracefully: the listener closes immediately, but
+// in-flight scrapes get shutdownGrace to finish their response instead of
+// being cut mid-write. A scrape still running at the deadline is dropped by
+// the hard Close fallback.
+func (s *Server) Shutdown() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Close stops the server immediately (in-flight scrapes are dropped) and
+// releases the port. Prefer Shutdown outside of tests and fatal paths.
 func (s *Server) Close() error { return s.srv.Close() }

@@ -53,6 +53,57 @@ func TestRecordAllocBudget(t *testing.T) {
 	}
 }
 
+// TestTraceUnsampledAllocBudget is the distributed-tracing allocation gate:
+// the unsampled span path — the one every request crosses when the head
+// sampler at the client did not pick it — must be allocation-free, on a live
+// tracer with a span ring attached, on a sampling miss, and on the nil
+// (tracing disabled) tracer. The sampled path may allocate (it is rate-bound
+// by the head sampler), but the common path must stay free to leave on.
+func TestTraceUnsampledAllocBudget(t *testing.T) {
+	r := NewRegistry()
+	ring := NewSpanRing("alloc-test", 64)
+	tr := NewTracerRing(r, 1<<30, ring) // effectively never head-samples
+	start := time.Now()
+	var unsampled TraceContext
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tc := tr.NewTrace(); tc.Sampled() {
+			t.Fatal("sampler hit at rate 1<<30")
+		}
+		tr.Record(unsampled, StageExecute, 0, start, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled trace path allocated %v allocs/op, want 0", allocs)
+	}
+
+	var ntr *Tracer
+	allocs = testing.AllocsPerRun(1000, func() {
+		if tc := ntr.NewTrace(); tc.Sampled() {
+			t.Fatal("nil tracer sampled")
+		}
+		ntr.Record(unsampled, StageExecute, 0, start, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer trace path allocated %v allocs/op, want 0", allocs)
+	}
+
+	// The sampled path must land its span in the ring without growing it
+	// (preallocated storage), and ring recording itself stays bounded.
+	tr2 := NewTracerRing(r, 1, ring)
+	tc := tr2.NewTrace()
+	if !tc.Sampled() {
+		t.Fatal("rate-1 tracer did not sample")
+	}
+	tr2.Record(tc, StageExecute, 1, start, time.Millisecond)
+	spans := ring.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("sampled span not recorded in the ring")
+	}
+	got := spans[len(spans)-1]
+	if got.TraceID != tc.TraceID || got.Stage != "execute" || got.Process != "alloc-test" || got.Shard != 1 {
+		t.Fatalf("recorded span = %+v, want trace %d stage execute process alloc-test shard 1", got, tc.TraceID)
+	}
+}
+
 // TestConcurrentHammer exercises registration and recording from many
 // goroutines at once; run under -race it proves the hot path needs no locks.
 func TestConcurrentHammer(t *testing.T) {

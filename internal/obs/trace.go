@@ -1,0 +1,253 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is the compact distributed-tracing header propagated on the
+// wire with a request: the trace identifier (zero = unsampled, so the
+// untraced hot path is one integer compare) and the span the receiver should
+// parent its own spans under. The sampling decision is made exactly once, at
+// the client (head sampling via Tracer.NewTrace); every process downstream
+// records spans if and only if the context it received is sampled, so one
+// request's spans share one trace ID across process boundaries.
+type TraceContext struct {
+	TraceID uint64
+	Parent  uint64
+}
+
+// Sampled reports whether the context belongs to a sampled trace. The zero
+// TraceContext is unsampled, so unstamped requests carry "no trace" at no
+// cost.
+func (c TraceContext) Sampled() bool { return c.TraceID != 0 }
+
+// idCounter generates process-unique trace and span IDs: a monotone counter
+// seeded from crypto/rand, so two processes (or two incarnations of one
+// process) do not collide on low IDs. IDs are never zero — zero means
+// unsampled.
+var idCounter atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err == nil {
+		idCounter.Store(binary.BigEndian.Uint64(seed[:]))
+	} else {
+		idCounter.Store(0x9e3779b97f4a7c15)
+	}
+}
+
+// newID returns a fresh nonzero trace/span identifier.
+func newID() uint64 {
+	for {
+		if id := idCounter.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// Span is one recorded stage of a sampled request on one process: the trace
+// it belongs to, its own span ID and parent, the process and shard that
+// recorded it, the lifecycle stage name, and the wall-clock window. A span
+// with zero duration is a point event (e.g. the reply send).
+type Span struct {
+	TraceID uint64 `json:"trace_id"`
+	SpanID  uint64 `json:"span_id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Process string `json:"process"`
+	Shard   int    `json:"shard"`
+	Stage   string `json:"stage"`
+	// Start is the span's start wall time in Unix nanoseconds; DurationNs its
+	// length. Clocks are per-process, so cross-process ordering within a
+	// stitched trace is approximate — good enough to attribute time, not to
+	// prove causality.
+	Start      int64 `json:"start_unix_nano"`
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// SpanRing is a bounded, process-tagged ring buffer of recorded spans: the
+// per-process storage behind /debug/traces.json. Recording takes one short
+// mutex hold and writes into preallocated storage; the ring keeps the newest
+// Cap spans. A nil *SpanRing drops spans, so span-capable code paths need no
+// "is tracing on" branches.
+type SpanRing struct {
+	mu      sync.Mutex
+	process string
+	buf     []Span
+	n       uint64 // total spans ever added
+}
+
+// DefaultSpanRingSize is the default per-process span capacity: enough to
+// hold the spans of hundreds of sampled requests without unbounded growth.
+const DefaultSpanRingSize = 4096
+
+// NewSpanRing builds a span ring tagged with the recording process's name
+// (e.g. "replica-2", "client"); capacity <= 0 selects DefaultSpanRingSize.
+func NewSpanRing(process string, capacity int) *SpanRing {
+	if capacity <= 0 {
+		capacity = DefaultSpanRingSize
+	}
+	return &SpanRing{process: process, buf: make([]Span, 0, capacity)}
+}
+
+// Process returns the ring's process tag ("" on a nil ring).
+func (r *SpanRing) Process() string {
+	if r == nil {
+		return ""
+	}
+	return r.process
+}
+
+// add records one span, evicting the oldest when full. Safe on a nil ring.
+func (r *SpanRing) add(sp Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	sp.Process = r.process
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, sp)
+	} else {
+		r.buf[r.n%uint64(cap(r.buf))] = sp
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first. Safe on a nil ring.
+func (r *SpanRing) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		start := r.n % uint64(cap(r.buf))
+		out = append(out, r.buf[start:]...)
+		out = append(out, r.buf[:start]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// TraceDump is the JSON document served at /debug/traces.json: the process
+// tag plus its retained spans.
+type TraceDump struct {
+	Process string `json:"process"`
+	Total   uint64 `json:"total_spans"`
+	Spans   []Span `json:"spans"`
+}
+
+// Dump captures the ring as a serializable document. Safe on a nil ring.
+func (r *SpanRing) Dump() TraceDump {
+	if r == nil {
+		return TraceDump{}
+	}
+	spans := r.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return TraceDump{Process: r.process, Total: r.n, Spans: spans}
+}
+
+// nowUnixNano is the wall clock used to stamp spans and flight events.
+func nowUnixNano() int64 { return time.Now().UnixNano() }
+
+// FlightEvent is one entry of the protocol flight recorder: a
+// sequence-stamped structured event (instance switch, abort, checkpoint, GC,
+// statesync phase, recovery re-agreement, decode-error drop). Seq orders
+// events within one process even when wall clocks jitter.
+type FlightEvent struct {
+	Seq    uint64 `json:"seq"`
+	TimeNs int64  `json:"time_unix_nano"`
+	Kind   string `json:"kind"`
+	Shard  int    `json:"shard"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Flight is the protocol flight recorder: a fixed-size ring of structured
+// events, the black box read after a Byzantine scenario. Events are recorded
+// off the hot path (instance switches, aborts, checkpoints, state transfers —
+// all rare), so recording may format strings; a nil *Flight drops events and
+// skips the formatting entirely.
+type Flight struct {
+	mu      sync.Mutex
+	process string
+	buf     []FlightEvent
+	seq     uint64
+}
+
+// DefaultFlightSize is the default flight-recorder capacity.
+const DefaultFlightSize = 1024
+
+// NewFlight builds a flight recorder tagged with the process name; capacity
+// <= 0 selects DefaultFlightSize.
+func NewFlight(process string, capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightSize
+	}
+	return &Flight{process: process, buf: make([]FlightEvent, 0, capacity)}
+}
+
+// Record appends one event with a formatted detail string, evicting the
+// oldest when full. Safe on a nil recorder (the formatting is skipped too).
+func (f *Flight) Record(kind string, shard int, format string, args ...any) {
+	if f == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	ev := FlightEvent{TimeNs: nowUnixNano(), Kind: kind, Shard: shard, Detail: detail}
+	f.mu.Lock()
+	ev.Seq = f.seq
+	f.seq++
+	if len(f.buf) < cap(f.buf) {
+		f.buf = append(f.buf, ev)
+	} else {
+		f.buf[ev.Seq%uint64(cap(f.buf))] = ev
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns the retained events in sequence order. Safe on nil.
+func (f *Flight) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, len(f.buf))
+	if len(f.buf) == cap(f.buf) {
+		start := f.seq % uint64(cap(f.buf))
+		out = append(out, f.buf[start:]...)
+		out = append(out, f.buf[:start]...)
+	} else {
+		out = append(out, f.buf...)
+	}
+	return out
+}
+
+// FlightDump is the JSON document served at /debug/flight.json.
+type FlightDump struct {
+	Process string        `json:"process"`
+	Total   uint64        `json:"total_events"`
+	Events  []FlightEvent `json:"events"`
+}
+
+// Dump captures the recorder as a serializable document. Safe on nil.
+func (f *Flight) Dump() FlightDump {
+	if f == nil {
+		return FlightDump{}
+	}
+	events := f.Snapshot()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlightDump{Process: f.process, Total: f.seq, Events: events}
+}

@@ -1,0 +1,364 @@
+// Package obsctl implements cluster-wide introspection over the per-process
+// observability front doors: it scrapes every process's /metrics.json,
+// /debug/traces.json, and /debug/flight.json, stitches the per-process span
+// rings into cluster-wide trace trees, and condenses the metric snapshots
+// into a replica health table with divergence flags (a replica disagreeing
+// with an f+1 majority on applied sequence or active protocol). cmd/obsctl is
+// the thin CLI over this package; the e2e harness drives it in-process.
+package obsctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"abstractbft/internal/obs"
+)
+
+// DefaultTimeout bounds one process scrape (three small JSON documents).
+const DefaultTimeout = 5 * time.Second
+
+// ProcessDump is everything scraped from one process's observability server.
+type ProcessDump struct {
+	// Addr is the scraped observability address (host:port).
+	Addr string
+	// Process is the process tag from the trace dump (falls back to the
+	// flight dump's tag, then to Addr when the process serves neither).
+	Process string
+	// Err is the scrape error, if any; the remaining fields are zero then.
+	Err error
+
+	Metrics obs.Snapshot
+	Traces  obs.TraceDump
+	Flight  obs.FlightDump
+}
+
+// Scrape fetches one process's observability documents. Endpoints a process
+// does not serve (older builds) degrade to zero documents, not errors, as
+// long as /metrics.json responds.
+func Scrape(client *http.Client, addr string) ProcessDump {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultTimeout}
+	}
+	d := ProcessDump{Addr: addr}
+	if err := getJSON(client, addr, "/metrics.json", &d.Metrics); err != nil {
+		d.Err = err
+		return d
+	}
+	// Trace and flight endpoints are best-effort: a scrape error there keeps
+	// the health row alive on metrics alone.
+	getJSON(client, addr, "/debug/traces.json", &d.Traces)
+	getJSON(client, addr, "/debug/flight.json", &d.Flight)
+	d.Process = d.Traces.Process
+	if d.Process == "" {
+		d.Process = d.Flight.Process
+	}
+	if d.Process == "" {
+		d.Process = addr
+	}
+	return d
+}
+
+// ScrapeAll scrapes every address concurrently, preserving input order.
+func ScrapeAll(addrs []string, timeout time.Duration) []ProcessDump {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	client := &http.Client{Timeout: timeout}
+	dumps := make([]ProcessDump, len(addrs))
+	var wg sync.WaitGroup
+	for i, a := range addrs {
+		wg.Add(1)
+		go func(i int, a string) {
+			defer wg.Done()
+			dumps[i] = Scrape(client, a)
+		}(i, a)
+	}
+	wg.Wait()
+	return dumps
+}
+
+func getJSON(client *http.Client, addr, path string, out any) error {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s", addr, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// ParseKey splits a snapshot series key ("family{k="v",k2="v2"}") into the
+// family name and its label map (nil when unlabelled).
+func ParseKey(key string) (string, map[string]string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 {
+		return key, nil
+	}
+	name := key[:open]
+	body := strings.TrimSuffix(key[open+1:], "}")
+	labels := make(map[string]string)
+	for _, pair := range strings.Split(body, ",") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			continue
+		}
+		labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+	}
+	return name, labels
+}
+
+// ShardStatus is the per-shard slice of one replica's health.
+type ShardStatus struct {
+	AppliedSeq  float64
+	StableSeq   float64
+	MergeLag    float64
+	OooBacklog  float64
+	ActiveProto string
+}
+
+// ProcessHealth condenses one process's metric snapshot into the health-table
+// row: per-shard ordering state plus process-wide counters.
+type ProcessHealth struct {
+	Addr    string
+	Process string
+	Err     string
+
+	Shards        map[int]*ShardStatus
+	MergedSeq     float64
+	Switches      uint64
+	Aborts        uint64
+	Reagreements  uint64
+	QueueDepthMax float64
+
+	StatesyncStarted uint64
+	StatesyncAdopted uint64
+	StatesyncServed  uint64
+	StatesyncRetries uint64
+
+	SpanCount   uint64
+	FlightCount uint64
+}
+
+func (h *ProcessHealth) shard(labels map[string]string) *ShardStatus {
+	s, err := strconv.Atoi(labels["shard"])
+	if err != nil {
+		s = 0
+	}
+	if h.Shards == nil {
+		h.Shards = make(map[int]*ShardStatus)
+	}
+	st := h.Shards[s]
+	if st == nil {
+		st = &ShardStatus{}
+		h.Shards[s] = st
+	}
+	return st
+}
+
+// MaxAppliedSeq returns the highest per-shard applied sequence (the ordering
+// high-water mark of the replica).
+func (h *ProcessHealth) MaxAppliedSeq() float64 {
+	var max float64
+	for _, st := range h.Shards {
+		if st.AppliedSeq > max {
+			max = st.AppliedSeq
+		}
+	}
+	return max
+}
+
+// SumAppliedSeq returns the total applied sequence across shards: the value
+// replicas are compared on for divergence (per-shard seqs move independently,
+// but the sum tracks overall ordering progress).
+func (h *ProcessHealth) SumAppliedSeq() float64 {
+	var sum float64
+	for _, st := range h.Shards {
+		sum += st.AppliedSeq
+	}
+	return sum
+}
+
+// HealthOf condenses one scraped dump into its health row.
+func HealthOf(d ProcessDump) ProcessHealth {
+	h := ProcessHealth{Addr: d.Addr, Process: d.Process}
+	if d.Err != nil {
+		h.Err = d.Err.Error()
+		return h
+	}
+	for key, v := range d.Metrics.Gauges {
+		name, labels := ParseKey(key)
+		switch name {
+		case "host_applied_seq":
+			h.shard(labels).AppliedSeq = v
+		case "host_stable_checkpoint_seq":
+			h.shard(labels).StableSeq = v
+		case "shard_merge_lag":
+			h.shard(labels).MergeLag = v
+		case "shard_ooo_backlog":
+			h.shard(labels).OooBacklog = v
+		case "shard_merged_seq":
+			h.MergedSeq = v
+		case "transport_send_queue_depth_max":
+			h.QueueDepthMax = v
+		case "compose_active_protocol":
+			if v >= 1 {
+				h.shard(labels).ActiveProto = labels["proto"]
+			}
+		}
+	}
+	for key, v := range d.Metrics.Counters {
+		name, _ := ParseKey(key)
+		switch name {
+		case "compose_switches_total":
+			h.Switches += v
+		case "compose_aborts_total":
+			h.Aborts += v
+		case "shard_reagreements_total":
+			h.Reagreements += v
+		case "statesync_transfers_started_total":
+			h.StatesyncStarted += v
+		case "statesync_transfers_adopted_total":
+			h.StatesyncAdopted += v
+		case "statesync_transfers_served_total":
+			h.StatesyncServed += v
+		case "statesync_retries_total":
+			h.StatesyncRetries += v
+		}
+	}
+	h.SpanCount = d.Traces.Total
+	h.FlightCount = d.Flight.Total
+	return h
+}
+
+// HealthAll condenses every dump.
+func HealthAll(dumps []ProcessDump) []ProcessHealth {
+	out := make([]ProcessHealth, len(dumps))
+	for i, d := range dumps {
+		out[i] = HealthOf(d)
+	}
+	return out
+}
+
+// Divergence flags replicas that disagree with an f+1 majority of their
+// peers, in two dimensions:
+//
+//   - active protocol: per shard, if at least f+1 replicas agree on the
+//     active protocol, any replica running a different one is flagged (a
+//     replica stuck on an aborted instance while the cluster switched on).
+//   - applied sequence: a replica whose summed applied sequence trails the
+//     f+1-majority watermark (the highest total that at least f+1 replicas
+//     have reached) by more than seqSlack is flagged as lagging. Slack
+//     absorbs scrape skew on a moving cluster; 0 demands exact agreement.
+//
+// Unreachable replicas are flagged as such and excluded from majorities.
+// Reachable processes that report no per-shard state at all (client front
+// doors scraped via -addrs) are observers, not replicas: they join the trace
+// stitch and the health table but are excluded from both consistency checks.
+func Divergence(healths []ProcessHealth, f int, seqSlack float64) []string {
+	var flags []string
+	quorum := f + 1
+	var live []ProcessHealth
+	for _, h := range healths {
+		if h.Err != "" {
+			flags = append(flags, fmt.Sprintf("%s: unreachable (%s)", h.Process, h.Err))
+			continue
+		}
+		if len(h.Shards) == 0 {
+			continue
+		}
+		live = append(live, h)
+	}
+	if len(live) == 0 {
+		return flags
+	}
+
+	// Active protocol: per shard, find the f+1-majority protocol.
+	shards := map[int]bool{}
+	for _, h := range live {
+		for s := range h.Shards {
+			shards[s] = true
+		}
+	}
+	ordered := make([]int, 0, len(shards))
+	for s := range shards {
+		ordered = append(ordered, s)
+	}
+	sort.Ints(ordered)
+	for _, s := range ordered {
+		votes := map[string]int{}
+		for _, h := range live {
+			if st := h.Shards[s]; st != nil && st.ActiveProto != "" {
+				votes[st.ActiveProto]++
+			}
+		}
+		majority := ""
+		for proto, n := range votes {
+			if n >= quorum {
+				majority = proto
+			}
+		}
+		if majority == "" {
+			continue
+		}
+		for _, h := range live {
+			if st := h.Shards[s]; st != nil && st.ActiveProto != "" && st.ActiveProto != majority {
+				flags = append(flags, fmt.Sprintf("%s: shard %d active protocol %q disagrees with f+1 majority %q",
+					h.Process, s, st.ActiveProto, majority))
+			}
+		}
+	}
+
+	// Applied sequence: the f+1-majority watermark is the quorum-th highest
+	// total — at least f+1 replicas (hence at least one correct replica)
+	// have applied that far, so a replica trailing it by more than the slack
+	// is genuinely behind, not just ahead-of-the-pack skew.
+	if len(live) >= quorum {
+		totals := make([]float64, len(live))
+		for i, h := range live {
+			totals[i] = h.SumAppliedSeq()
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(totals)))
+		watermark := totals[quorum-1]
+		for _, h := range live {
+			if got := h.SumAppliedSeq(); got < watermark-seqSlack {
+				flags = append(flags, fmt.Sprintf("%s: applied seq %.0f trails the f+1 watermark %.0f by %.0f",
+					h.Process, got, watermark, watermark-got))
+			}
+		}
+	}
+	return flags
+}
+
+// WriteHealthTable renders the health rows as an aligned text table.
+func WriteHealthTable(w io.Writer, healths []ProcessHealth) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PROCESS\tADDR\tAPPLIED\tMERGED\tLAG\tSWITCH\tABORT\tREAGREE\tQDEPTH\tSYNC(s/a/v/r)\tSPANS\tEVENTS\tSTATUS")
+	for _, h := range healths {
+		if h.Err != "" {
+			fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t-\t-\t-\t-\t-\t-\t-\tUNREACHABLE: %s\n", h.Process, h.Addr, h.Err)
+			continue
+		}
+		var lag float64
+		for _, st := range h.Shards {
+			if st.MergeLag > lag {
+				lag = st.MergeLag
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%.0f\t%d\t%d\t%d\t%.0f\t%d/%d/%d/%d\t%d\t%d\tok\n",
+			h.Process, h.Addr, h.SumAppliedSeq(), h.MergedSeq, lag,
+			h.Switches, h.Aborts, h.Reagreements, h.QueueDepthMax,
+			h.StatesyncStarted, h.StatesyncAdopted, h.StatesyncServed, h.StatesyncRetries,
+			h.SpanCount, h.FlightCount)
+	}
+	tw.Flush()
+}

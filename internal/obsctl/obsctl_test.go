@@ -1,0 +1,228 @@
+package obsctl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"abstractbft/internal/obs"
+)
+
+func span(trace, id, parent uint64, process, stage string, start int64) obs.Span {
+	return obs.Span{TraceID: trace, SpanID: id, Parent: parent,
+		Process: process, Stage: stage, Start: start, DurationNs: 1000}
+}
+
+func TestParseKey(t *testing.T) {
+	for _, tc := range []struct {
+		key, name string
+		labels    map[string]string
+	}{
+		{"host_applied_seq", "host_applied_seq", nil},
+		{`host_applied_seq{shard="2"}`, "host_applied_seq", map[string]string{"shard": "2"}},
+		{`compose_active_protocol{shard="0",proto="quorum"}`, "compose_active_protocol",
+			map[string]string{"shard": "0", "proto": "quorum"}},
+	} {
+		name, labels := ParseKey(tc.key)
+		if name != tc.name {
+			t.Errorf("ParseKey(%q) name = %q, want %q", tc.key, name, tc.name)
+		}
+		if len(labels) != len(tc.labels) {
+			t.Fatalf("ParseKey(%q) labels = %v, want %v", tc.key, labels, tc.labels)
+		}
+		for k, v := range tc.labels {
+			if labels[k] != v {
+				t.Errorf("ParseKey(%q)[%s] = %q, want %q", tc.key, k, labels[k], v)
+			}
+		}
+	}
+}
+
+// TestStitch checks that spans scattered across process dumps reassemble into
+// one tree per trace ID, rooted at the client's root span, with orphans
+// retained when a parent was evicted.
+func TestStitch(t *testing.T) {
+	dumps := []ProcessDump{
+		{Traces: obs.TraceDump{Process: "client-0", Spans: []obs.Span{
+			span(7, 7, 0, "client-0", "send", 100),
+			span(9, 9, 0, "client-0", "send", 500),
+		}}},
+		{Traces: obs.TraceDump{Process: "replica-0", Spans: []obs.Span{
+			span(7, 21, 7, "replica-0", "order", 110),
+			span(7, 22, 7, "replica-0", "execute", 120),
+		}}},
+		{Traces: obs.TraceDump{Process: "replica-1", Spans: []obs.Span{
+			span(7, 31, 7, "replica-1", "execute", 125),
+			// Parent 999 was evicted from its ring: must surface as orphan.
+			span(7, 32, 999, "replica-1", "merge", 130),
+		}}},
+	}
+	traces := Stitch(dumps)
+	if len(traces) != 2 {
+		t.Fatalf("Stitch: got %d traces, want 2", len(traces))
+	}
+	// Newest first: trace 9 starts at 500.
+	if traces[0].TraceID != 9 || traces[1].TraceID != 7 {
+		t.Fatalf("Stitch order: got %d,%d want 9,7", traces[0].TraceID, traces[1].TraceID)
+	}
+	tr := traces[1]
+	if tr.Spans != 5 {
+		t.Errorf("trace 7: %d spans, want 5", tr.Spans)
+	}
+	if tr.Root == nil || tr.Root.Span.SpanID != 7 {
+		t.Fatalf("trace 7: root = %+v, want span 7", tr.Root)
+	}
+	if len(tr.Root.Children) != 3 {
+		t.Errorf("trace 7: root has %d children, want 3", len(tr.Root.Children))
+	}
+	if len(tr.Orphans) != 1 || tr.Orphans[0].Span.SpanID != 32 {
+		t.Errorf("trace 7: orphans = %+v, want span 32", tr.Orphans)
+	}
+	if !tr.Covers(3) {
+		t.Errorf("trace 7: processes %v, want 3 distinct", tr.Processes)
+	}
+	for _, stage := range []string{"send", "order", "execute", "merge"} {
+		if !tr.HasStage(stage) {
+			t.Errorf("trace 7: missing stage %q in %v", stage, tr.Stages)
+		}
+	}
+
+	var b strings.Builder
+	WriteTraces(&b, traces, 0)
+	out := b.String()
+	for _, want := range []string{"trace 0000000000000007", "client-0", "orphan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTraces output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHealthAndDivergence(t *testing.T) {
+	mkDump := func(process string, applied0, applied1 float64, proto string) ProcessDump {
+		return ProcessDump{
+			Addr:    process + ":0",
+			Process: process,
+			Metrics: obs.Snapshot{
+				Gauges: map[string]float64{
+					`host_applied_seq{shard="0"}`:                              applied0,
+					`host_applied_seq{shard="1"}`:                              applied1,
+					"shard_merged_seq":                                         applied0 + applied1,
+					`shard_merge_lag{shard="0"}`:                               2,
+					`compose_active_protocol{shard="0",proto="` + proto + `"}`: 1,
+					`compose_active_protocol{shard="0",proto="zlight"}`:        0,
+				},
+				Counters: map[string]uint64{
+					`compose_switches_total{shard="0"}`: 1,
+					`compose_switches_total{shard="1"}`: 2,
+					`compose_aborts_total{shard="0"}`:   1,
+					"shard_reagreements_total":          0,
+				},
+			},
+			Traces: obs.TraceDump{Process: process, Total: 10},
+			Flight: obs.FlightDump{Process: process, Total: 3},
+		}
+	}
+	dumps := []ProcessDump{
+		mkDump("replica-0", 100, 50, "quorum"),
+		mkDump("replica-1", 100, 50, "quorum"),
+		mkDump("replica-2", 100, 48, "quorum"),
+		mkDump("replica-3", 10, 5, "chain"), // lagging AND on the wrong protocol
+		{Addr: "replica-4:0", Process: "replica-4", Err: errors.New("connection refused")},
+		// A client front door: counters and spans but no per-shard state. It
+		// must ride in the health table yet stay out of the divergence checks
+		// (its applied seq of 0 would otherwise trail every watermark).
+		{
+			Addr:    "client-0:0",
+			Process: "client-0",
+			Metrics: obs.Snapshot{Counters: map[string]uint64{"client_requests_total": 500}},
+			Traces:  obs.TraceDump{Process: "client-0", Total: 4},
+		},
+	}
+	healths := HealthAll(dumps)
+	h := healths[0]
+	if h.SumAppliedSeq() != 150 || h.MaxAppliedSeq() != 100 {
+		t.Errorf("replica-0: sum=%v max=%v, want 150/100", h.SumAppliedSeq(), h.MaxAppliedSeq())
+	}
+	if h.Switches != 3 || h.Aborts != 1 {
+		t.Errorf("replica-0: switches=%d aborts=%d, want 3/1", h.Switches, h.Aborts)
+	}
+	if h.Shards[0].ActiveProto != "quorum" {
+		t.Errorf("replica-0 shard 0 proto = %q, want quorum", h.Shards[0].ActiveProto)
+	}
+	if h.SpanCount != 10 || h.FlightCount != 3 {
+		t.Errorf("replica-0: spans=%d events=%d, want 10/3", h.SpanCount, h.FlightCount)
+	}
+
+	flags := Divergence(healths, 1, 16)
+	if len(flags) != 3 {
+		t.Fatalf("Divergence: got %d flags, want 3:\n%s", len(flags), strings.Join(flags, "\n"))
+	}
+	joined := strings.Join(flags, "\n")
+	for _, want := range []string{"replica-4: unreachable", `"chain" disagrees`, "trails the f+1 watermark"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Divergence flags missing %q:\n%s", want, joined)
+		}
+	}
+	// Within slack: replica-2 (2 behind) must not be flagged.
+	if strings.Contains(joined, "replica-2") {
+		t.Errorf("replica-2 within slack flagged:\n%s", joined)
+	}
+	// Observer process (no shard state): never flagged.
+	if strings.Contains(joined, "client-0") {
+		t.Errorf("shard-less client flagged as divergent:\n%s", joined)
+	}
+
+	var b strings.Builder
+	WriteHealthTable(&b, healths)
+	out := b.String()
+	for _, want := range []string{"PROCESS", "replica-0", "150", "UNREACHABLE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestScrapeLive round-trips the scraper against a real observability server:
+// the JSON documents served by obs.ServeObs must decode back into the same
+// structures obsctl stitches and summarizes.
+func TestScrapeLive(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("host_applied_seq", "shard", "0").Set(42)
+	reg.Counter("compose_switches_total").Add(2)
+	spans := obs.NewSpanRing("proc-under-test", 8)
+	tr := obs.NewTracerRing(reg, 1, spans)
+	tc := tr.NewTrace()
+	tr.Record(tc, obs.StageExecute, 0, time.Now(), time.Millisecond)
+	flight := obs.NewFlight("proc-under-test", 8)
+	flight.Record("switch", 0, "instance %d -> %d", 1, 2)
+
+	srv, err := obs.ServeObs("127.0.0.1:0", obs.ServeConfig{Registry: reg, Spans: spans, Flight: flight})
+	if err != nil {
+		t.Fatalf("ServeObs: %v", err)
+	}
+	defer srv.Close()
+
+	dumps := ScrapeAll([]string{srv.Addr()}, time.Second)
+	d := dumps[0]
+	if d.Err != nil {
+		t.Fatalf("scrape: %v", d.Err)
+	}
+	if d.Process != "proc-under-test" {
+		t.Errorf("process = %q, want proc-under-test", d.Process)
+	}
+	h := HealthOf(d)
+	if h.SumAppliedSeq() != 42 || h.Switches != 2 {
+		t.Errorf("health: applied=%v switches=%d, want 42/2", h.SumAppliedSeq(), h.Switches)
+	}
+	if h.SpanCount != 1 || h.FlightCount != 1 {
+		t.Errorf("health: spans=%d events=%d, want 1/1", h.SpanCount, h.FlightCount)
+	}
+	traces := Stitch(dumps)
+	if len(traces) != 1 || traces[0].TraceID != tc.TraceID {
+		t.Fatalf("stitched %d traces, want the recorded one", len(traces))
+	}
+	if !traces[0].HasStage("execute") {
+		t.Errorf("stitched trace stages = %v, want execute", traces[0].Stages)
+	}
+}

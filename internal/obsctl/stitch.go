@@ -1,0 +1,180 @@
+package obsctl
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"abstractbft/internal/obs"
+)
+
+// SpanNode is one span in a stitched trace tree.
+type SpanNode struct {
+	Span     obs.Span
+	Children []*SpanNode
+}
+
+// Trace is one cluster-wide stitched trace: every span that any scraped
+// process retained under one trace ID, arranged into a tree by span
+// parentage. The client's root span (Parent == 0, span ID == trace ID) is the
+// root when its process was scraped; spans whose parent was evicted from its
+// ring (or whose process was not scraped) surface as orphans rather than
+// disappearing.
+type Trace struct {
+	TraceID uint64
+	Root    *SpanNode
+	Orphans []*SpanNode
+
+	// Processes and Stages are the distinct process tags and lifecycle
+	// stages covered by the trace, sorted — the cross-process coverage the
+	// smoke tests assert on.
+	Processes []string
+	Stages    []string
+
+	// Start is the earliest span start; Spans the flat span count.
+	Start int64
+	Spans int
+}
+
+// Covers reports whether the trace includes at least n distinct processes.
+func (t *Trace) Covers(n int) bool { return len(t.Processes) >= n }
+
+// HasStage reports whether any span of the trace recorded the stage.
+func (t *Trace) HasStage(stage string) bool {
+	for _, s := range t.Stages {
+		if s == stage {
+			return true
+		}
+	}
+	return false
+}
+
+// Stitch groups every scraped span by trace ID and builds the trace trees,
+// newest trace first. Duplicate spans (one process scraped twice) collapse by
+// span ID.
+func Stitch(dumps []ProcessDump) []*Trace {
+	byTrace := map[uint64]map[uint64]obs.Span{} // trace ID -> span ID -> span
+	for _, d := range dumps {
+		for _, sp := range d.Traces.Spans {
+			if sp.TraceID == 0 {
+				continue
+			}
+			m := byTrace[sp.TraceID]
+			if m == nil {
+				m = map[uint64]obs.Span{}
+				byTrace[sp.TraceID] = m
+			}
+			m[sp.SpanID] = sp
+		}
+	}
+	traces := make([]*Trace, 0, len(byTrace))
+	for id, spans := range byTrace {
+		traces = append(traces, buildTrace(id, spans))
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		if traces[i].Start != traces[j].Start {
+			return traces[i].Start > traces[j].Start
+		}
+		return traces[i].TraceID < traces[j].TraceID
+	})
+	return traces
+}
+
+func buildTrace(id uint64, spans map[uint64]obs.Span) *Trace {
+	t := &Trace{TraceID: id, Spans: len(spans)}
+	nodes := make(map[uint64]*SpanNode, len(spans))
+	procs := map[string]bool{}
+	stages := map[string]bool{}
+	for sid, sp := range spans {
+		nodes[sid] = &SpanNode{Span: sp}
+		procs[sp.Process] = true
+		stages[sp.Stage] = true
+		if t.Start == 0 || sp.Start < t.Start {
+			t.Start = sp.Start
+		}
+	}
+	for _, n := range nodes {
+		if n.Span.Parent == 0 {
+			if t.Root == nil {
+				t.Root = n
+			} else {
+				t.Orphans = append(t.Orphans, n)
+			}
+			continue
+		}
+		parent := nodes[n.Span.Parent]
+		if parent == nil || parent == n {
+			t.Orphans = append(t.Orphans, n)
+			continue
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	ordered := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if ns[i].Span.Start != ns[j].Span.Start {
+				return ns[i].Span.Start < ns[j].Span.Start
+			}
+			return ns[i].Span.SpanID < ns[j].Span.SpanID
+		})
+	}
+	for _, n := range nodes {
+		ordered(n.Children)
+	}
+	ordered(t.Orphans)
+	for p := range procs {
+		t.Processes = append(t.Processes, p)
+	}
+	for s := range stages {
+		t.Stages = append(t.Stages, s)
+	}
+	sort.Strings(t.Processes)
+	sort.Strings(t.Stages)
+	return t
+}
+
+// WriteTraces renders up to limit stitched traces (0 = all) as indented
+// trees, one line per span.
+func WriteTraces(w io.Writer, traces []*Trace, limit int) {
+	if limit <= 0 || limit > len(traces) {
+		limit = len(traces)
+	}
+	for _, t := range traces[:limit] {
+		fmt.Fprintf(w, "trace %016x: %d spans, %d processes (%s), stages %s\n",
+			t.TraceID, t.Spans, len(t.Processes),
+			strings.Join(t.Processes, ","), strings.Join(t.Stages, ","))
+		if t.Root != nil {
+			writeNode(w, t.Root, 1)
+		}
+		for _, o := range t.Orphans {
+			fmt.Fprintf(w, "  (orphan, parent %016x evicted or unscraped)\n", o.Span.Parent)
+			writeNode(w, o, 1)
+		}
+	}
+}
+
+func writeNode(w io.Writer, n *SpanNode, depth int) {
+	d := time.Duration(n.Span.DurationNs)
+	fmt.Fprintf(w, "%s%-8s %s shard=%d %s span=%016x\n",
+		strings.Repeat("  ", depth), n.Span.Stage, n.Span.Process, n.Span.Shard,
+		d.Round(time.Microsecond), n.Span.SpanID)
+	for _, c := range n.Children {
+		writeNode(w, c, depth+1)
+	}
+}
+
+// WriteFlight renders every process's flight events, oldest first per
+// process.
+func WriteFlight(w io.Writer, dumps []ProcessDump) {
+	for _, d := range dumps {
+		if d.Err != nil || len(d.Flight.Events) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s: %d events (%d retained)\n", d.Process, d.Flight.Total, len(d.Flight.Events))
+		for _, e := range d.Flight.Events {
+			ts := time.Unix(0, e.TimeNs).Format("15:04:05.000")
+			fmt.Fprintf(w, "  %6d %s %-14s shard=%-2d %s\n", e.Seq, ts, e.Kind, e.Shard, e.Detail)
+		}
+	}
+}

@@ -3,9 +3,11 @@ package shard
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"abstractbft/internal/core"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 )
 
 // ClientConfig configures a sharded client.
@@ -49,6 +51,7 @@ type Client struct {
 	router    *Router
 	invokers  []shardInvoker
 	pipelined []*core.PipelinedComposer
+	tracer    *obs.Tracer
 }
 
 // NewClient builds a sharded client over the environment's endpoint.
@@ -95,10 +98,28 @@ func (c *Client) ShardFor(req msg.Request) int {
 	return ShardOf(c.cfg.Extract(req), c.cfg.Shards)
 }
 
+// SetTracer installs the client-side tracer that makes the cluster's head
+// sampling decision: one in every N invocations gets a fresh trace ID stamped
+// onto the request, which then rides the wire through batches, protocol
+// messages, and retransmissions, so every process downstream records spans
+// under the same trace. Call before traffic flows.
+func (c *Client) SetTracer(t *obs.Tracer) { c.tracer = t }
+
 // Invoke routes the request to its key's shard and blocks until it commits
 // there (or ctx is cancelled).
 func (c *Client) Invoke(ctx context.Context, req msg.Request) ([]byte, error) {
-	return c.invokers[c.ShardFor(req)].Invoke(ctx, req)
+	shard := c.ShardFor(req)
+	if tc := c.tracer.NewTrace(); tc.Sampled() {
+		// Stamp the request so downstream spans parent under the root span
+		// (span ID = trace ID), then record the root covering the whole
+		// send→commit round trip.
+		req.Trace = obs.TraceContext{TraceID: tc.TraceID, Parent: tc.TraceID}
+		start := time.Now()
+		reply, err := c.invokers[shard].Invoke(ctx, req)
+		c.tracer.Record(tc, obs.StageSend, shard, start, time.Since(start))
+		return reply, err
+	}
+	return c.invokers[shard].Invoke(ctx, req)
 }
 
 // ActiveInstance returns the active instance of shard s's composition.

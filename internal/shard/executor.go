@@ -93,6 +93,7 @@ type Executor struct {
 	traceShard int
 	tracePos   uint64
 	traceT     time.Time
+	traceCtx   obs.TraceContext
 }
 
 // loggedRequest is one intake entry: an ordered request at its per-shard
@@ -402,10 +403,12 @@ func (e *Executor) drainIntake() {
 			}
 			continue
 		}
-		if !e.traceSet && e.tracer.Sample() {
+		if e.tracer != nil && !e.traceSet && lr.req.Trace.Sampled() {
 			// Trace this entry through to its merge (single slot: at most one
-			// sampled entry in flight keeps the loop allocation-free).
+			// sampled entry in flight keeps the loop allocation-free). The
+			// sampling decision is the client's, carried on the request.
 			e.traceSet, e.traceShard, e.tracePos, e.traceT = true, s, lr.pos, time.Now()
+			e.traceCtx = lr.req.Trace
 		}
 		e.pending[s] = append(e.pending[s], lr.req)
 		for {
@@ -445,8 +448,9 @@ func (e *Executor) mergeRounds() {
 			}
 		}
 		if e.traceSet && e.tracePos < e.popped[e.traceShard] {
-			e.tracer.Observe(obs.StageMerge, time.Since(e.traceT))
+			e.tracer.Record(e.traceCtx, obs.StageMerge, e.traceShard, e.traceT, time.Since(e.traceT))
 			e.traceSet = false
+			e.traceCtx = obs.TraceContext{}
 		}
 		// Execute and fold outside any lock contended by the ordering path;
 		// stateMu only serializes against snapshot readers.

@@ -67,9 +67,13 @@ type NodeConfig struct {
 	// its series labeled by shard, and the execution stage adds merge
 	// progress, lag, and backlog series.
 	Metrics *obs.Registry
-	// Tracer, when non-nil, samples request lifecycles across the sub-hosts
-	// and the execution stage.
+	// Tracer, when non-nil, records lifecycle stages of client-sampled
+	// requests across the sub-hosts and the execution stage.
 	Tracer *obs.Tracer
+	// Flight, when non-nil, receives the node's protocol flight-recorder
+	// events: every sub-host's switches/aborts/checkpoints/statesync phases
+	// (shard-labelled) plus the recovery plane's re-agreements.
+	Flight *obs.Flight
 	// ProtocolName, when non-nil, names the protocol of an instance for the
 	// compose_active_protocol gauge of every sub-host.
 	ProtocolName func(core.InstanceID) string
@@ -175,6 +179,8 @@ func NewNode(cfg NodeConfig) *Node {
 			Metrics:             cfg.Metrics,
 			MetricsLabels:       shardLabel(s),
 			Tracer:              cfg.Tracer,
+			Shard:               s,
+			Flight:              cfg.Flight,
 			ProtocolName:        cfg.ProtocolName,
 		})
 		h.SetObserver(&execFeed{exec: n.Exec, shard: s})

@@ -345,6 +345,8 @@ func (n *Node) runReagreement(stop, done chan struct{}) {
 					n.recMu.Unlock()
 					n.pinShardSyncs(key.seq)
 					n.Exec.met.reagreed.Inc()
+					n.cfg.Flight.Record("reagree", -1,
+						"re-agreed merged boundary %d (pinned %d was stalled)", key.seq, pinned)
 					if n.cfg.Logger != nil {
 						n.cfg.Logger.Printf("shard: re-agreed merged boundary %d (pinned %d was stalled)", key.seq, pinned)
 					}

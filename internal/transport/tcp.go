@@ -15,6 +15,7 @@ import (
 
 	"abstractbft/internal/authn"
 	"abstractbft/internal/ids"
+	"abstractbft/internal/obs"
 )
 
 // RegisterWireType registers a payload type for gob encoding over the TCP
@@ -249,6 +250,21 @@ type TCP struct {
 	// metrics instruments the endpoint when set (SetMetrics); atomic because
 	// connections read it without the conns lock.
 	metrics atomic.Pointer[TCPMetrics]
+
+	// flight, when set (SetFlight), receives transport-level flight-recorder
+	// events (today: decode errors that kill a connection); atomic for the
+	// same reason as metrics.
+	flight atomic.Pointer[obs.Flight]
+}
+
+// SetFlight attaches a flight recorder to the endpoint; transport anomalies
+// (decode errors) are recorded as structured events alongside the metric
+// counters.
+func (t *TCP) SetFlight(f *obs.Flight) {
+	if f == nil {
+		return
+	}
+	t.flight.Store(f)
 }
 
 // NewTCP creates an unauthenticated TCP endpoint for process self listening
@@ -479,6 +495,8 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 				}
 				log.Printf("transport %v: closing connection to %s (%v) on decode error: %v",
 					t.self, peer, conn.RemoteAddr(), err)
+				t.flight.Load().Record("decode-error", -1,
+					"%s (%v): %v", peer, conn.RemoteAddr(), err)
 			}
 			return
 		}
@@ -535,7 +553,7 @@ func (t *TCP) readLoop(conn net.Conn, wconn *tcpConn, nonce []byte, dialed ids.P
 				m.packsIn.Add(uint64(len(p.Payloads)))
 			}
 			for _, payload := range p.Payloads {
-				if !t.deliverLocal(Envelope{From: env.From, To: env.To, Payload: payload}) {
+				if !t.deliverLocal(Envelope{From: env.From, To: env.To, Payload: payload, Trace: env.Trace}) {
 					return
 				}
 			}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"abstractbft/internal/ids"
+	"abstractbft/internal/obs"
 )
 
 // Envelope is a message in flight: a payload together with its source and
@@ -25,6 +26,13 @@ type Envelope struct {
 	From    ids.ProcessID
 	To      ids.ProcessID
 	Payload any
+	// Trace is an optional envelope-level tracing context. The request plane
+	// propagates trace contexts inside payloads (msg.Request.Trace), but
+	// control messages without a request can stamp the envelope instead; both
+	// wire codecs carry it, and an untraced envelope pays zero extra wire
+	// bytes on the binary codec. Expanded pack elements inherit the pack
+	// envelope's context.
+	Trace obs.TraceContext
 }
 
 // Endpoint is one process's attachment to a network.
@@ -262,7 +270,7 @@ func (e *localEndpoint) Inbox() <-chan Envelope { return e.in }
 func (e *localEndpoint) enqueueUnpacked(env Envelope) {
 	if p, ok := env.Payload.(*Packed); ok {
 		for _, payload := range p.Payloads {
-			e.enqueue(Envelope{From: env.From, To: env.To, Payload: payload})
+			e.enqueue(Envelope{From: env.From, To: env.To, Payload: payload, Trace: env.Trace})
 		}
 		return
 	}

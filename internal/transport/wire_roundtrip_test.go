@@ -12,6 +12,7 @@ package transport_test
 // only as mysterious liveness loss in deployment.
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"abstractbft/internal/history"
 	"abstractbft/internal/ids"
 	"abstractbft/internal/msg"
+	"abstractbft/internal/obs"
 	"abstractbft/internal/pbft"
 	"abstractbft/internal/quorum"
 	"abstractbft/internal/shard"
@@ -98,6 +100,13 @@ func wirePayloads() []any {
 		Sig:   authn.Signature("sig-bytes"),
 	}
 
+	// Traced variants: a head-sampled request (trace context stamped by the
+	// client) and a batch hoisting it, so every envelope-bearing carrier of
+	// requests and batches is audited with the trace block populated too.
+	tctx := obs.TraceContext{TraceID: 0xabcdef0112345678, Parent: 0xabcdef0112345678}
+	tracedReq := msg.Request{Client: ids.Client(5), Timestamp: 11, Command: []byte("cmd-t"), Trace: tctx}
+	tracedBatch := msg.BatchOf(tracedReq, req2)
+
 	return []any{
 		// Request plane: per-protocol client and ordering messages, batched
 		// and degenerate, plus a Mencius-style null-op inside an ORDER.
@@ -151,6 +160,20 @@ func wirePayloads() []any {
 		&shard.Mark{Shard: 0, Payload: &statesync.FetchState{Instance: 1, From: ids.Replica(3), Seq: 8, BodiesFrom: ids.Replica(1)}},
 		&shard.MergedQuery{From: ids.Replica(3), StateFrom: ids.Replica(0)},
 		&shard.MergedState{From: ids.Replica(0), Seq: 32, Digest: dig, AppHash: dig, HasApp: true, App: []byte("merged-app")},
+
+		// Trace-context propagation: the same carriers with sampled requests
+		// and batches (flags-byte trace block on requests, high-bit count
+		// marker on batches) must round-trip the context under both codecs.
+		&zlight.RequestMessage{Instance: 1, Req: tracedReq, Init: init, Auth: auth},
+		&zlight.OrderMessage{Instance: 1, Batch: tracedBatch, Seq: 5, Auths: []authn.Authenticator{auth}, PrimaryMAC: mac},
+		&chain.Message{Instance: 2, Req: tracedReq, Seq: 4, HasSeq: true, ReplyDigest: dig, Reply: []byte("re"), HistoryDigest: dig, CA: ca},
+		&chain.BatchMessage{Instance: 2, Batch: tracedBatch, Seq: 6, ClientCAs: []authn.ChainAuthenticator{ca, ca}, ReplyDigests: []authn.Digest{dig, dig}, HistoryDigest: dig, CA: ca},
+		&quorum.RequestMessage{Instance: 1, Req: tracedReq, Auth: auth},
+		&quorum.BatchRequestMessage{Instance: 1, Batch: tracedBatch, Auth: auth},
+		&backup.RequestMessage{Instance: 3, Req: tracedReq, Auth: auth},
+		&pbft.PrePrepare{View: 1, Seq: 2, Batch: []msg.Request{tracedReq, req}, Digest: dig, MAC: mac},
+		&core.FetchResponse{Instance: 1, From: ids.Replica(2), Requests: []msg.Request{tracedReq}},
+		&shard.Mark{Shard: 1, Payload: &zlight.OrderMessage{Instance: 1, Batch: tracedBatch, Seq: 5, Auths: []authn.Authenticator{auth}, PrimaryMAC: mac}},
 	}
 }
 
@@ -208,6 +231,122 @@ func TestWireByteEquality(t *testing.T) {
 				t.Fatalf("re-encoding is not byte-identical:\nfirst  %x\nsecond %x", first, second)
 			}
 		})
+	}
+}
+
+// TestTracedEnvelopeStream round-trips envelope-level trace contexts through
+// both stream codecs: a traced envelope's context must survive, and untraced
+// envelopes before and after it must come back with a zero context (no bleed
+// from a reused decoder).
+func TestTracedEnvelopeStream(t *testing.T) {
+	payload := &core.FetchRequest{Instance: 1, From: ids.Replica(2), Digests: []authn.Digest{authn.Hash([]byte("x"))}}
+	envs := []transport.Envelope{
+		{From: ids.Replica(1), To: ids.Replica(0), Payload: payload},
+		{From: ids.Replica(1), To: ids.Replica(0), Payload: payload,
+			Trace: obs.TraceContext{TraceID: 0x1122334455667788, Parent: 0x8877665544332211}},
+		{From: ids.Replica(1), To: ids.Replica(0), Payload: payload},
+	}
+	for name, codec := range wireCodecs() {
+		if codec == nil {
+			codec = transport.GobCodec()
+		}
+		codec := codec
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			enc := codec.NewEncoder(&buf)
+			for i := range envs {
+				if err := enc.Encode(&envs[i]); err != nil {
+					t.Fatalf("encode %d: %v", i, err)
+				}
+			}
+			if err := enc.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+			dec := codec.NewDecoder(&buf)
+			for i, want := range envs {
+				var got transport.Envelope
+				if err := dec.Decode(&got); err != nil {
+					t.Fatalf("decode %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("envelope %d mutated:\nsent %#v\ngot  %#v", i, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestUntracedTraceCostsZeroWireBytes pins the tentpole's wire guarantee on
+// the binary codec: requests, batches, and envelopes that carry no trace
+// context must encode to exactly as many bytes as before tracing existed —
+// the request flags byte sits where the old ReadOnly bool byte sat, the batch
+// count keeps its plain u32 form, and the envelope header gains nothing. The
+// traced forms pay exactly the documented premium (16 bytes on a request or
+// batch, 18 on an envelope: the u16 marker plus two u64s).
+func TestUntracedTraceCostsZeroWireBytes(t *testing.T) {
+	tctx := obs.TraceContext{TraceID: 0xfeed, Parent: 0xbeef}
+	plainReq := msg.Request{Client: ids.Client(3), Timestamp: 7, ReadOnly: true, Command: []byte("cmd")}
+	tracedReq := plainReq
+	tracedReq.Trace = tctx
+
+	// Request: the pre-tracing encoding was id(4) + timestamp(8) + bool(1) +
+	// command(4+len); the flags byte replaces the bool byte-for-byte.
+	plain, err := wirecodec.MarshalWire(&quorum.RequestMessage{Instance: 1, Req: plainReq})
+	if err != nil {
+		t.Fatalf("marshal plain: %v", err)
+	}
+	// tag + instance + request (client + timestamp + flags byte + command) +
+	// nil-init marker + empty authenticator (sender + entry count) + empty
+	// feedback count.
+	wantLen := 2 + 8 + (4 + 8 + 1 + 4 + len(plainReq.Command)) + 1 + (4 + 4) + 4
+	if len(plain) != wantLen {
+		t.Errorf("untraced request message: %d bytes, want %d (untraced requests must pay zero trace bytes)", len(plain), wantLen)
+	}
+	traced, err := wirecodec.MarshalWire(&quorum.RequestMessage{Instance: 1, Req: tracedReq})
+	if err != nil {
+		t.Fatalf("marshal traced: %v", err)
+	}
+	if len(traced) != len(plain)+16 {
+		t.Errorf("traced request premium: %d bytes over %d, want exactly 16", len(traced)-len(plain), len(plain))
+	}
+
+	// Batch: the traced form pays 16 bytes for the hoisted context plus 16
+	// for the traced member's own block; the untraced form pays nothing.
+	req2 := msg.Request{Client: ids.Client(4), Timestamp: 9, Command: []byte("cmd-b")}
+	plainBatch, err := wirecodec.MarshalWire(&quorum.BatchRequestMessage{Instance: 1, Batch: msg.BatchOf(plainReq, req2)})
+	if err != nil {
+		t.Fatalf("marshal plain batch: %v", err)
+	}
+	tracedBatch, err := wirecodec.MarshalWire(&quorum.BatchRequestMessage{Instance: 1, Batch: msg.BatchOf(tracedReq, req2)})
+	if err != nil {
+		t.Fatalf("marshal traced batch: %v", err)
+	}
+	if len(tracedBatch) != len(plainBatch)+32 {
+		t.Errorf("traced batch premium: %d bytes over %d, want exactly 32", len(tracedBatch)-len(plainBatch), len(plainBatch))
+	}
+
+	// Envelope: stream-encode one untraced and one traced envelope of the
+	// same payload; the untraced frame must cost header + payload exactly,
+	// the traced one 18 bytes more.
+	encode := func(env transport.Envelope) int {
+		var buf bytes.Buffer
+		enc := wirecodec.Binary().NewEncoder(&buf)
+		if err := enc.Encode(&env); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		return buf.Len()
+	}
+	env := transport.Envelope{From: ids.Replica(1), To: ids.Replica(0), Payload: &quorum.RequestMessage{Instance: 1, Req: plainReq}}
+	plainN := encode(env)
+	if want := 4 + 4 + 4 + len(plain); plainN != want { // frame length prefix + from + to + payload
+		t.Errorf("untraced envelope frame: %d bytes, want %d", plainN, want)
+	}
+	env.Trace = tctx
+	if tracedN := encode(env); tracedN != plainN+18 {
+		t.Errorf("traced envelope premium: %d bytes over %d, want exactly 18", tracedN-plainN, plainN)
 	}
 }
 

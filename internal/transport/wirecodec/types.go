@@ -24,10 +24,15 @@ import (
 // instance to wirePayloads() in transport's wire_roundtrip_test.go — the
 // audit fails until both codecs round-trip it.
 const (
-	// Transport-level types.
+	// Transport-level types. tagTraced is not a payload type: it is the
+	// envelope-level trace-context marker, read and written only by the stream
+	// encoder/decoder between the envelope header and the payload tag (a
+	// payload position holding tag 4 is still an unknown-tag error). Untraced
+	// envelopes skip it entirely, so they pay zero extra wire bytes.
 	tagPacked        uint16 = 1
 	tagConnChallenge uint16 = 2
 	tagConnProof     uint16 = 3
+	tagTraced        uint16 = 4
 
 	// Protocol request/ordering planes.
 	tagZLightRequest uint16 = 10
@@ -69,10 +74,30 @@ const (
 // Composite field helpers. Encoders append to the caller's buffer; decoders
 // consume from the sticky-error reader.
 
+// Request flags byte. Bit 0 carries ReadOnly in exactly the position the old
+// bool byte used (an untraced request's encoding is byte-identical to the
+// pre-tracing wire format); bit 1 marks a trace context, whose 16 bytes
+// follow the flags byte only when set. Unknown bits are ignored on decode.
+const (
+	reqFlagReadOnly byte = 1 << 0
+	reqFlagTraced   byte = 1 << 1
+)
+
 func appendRequest(b []byte, r msg.Request) []byte {
 	b = appendID(b, r.Client)
 	b = appendU64(b, r.Timestamp)
-	b = appendBool(b, r.ReadOnly)
+	var flags byte
+	if r.ReadOnly {
+		flags |= reqFlagReadOnly
+	}
+	if r.Trace.Sampled() {
+		flags |= reqFlagTraced
+	}
+	b = appendU8(b, flags)
+	if r.Trace.Sampled() {
+		b = appendU64(b, r.Trace.TraceID)
+		b = appendU64(b, r.Trace.Parent)
+	}
 	return appendBytes(b, r.Command)
 }
 
@@ -80,7 +105,17 @@ func decodeRequest(r *reader) msg.Request {
 	var out msg.Request
 	out.Client = r.id()
 	out.Timestamp = r.u64()
-	out.ReadOnly = r.bool()
+	flags := r.u8()
+	out.ReadOnly = flags&reqFlagReadOnly != 0
+	if flags&reqFlagTraced != 0 {
+		tid, parent := r.u64(), r.u64()
+		// A zero trace ID means unsampled; dropping the context here keeps
+		// the codec canonical on its own output (re-marshalling an accepted
+		// input always reproduces the decoded value).
+		if tid != 0 {
+			out.Trace.TraceID, out.Trace.Parent = tid, parent
+		}
+	}
 	out.Command = r.bytes()
 	return out
 }
@@ -108,9 +143,58 @@ func decodeRequests(r *reader) []msg.Request {
 	return out
 }
 
-func appendBatch(b []byte, batch msg.Batch) []byte { return appendRequests(b, batch.Requests) }
+// batchTracedFlag is the high bit of a batch's element count: set when the
+// batch carries a hoisted trace context (16 bytes following the count).
+// Counts are validated against the remaining frame bytes, so an honest count
+// can never reach the flag bit; an untraced batch encodes exactly as before.
+const batchTracedFlag uint32 = 1 << 31
 
-func decodeBatch(r *reader) msg.Batch { return msg.Batch{Requests: decodeRequests(r)} }
+func appendBatch(b []byte, batch msg.Batch) []byte {
+	if !batch.Trace.Sampled() {
+		return appendRequests(b, batch.Requests)
+	}
+	b = appendU32(b, uint32(len(batch.Requests))|batchTracedFlag)
+	b = appendU64(b, batch.Trace.TraceID)
+	b = appendU64(b, batch.Trace.Parent)
+	for _, req := range batch.Requests {
+		b = appendRequest(b, req)
+	}
+	return b
+}
+
+func decodeBatch(r *reader) msg.Batch {
+	var batch msg.Batch
+	raw := r.u32()
+	if r.err != nil {
+		return batch
+	}
+	if raw&batchTracedFlag != 0 {
+		raw &^= batchTracedFlag
+		tid, parent := r.u64(), r.u64()
+		if tid != 0 { // zero trace ID = unsampled; drop for canonical output
+			batch.Trace.TraceID, batch.Trace.Parent = tid, parent
+		}
+	}
+	// The count is validated only after the optional trace bytes are consumed,
+	// mirroring reader.count's forged-count guard against what actually
+	// remains in the frame.
+	if int64(raw) > int64(r.rem()) {
+		r.fail(fmt.Errorf("%w: %d elements in %d remaining bytes", ErrOversized, raw, r.rem()))
+		return msg.Batch{}
+	}
+	n := int(raw)
+	if n == 0 {
+		return batch
+	}
+	batch.Requests = make([]msg.Request, 0, sliceCap(n, 17))
+	for i := 0; i < n && r.err == nil; i++ {
+		batch.Requests = append(batch.Requests, decodeRequest(r))
+	}
+	if r.err != nil {
+		return msg.Batch{}
+	}
+	return batch
+}
 
 func appendAuth(b []byte, a authn.Authenticator) []byte {
 	b = appendID(b, a.Sender)
@@ -677,12 +761,18 @@ func appendPayload(b []byte, p any, depth int) ([]byte, error) {
 // decodePayload decodes one tagged payload from the reader. On any error the
 // reader's sticky error is set and nil is returned.
 func decodePayload(r *reader) any {
+	return decodeTagged(r, r.u16())
+}
+
+// decodeTagged decodes the payload body of an already-read tag: the stream
+// decoder pre-reads the tag to peel off the optional envelope-level tagTraced
+// prefix before dispatching here.
+func decodeTagged(r *reader, tag uint16) any {
 	if r.depth++; r.depth > maxDepth {
 		r.fail(ErrDepth)
 		return nil
 	}
 	defer func() { r.depth-- }()
-	tag := r.u16()
 	if r.err != nil {
 		return nil
 	}
