@@ -32,7 +32,9 @@ type FloodMessage struct {
 	Payload []byte
 }
 
-func init() { transport.RegisterWireType(&FloodMessage{}) }
+// The flooder runs on in-process endpoints (the attack experiments); the
+// binary TCP codec deliberately does not carry it.
+func init() { transport.RegisterWireType(&FloodMessage{}) } //wire:gobonly
 
 // Flooder periodically sends large garbage messages from one process to a set
 // of targets, modelling both the client-flooding and replica-flooding

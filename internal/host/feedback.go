@@ -11,6 +11,9 @@ type FeedbackSink interface {
 	// ClientFeedback reports the feedback a client attached to a request
 	// received by the given replica. Committed holds timestamps of requests
 	// the client committed since its previous feedback; issued holds
-	// timestamps of requests it issued.
+	// timestamps of requests it issued. Protocol replicas deliver feedback
+	// from inside Handle, so implementations run under the host lock.
+	//
+	//abstractbft:lockheld
 	ClientFeedback(replica ids.ProcessID, client ids.ProcessID, committed []uint64, issued []uint64)
 }

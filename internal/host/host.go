@@ -35,6 +35,8 @@ type ProtocolReplica interface {
 	// Handle processes one protocol-specific message addressed to this
 	// instance. It is called from the host's single event loop, so
 	// implementations need no internal locking for instance state.
+	//
+	//abstractbft:lockheld
 	Handle(from ids.ProcessID, m any)
 }
 
@@ -47,6 +49,7 @@ type ProtocolFactory func(h *Host, st *InstanceState) ProtocolReplica
 // processing (for example Backup's view-change timers); the host calls
 // ProtocolTick from its event loop at the configured tick interval.
 type Ticker interface {
+	//abstractbft:lockheld
 	ProtocolTick()
 }
 
@@ -55,10 +58,16 @@ type Ticker interface {
 type Observer interface {
 	// RequestLogged is called when a request is appended to the local
 	// history of an instance.
+	//
+	//abstractbft:lockheld
 	RequestLogged(inst core.InstanceID, req msg.Request, pos uint64)
 	// InstanceStopped is called when an instance stops (first abort).
+	//
+	//abstractbft:lockheld
 	InstanceStopped(inst core.InstanceID)
 	// InstanceActivated is called when an instance becomes active.
+	//
+	//abstractbft:lockheld
 	InstanceActivated(inst core.InstanceID)
 }
 
@@ -73,6 +82,8 @@ type Observer interface {
 type HistoryAdopter interface {
 	// RequestAdopted is called under the host lock for each adopted request
 	// whose body is known, in history order; pos is the absolute position.
+	//
+	//abstractbft:lockheld
 	RequestAdopted(inst core.InstanceID, req msg.Request, pos uint64)
 }
 
@@ -86,6 +97,8 @@ type HistoryAdopter interface {
 type HistoryResetter interface {
 	// HistoryReset is called under the host lock when instance inst adopts
 	// a history starting at absolute position baseSeq.
+	//
+	//abstractbft:lockheld
 	HistoryReset(inst core.InstanceID, baseSeq uint64)
 }
 
@@ -136,6 +149,8 @@ type Config struct {
 	// recovering node can always fetch a snapshot aligned with the mirror it
 	// restores — the mirror legitimately trails the per-shard checkpoints.
 	// Called under the host lock; it must not call back into the host.
+	//
+	//abstractbft:lockheld
 	RetainFloor func() uint64
 	// SnapshotRetain is the number of checkpoint-boundary application
 	// snapshots the replica retains for state transfer
@@ -177,7 +192,10 @@ type Config struct {
 	// checkpoints, GC runs, and state-transfer phases.
 	Flight *obs.Flight
 	// ProtocolName, when non-nil, names the protocol of an instance for the
-	// compose_active_protocol gauge (wired from the composition's schedule).
+	// compose_active_protocol gauge (wired from the composition's schedule;
+	// called under the host lock).
+	//
+	//abstractbft:lockheld
 	ProtocolName func(core.InstanceID) string
 }
 

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DigestCover guards the digest-coverage convention in both directions: for
+// every struct with a Digest() method, each exported field must either be
+// folded into the digest (read, directly or through same-package helpers
+// like Request.Marshal, from the Digest call tree) or carry an explicit
+// //wire:nodigest annotation (the PR 8 trace-exclusion convention). A new
+// field that silently misses the digest splits agreement between replicas
+// that disagree on it; a field annotated //wire:nodigest that nevertheless
+// flows into the digest silently leaks into MACs.
+var DigestCover = &Analyzer{
+	Name: "digestcover",
+	Doc:  "exported fields of Digest()-bearing structs must be digested or annotated //wire:nodigest",
+	Run:  runDigestCover,
+}
+
+func runDigestCover(pass *Pass) error {
+	pkg := pass.Pkg
+	if pkg.XTest {
+		return nil
+	}
+
+	// Index the package's function declarations for the reachability walk.
+	funcs := make(map[*types.Func]*ast.FuncDecl)
+	var digests []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[fn] = fd
+			if fd.Recv != nil && fd.Name.Name == "Digest" && isDigestSig(fn) {
+				digests = append(digests, fd)
+			}
+		}
+	}
+
+	for _, fd := range digests {
+		tn := receiverTypeName(pkg.Info, fd)
+		if tn == nil {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		used := fieldsUsedFrom(pkg, funcs, fd, tn)
+		reportUncovered(pass, pkg, tn, st, used)
+	}
+	return nil
+}
+
+// isDigestSig matches func() authn.Digest.
+func isDigestSig(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Name() == "Digest"
+}
+
+// fieldsUsedFrom computes which fields of tn's struct are selected anywhere
+// in the call tree of fd, following static calls to functions declared in
+// the same package (methods of other types included: Batch.Digest reaches
+// Request.Digest, but only Batch's own fields are collected for Batch).
+func fieldsUsedFrom(pkg *Package, funcs map[*types.Func]*ast.FuncDecl, fd *ast.FuncDecl, tn *types.TypeName) map[string]bool {
+	used := make(map[string]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					if typeNameIs(sel.Recv(), tn) {
+						used[x.Sel.Name] = true
+					}
+				}
+			case *ast.CallExpr:
+				if callee := calleeOf(pkg.Info, x); callee != nil {
+					if next, ok := funcs[callee]; ok {
+						visit(next)
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(fd)
+	return used
+}
+
+// typeNameIs reports whether t (possibly behind a pointer) is the named type
+// tn.
+func typeNameIs(t types.Type, tn *types.TypeName) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == tn
+}
+
+// reportUncovered flags exported fields that are neither digested nor
+// annotated, and annotated fields that are digested anyway.
+func reportUncovered(pass *Pass, pkg *Package, tn *types.TypeName, st *types.Struct, used map[string]bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || pkg.Info.Defs[ts.Name] != tn {
+				return true
+			}
+			stType, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range stType.Fields.List {
+				excluded := hasDirective("nodigest", field.Doc, field.Comment)
+				for _, name := range field.Names {
+					if !name.IsExported() {
+						continue
+					}
+					switch {
+					case used[name.Name] && excluded:
+						pass.Reportf(name.Pos(),
+							"field %s.%s is annotated //wire:nodigest but flows into %s.Digest(): "+
+								"the exclusion is a lie — drop the annotation or the digest read",
+							tn.Name(), name.Name, tn.Name())
+					case !used[name.Name] && !excluded:
+						pass.Reportf(name.Pos(),
+							"exported field %s.%s is not folded into %s.Digest() and not annotated //wire:nodigest: "+
+								"replicas disagreeing on it would still digest equal — fold it in or annotate the exclusion",
+							tn.Name(), name.Name, tn.Name())
+					}
+				}
+			}
+			return false
+		})
+	}
+}

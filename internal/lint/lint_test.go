@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"testing"
+
+	"abstractbft/internal/lint"
+	"abstractbft/internal/lint/linttest"
+)
+
+// Each fixture exercises one analyzer's positive and negative cases; the
+// // want comments in the fixture are the golden expectations.
+
+func TestLockNestFixture(t *testing.T) {
+	linttest.Run(t, "testdata/locknest", lint.LockNest)
+}
+
+func TestWireRegFixture(t *testing.T) {
+	linttest.Run(t, "testdata/wirereg", lint.WireReg)
+}
+
+func TestDigestCoverFixture(t *testing.T) {
+	linttest.Run(t, "testdata/digestcover", lint.DigestCover)
+}
+
+func TestNoAllocFixture(t *testing.T) {
+	linttest.Run(t, "testdata/noalloc", lint.NoAlloc)
+}
+
+// TestFixturesRequireTheirAnalyzer runs each fixture under every analyzer
+// EXCEPT its own — the abstractlint -run subset a disabled check leaves
+// behind — and requires silence. Together with the golden tests above this
+// proves each fixture's findings come from exactly the analyzer under test:
+// flip the analyzer off and the fixture fails (its want comments go
+// unmatched).
+func TestFixturesRequireTheirAnalyzer(t *testing.T) {
+	cases := []struct {
+		dir string
+		own *lint.Analyzer
+	}{
+		{"testdata/locknest", lint.LockNest},
+		{"testdata/wirereg", lint.WireReg},
+		{"testdata/digestcover", lint.DigestCover},
+		{"testdata/noalloc", lint.NoAlloc},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			var rest []*lint.Analyzer
+			for _, a := range lint.Analyzers() {
+				if a != tc.own {
+					rest = append(rest, a)
+				}
+			}
+			for _, d := range linttest.Diagnostics(t, tc.dir, rest...) {
+				t.Errorf("analyzer subset without %s still reports:\n  %s", tc.own.Name, d)
+			}
+		})
+	}
+}

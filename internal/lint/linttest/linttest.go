@@ -1,0 +1,135 @@
+// Package linttest drives the lint analyzers over fixture packages and
+// checks their diagnostics against the fixtures' // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (which the offline
+// build cannot vendor).
+//
+// A want comment annotates the source line a diagnostic is expected on:
+//
+//	h.Locked(func() { // want "re-enters it"
+//
+// Each quoted string is a regexp; several on one comment expect several
+// diagnostics on the line. Every pattern must match a diagnostic and every
+// diagnostic must be claimed by a pattern, or the test fails.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"abstractbft/internal/lint"
+)
+
+// expectation is one compiled want pattern anchored to a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE matches the quoted patterns of a want comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// commentRE recognizes the want marker inside a comment.
+var commentRE = regexp.MustCompile(`//\s*want\s`)
+
+// Run loads the fixture package in dir, runs the analyzers over it, and
+// asserts the diagnostics and the fixture's want comments match exactly.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	prog := load(t, dir)
+	diags := run(t, prog, analyzers)
+	wants := parseWants(t, prog)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", dir)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic matched %s:%d: want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// Diagnostics loads the fixture package in dir and returns the raw findings
+// of the given analyzers, without consulting want comments. Tests use it to
+// show a fixture goes silent when its analyzer is dropped from the run set
+// (the abstractlint -run mechanism).
+func Diagnostics(t *testing.T, dir string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	return run(t, load(t, dir), analyzers)
+}
+
+func load(t *testing.T, dir string) *lint.Program {
+	t.Helper()
+	prog, err := lint.Load(dir, []string{"."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return prog
+}
+
+func run(t *testing.T, prog *lint.Program, analyzers []*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	diags, err := lint.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	return diags
+}
+
+// parseWants extracts the expectations from the fixture's comments.
+func parseWants(t *testing.T, prog *lint.Program) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range prog.Roots {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					loc := commentRE.FindStringIndex(c.Text)
+					if loc == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, quoted := range wantRE.FindAllString(c.Text[loc[1]:], -1) {
+						pat, err := strconv.Unquote(quoted)
+						if err != nil {
+							t.Fatalf("%s:%d: malformed want pattern %s: %v", pos.Filename, pos.Line, quoted, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, raw: pat, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first open expectation matching the diagnostic; a
+// diagnostic on a line whose expectations are all taken still passes if one
+// of them matches it (two identical findings, one pattern).
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	var fallback bool
+	for _, w := range wants {
+		if w.file != d.Position.Filename || w.line != d.Position.Line || !w.re.MatchString(d.Message) {
+			continue
+		}
+		if !w.matched {
+			w.matched = true
+			return true
+		}
+		fallback = true
+	}
+	return fallback
+}

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc statically guards the functions annotated //abstractbft:noalloc —
+// the pinned hot paths whose runtime AllocsPerRun gates only say that
+// *something* regressed, not where. It flags the obvious heap-allocating
+// constructs on the offending line:
+//
+//   - calls into fmt, errors, and log
+//   - make() of any kind, new(), map/slice composite literals
+//   - function literals (closure capture)
+//   - string concatenation and string<->[]byte conversions
+//   - boxing a non-pointer-shaped value into an interface
+//   - time.Now/time.Since inside loops
+//
+// Plain append into a caller-provided buffer and struct literals are
+// deliberately not flagged: the pooled-buffer idiom depends on them and the
+// runtime gates bound growth. A deliberate allocation is waived per line
+// with //abstractbft:alloc-ok <reason>.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag heap-allocating constructs inside //abstractbft:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+var allocPkgs = map[string]bool{"fmt": true, "errors": true, "log": true}
+
+func runNoAlloc(pass *Pass) error {
+	pkg := pass.Pkg
+	ld := newLineDirectives(pass.Fset, pkg.Files)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective("noalloc", fd.Doc) {
+				continue
+			}
+			c := &allocChecker{pass: pass, pkg: pkg, ld: ld, fn: fd.Name.Name}
+			c.walk(fd.Body, 0)
+		}
+	}
+	return nil
+}
+
+type allocChecker struct {
+	pass *Pass
+	pkg  *Package
+	ld   *lineDirectives
+	fn   string
+}
+
+func (c *allocChecker) report(pos token.Pos, format string, args ...any) {
+	if c.ld.at("alloc-ok", pos) {
+		return
+	}
+	args = append(args, c.fn)
+	c.pass.Reportf(pos, format+" in //abstractbft:noalloc function %s (waive the line with //abstractbft:alloc-ok <reason>)", args...)
+}
+
+func (c *allocChecker) walk(n ast.Node, loopDepth int) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.ForStmt:
+			if x.Init != nil {
+				c.walk(x.Init, loopDepth)
+			}
+			if x.Cond != nil {
+				c.walk(x.Cond, loopDepth)
+			}
+			if x.Post != nil {
+				c.walk(x.Post, loopDepth+1)
+			}
+			c.walk(x.Body, loopDepth+1)
+			return false
+		case *ast.RangeStmt:
+			c.walk(x.X, loopDepth)
+			c.walk(x.Body, loopDepth+1)
+			return false
+		case *ast.FuncLit:
+			c.report(x.Pos(), "closure allocates")
+			return false
+		case *ast.CompositeLit:
+			tv, ok := c.pkg.Info.Types[x]
+			if ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					c.report(x.Pos(), "map literal allocates")
+				case *types.Slice:
+					c.report(x.Pos(), "slice literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := c.pkg.Info.Types[x]; ok && tv.Value == nil && isString(tv.Type) {
+					c.report(x.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(x, loopDepth)
+		}
+		return true
+	})
+}
+
+func (c *allocChecker) checkCall(call *ast.CallExpr, loopDepth int) {
+	// Builtins and conversions.
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+		if _, isBuiltin := c.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			c.report(call.Pos(), "%s allocates", id.Name)
+			return
+		}
+	}
+	if tv, ok := c.pkg.Info.Types[fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	callee := calleeOf(c.pkg.Info, call)
+	if callee != nil && callee.Pkg() != nil {
+		p := callee.Pkg().Path()
+		if allocPkgs[p] {
+			c.report(call.Pos(), "call to %s.%s allocates", p, callee.Name())
+			return
+		}
+		if p == "time" && (callee.Name() == "Now" || callee.Name() == "Since") && loopDepth > 0 {
+			c.report(call.Pos(), "time.%s inside a loop", callee.Name())
+		}
+	}
+	c.checkBoxing(call, callee)
+}
+
+// checkConversion flags string<->[]byte conversions and boxing conversions
+// like any(x).
+func (c *allocChecker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argTV, ok := c.pkg.Info.Types[call.Args[0]]
+	if !ok || argTV.Value != nil {
+		return
+	}
+	src := argTV.Type
+	switch {
+	case isString(target) && isByteSlice(src), isByteSlice(target) && isString(src):
+		c.report(call.Pos(), "string/[]byte conversion allocates")
+	case types.IsInterface(target.Underlying()) && !types.IsInterface(src.Underlying()) && !pointerShaped(src):
+		c.report(call.Pos(), "converting %s to %s boxes on the heap", src, target)
+	}
+}
+
+// checkBoxing flags concrete, non-pointer-shaped arguments passed to
+// interface-typed parameters.
+func (c *allocChecker) checkBoxing(call *ast.CallExpr, callee *types.Func) {
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		tv, ok := c.pkg.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+			continue
+		}
+		at := types.Default(tv.Type)
+		if types.IsInterface(at.Underlying()) || pointerShaped(at) {
+			continue
+		}
+		c.report(arg.Pos(), "passing %s as %s boxes on the heap", at, pt)
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// pointerShaped reports whether values of t are stored directly in an
+// interface word (no heap copy on boxing).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+// Package digestcover is the analyzer fixture for digest field coverage:
+// every exported field of a Digest()-bearing struct is either folded into
+// the digest or annotated //wire:nodigest — in both directions.
+package digestcover
+
+// Digest stands in for authn.Digest; the analyzer matches any named result
+// type of that name.
+type Digest [4]byte
+
+type Record struct {
+	// Body is folded into the digest directly.
+	Body uint64
+	// Skipped is silently missing from the digest: replicas disagreeing on
+	// it would still digest equal.
+	Skipped uint64 // want "not folded into"
+	// Trace is routing metadata, deliberately excluded.
+	//
+	//wire:nodigest
+	Trace uint64
+	// Leaky claims exclusion but reaches the digest through a helper.
+	//
+	//wire:nodigest
+	Leaky uint64 // want "the exclusion is a lie"
+	// lower is unexported: never checked.
+	lower uint64
+}
+
+func (r *Record) Digest() Digest {
+	var d Digest
+	d[0] = byte(r.Body)
+	d[1] = r.payloadByte()
+	return d
+}
+
+// payloadByte is a same-package helper on the Digest call tree; the
+// reachability walk follows it.
+func (r *Record) payloadByte() byte {
+	return byte(r.Leaky)
+}

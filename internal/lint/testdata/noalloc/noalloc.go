@@ -1,0 +1,55 @@
+// Package noalloc is the analyzer fixture for the //abstractbft:noalloc
+// hot-path guard: each flagged construct heap-allocates on a pinned path.
+package noalloc
+
+import (
+	"fmt"
+	"time"
+)
+
+// hot is pinned: every allocating construct in its body is a finding.
+//
+//abstractbft:noalloc
+func hot(buf []byte, xs []uint64) ([]byte, error) {
+	m := map[int]int{}        // want "map literal allocates"
+	s := []int{1, 2}          // want "slice literal allocates"
+	b := make([]byte, 8)      // want "make allocates"
+	p := new(uint64)          // want "new allocates"
+	f := func() {}            // want "closure allocates"
+	name := string(buf) + "!" // want "conversion allocates" "concatenation allocates"
+	for range xs {
+		_ = time.Now() // want "inside a loop"
+	}
+	_, _, _, _, _, _ = m, s, b, p, f, name
+	return buf, fmt.Errorf("boom") // want "call to fmt.Errorf allocates"
+}
+
+func consume(v any) { _ = v }
+
+// box passes a concrete integer to an interface parameter: the value is
+// copied to the heap at the call site.
+//
+//abstractbft:noalloc
+func box(n uint64) {
+	consume(n) // want "boxes on the heap"
+}
+
+// boxPointer passes a pointer-shaped value: stored directly in the
+// interface word, no allocation.
+//
+//abstractbft:noalloc
+func boxPointer(p *uint64) {
+	consume(p)
+}
+
+// waived keeps a deliberate allocation with a line-level opt-out.
+//
+//abstractbft:noalloc
+func waived() error {
+	return fmt.Errorf("deliberate") //abstractbft:alloc-ok fixture: cold error path
+}
+
+// cold has no annotation: allocate freely.
+func cold() []byte {
+	return make([]byte, 1)
+}

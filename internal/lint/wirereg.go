@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireReg cross-references the three places a wire message type must appear
+// — the gob registration (transport.RegisterWireType), the binary codec's
+// tag table (the appendPayload type switch in transport/wirecodec), and the
+// round-trip audit list (wirePayloads in the transport external test
+// package) — and makes any gap a build-time error. The TCP writer drops
+// envelopes whose encoding fails, so a forgotten registration or tag arm
+// otherwise surfaces only as silent liveness loss in deployment.
+//
+// Opt-outs: a registration line annotated //wire:gobonly marks a type
+// deliberately absent from the binary tag table and the audit (dead
+// registrations kept for compatibility); //wire:noaudit marks a type
+// exercised by its own round-trip tests instead of the audit list.
+var WireReg = &Analyzer{
+	Name:   "wirereg",
+	Doc:    "wire types must be gob-registered, binary-codec encodable, and round-trip audited",
+	Module: true,
+	Run:    runWireReg,
+}
+
+type wireReg struct {
+	pos     token.Pos
+	gobonly bool
+	noaudit bool
+}
+
+func runWireReg(pass *Pass) error {
+	rootFiles := rootFileSet(pass)
+
+	registered := make(map[*types.TypeName]wireReg)
+	tagArms := make(map[*types.TypeName]token.Pos)
+	audited := make(map[*types.TypeName]bool)
+	var sent []struct {
+		tn  *types.TypeName
+		pos token.Pos
+	}
+
+	for _, pkg := range pass.All {
+		ld := newLineDirectives(pass.Fset, pkg.Files)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				switch x := node.(type) {
+				case *ast.FuncDecl:
+					switch {
+					case x.Name.Name == "appendPayload" && pkg.Path == pass.ModulePath+"/internal/transport/wirecodec":
+						collectTagArms(pkg, x, tagArms)
+					case x.Name.Name == "wirePayloads" && pkg.XTest:
+						ast.Inspect(x, func(n ast.Node) bool {
+							if tn := pointerStructTypeName(pass, pkg.Info, n); tn != nil {
+								audited[tn] = true
+							}
+							return true
+						})
+					}
+				case *ast.CallExpr:
+					callee := calleeOf(pkg.Info, x)
+					if callee == nil {
+						return true
+					}
+					if callee.Name() == "RegisterWireType" && callee.Pkg() != nil &&
+						callee.Pkg().Path() == pass.ModulePath+"/internal/transport" && len(x.Args) == 1 {
+						if tn := namedTypeOf(pkg.Info, x.Args[0]); tn != nil {
+							if _, ok := registered[tn]; !ok {
+								registered[tn] = wireReg{
+									pos:     x.Args[0].Pos(),
+									gobonly: ld.at("gobonly", x.Pos()),
+									noaudit: ld.at("noaudit", x.Pos()),
+								}
+							}
+						}
+						return true
+					}
+					// Statically typed payloads handed to the transport:
+					// Endpoint.Send / Multicast / SendBatch and the host's
+					// wrappers.
+					if isSendLike(pass, callee) && !pkg.XTest {
+						for _, arg := range x.Args {
+							if tn := namedTypeOf(pkg.Info, arg); tn != nil && isModuleType(pass, tn) {
+								sent = append(sent, struct {
+									tn  *types.TypeName
+									pos token.Pos
+								}{tn, arg.Pos()})
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if rootFiles[pass.Fset.Position(pos).Filename] {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	for tn, reg := range registered {
+		if reg.gobonly {
+			continue
+		}
+		if _, ok := tagArms[tn]; !ok {
+			report(reg.pos, "wire type %s is gob-registered but has no tag arm in wirecodec appendPayload: "+
+				"the binary codec drops it silently; add a tag (transport/wirecodec/types.go) or annotate //wire:gobonly", tn.Name())
+		}
+		if !audited[tn] && !reg.noaudit {
+			report(reg.pos, "wire type %s is not in the wirePayloads round-trip audit (transport/wire_roundtrip_test.go): "+
+				"add an instance there or annotate //wire:noaudit <reason>", tn.Name())
+		}
+	}
+	for tn, pos := range tagArms {
+		if _, ok := registered[tn]; !ok {
+			report(pos, "type %s has a binary-codec tag arm but no transport.RegisterWireType call: "+
+				"the gob fallback codec would drop it", tn.Name())
+		}
+	}
+	for _, s := range sent {
+		if _, ok := registered[s.tn]; !ok {
+			report(s.pos, "%s is sent over a transport.Endpoint but never passed to transport.RegisterWireType: "+
+				"the TCP plane drops unregistered payloads", s.tn.Name())
+		}
+	}
+	return nil
+}
+
+// collectTagArms records the *T case types of appendPayload's type switch.
+func collectTagArms(pkg *Package, fd *ast.FuncDecl, arms map[*types.TypeName]token.Pos) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range ts.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, texpr := range cc.List {
+				tv, ok := pkg.Info.Types[texpr]
+				if !ok || !tv.IsType() {
+					continue
+				}
+				if tn := typeNameOf(tv.Type); tn != nil {
+					if _, seen := arms[tn]; !seen {
+						arms[tn] = texpr.Pos()
+					}
+				}
+			}
+		}
+		return false
+	})
+}
+
+// namedTypeOf resolves an expression's static type to the underlying named
+// struct's TypeName, unwrapping one pointer.
+func namedTypeOf(info *types.Info, e ast.Expr) *types.TypeName {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return typeNameOf(tv.Type)
+}
+
+// pointerStructTypeName matches &T{...} expressions and returns T's name.
+func pointerStructTypeName(pass *Pass, info *types.Info, n ast.Node) *types.TypeName {
+	ue, ok := n.(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	if _, ok := ast.Unparen(ue.X).(*ast.CompositeLit); !ok {
+		return nil
+	}
+	return namedTypeOf(info, ue)
+}
+
+// typeNameOf unwraps pointers and returns the named type's TypeName, if the
+// type is a named struct.
+func typeNameOf(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+// isModuleType reports whether the type is declared inside this module.
+func isModuleType(pass *Pass, tn *types.TypeName) bool {
+	return tn.Pkg() != nil &&
+		(tn.Pkg().Path() == pass.ModulePath ||
+			len(tn.Pkg().Path()) > len(pass.ModulePath) && tn.Pkg().Path()[:len(pass.ModulePath)+1] == pass.ModulePath+"/")
+}
+
+// isSendLike reports whether fn hands payloads to the wire: the transport
+// package's Send/Multicast/SendBatch (and Endpoint interface methods of the
+// same names) or the host's forwarding wrappers.
+func isSendLike(pass *Pass, fn *types.Func) bool {
+	switch fn.Name() {
+	case "Send", "Multicast", "SendBatch":
+	default:
+		return false
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case pass.ModulePath + "/internal/transport":
+		return true
+	case pass.ModulePath + "/internal/host":
+		return isHostMethod(pass.ModulePath, fn)
+	}
+	return false
+}

@@ -16,6 +16,8 @@ type Batch struct {
 	// sampled member (BatchOf hoists it so batch-granular trace hooks need no
 	// member scan). Like Request.Trace it is excluded from Digest — tracing
 	// never changes agreement identity.
+	//
+	//wire:nodigest
 	Trace obs.TraceContext
 }
 

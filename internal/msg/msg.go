@@ -34,6 +34,8 @@ type Request struct {
 	// Digest, and Equal: tracing is an observability overlay and must never
 	// change a request's agreement identity (digests, MACs, signatures, and
 	// duplicate detection are all computed over the Marshal bytes).
+	//
+	//wire:nodigest
 	Trace obs.TraceContext
 }
 
@@ -103,10 +105,18 @@ func (r Request) Clone() Request {
 // Reply is the application-level reply returned to a client for a committed
 // request.
 type Reply struct {
-	// Replica identifies the replica producing the reply.
+	// Replica identifies the replica producing the reply. Excluded from the
+	// digest: reply digests must agree across the replicas producing them
+	// (§4.2's footnote on lightweight replies), so only Result is hashed.
+	//
+	//wire:nodigest
 	Replica ids.ProcessID
-	// Client and Timestamp identify the request being answered.
-	Client    ids.ProcessID
+	// Client and Timestamp identify the request being answered; like Replica
+	// they are routing metadata, not part of the agreed reply value.
+	//
+	//wire:nodigest
+	Client ids.ProcessID
+	//wire:nodigest
 	Timestamp uint64
 	// Result is the application-level reply payload (rep(h_req)).
 	Result []byte

@@ -39,6 +39,8 @@ type Counter struct {
 
 // Add increments the counter by n. Safe on a nil counter (no-op), so
 // uninstrumented deployments pay one predictable branch.
+//
+//abstractbft:noalloc
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -46,6 +48,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one.
+//
+//abstractbft:noalloc
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 on a nil counter).
@@ -62,6 +66,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value. Safe on a nil gauge.
+//
+//abstractbft:noalloc
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -69,6 +75,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by delta (negative to decrease). Safe on a nil gauge.
+//
+//abstractbft:noalloc
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
 		g.v.Add(delta)
@@ -94,6 +102,8 @@ type Histogram struct {
 }
 
 // Observe records one value. Safe on a nil histogram.
+//
+//abstractbft:noalloc
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -113,6 +123,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveDuration records a duration in seconds.
+//
+//abstractbft:noalloc
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Count returns the number of observations (0 on a nil histogram).

@@ -103,6 +103,8 @@ func (r *SpanRing) Process() string {
 }
 
 // add records one span, evicting the oldest when full. Safe on a nil ring.
+//
+//abstractbft:noalloc
 func (r *SpanRing) add(sp Span) {
 	if r == nil {
 		return

@@ -84,6 +84,8 @@ func (t *Tracer) Spans() *SpanRing {
 // Sample reports whether the caller should trace the current request.
 // Retained for process-local sampling decisions; wire-propagated tracing uses
 // NewTrace instead, so the whole cluster follows the client's one decision.
+//
+//abstractbft:noalloc
 func (t *Tracer) Sample() bool {
 	if t == nil {
 		return false
@@ -99,6 +101,8 @@ func (t *Tracer) Sample() bool {
 // The caller (the client) records its own root span by passing the returned
 // context to Record, and stamps requests with {TraceID, Parent: TraceID} so
 // downstream spans parent under the root.
+//
+//abstractbft:noalloc
 func (t *Tracer) NewTrace() TraceContext {
 	if t == nil {
 		return TraceContext{}
@@ -111,6 +115,8 @@ func (t *Tracer) NewTrace() TraceContext {
 
 // Observe records the duration of one lifecycle stage for a sampled request
 // (histogram only; no span). Retained for process-local call sites.
+//
+//abstractbft:noalloc
 func (t *Tracer) Observe(stage int, d time.Duration) {
 	if t == nil || stage < 0 || stage >= numStages {
 		return
@@ -124,6 +130,8 @@ func (t *Tracer) Observe(stage int, d time.Duration) {
 // A context with Parent 0 records the trace's root span (span ID = trace ID);
 // any other context records a child of ctx.Parent. Unsampled contexts return
 // after one compare with zero allocations.
+//
+//abstractbft:noalloc
 func (t *Tracer) Record(ctx TraceContext, stage, shard int, start time.Time, d time.Duration) {
 	if t == nil || !ctx.Sampled() || stage < 0 || stage >= numStages {
 		return

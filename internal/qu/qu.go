@@ -41,9 +41,11 @@ type Response struct {
 	MAC           authn.MAC
 }
 
+// Q/U runs in-process only (perf-model experiments); its messages are
+// deliberately absent from the binary tag table and the TCP audit.
 func init() {
-	transport.RegisterWireType(&Request{})
-	transport.RegisterWireType(&Response{})
+	transport.RegisterWireType(&Request{})  //wire:gobonly
+	transport.RegisterWireType(&Response{}) //wire:gobonly
 }
 
 func reqAuthBytes(req msg.Request) []byte {

@@ -27,7 +27,9 @@ import (
 func RegisterWireType(v any) { gob.Register(v) }
 
 func init() {
-	RegisterWireType(&Packed{})
+	// Packed is audited by TestPackedRoundTrip: receivers must observe the
+	// unpacked payloads, so it cannot appear in the wirePayloads echo audit.
+	RegisterWireType(&Packed{}) //wire:noaudit unpacked on receive; audited by TestPackedRoundTrip
 	RegisterWireType(&ConnChallenge{})
 	RegisterWireType(&ConnProof{})
 }

@@ -328,6 +328,8 @@ type Packed struct {
 
 // SendBatch transmits several payloads to one destination as a single
 // envelope. A batch of one (or zero) payloads degenerates to a plain Send.
+//
+//abstractbft:noalloc
 func SendBatch(ep Endpoint, to ids.ProcessID, payloads []any) {
 	switch len(payloads) {
 	case 0:

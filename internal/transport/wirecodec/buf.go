@@ -47,8 +47,10 @@ const maxDepth = 16
 
 // Append helpers: plain append-style writers over a caller-owned buffer.
 
+//abstractbft:noalloc
 func appendU8(b []byte, v byte) []byte { return append(b, v) }
 
+//abstractbft:noalloc
 func appendBool(b []byte, v bool) []byte {
 	if v {
 		return append(b, 1)
@@ -56,30 +58,38 @@ func appendBool(b []byte, v bool) []byte {
 	return append(b, 0)
 }
 
+//abstractbft:noalloc
 func appendU16(b []byte, v uint16) []byte {
 	return append(b, byte(v>>8), byte(v))
 }
 
+//abstractbft:noalloc
 func appendU32(b []byte, v uint32) []byte {
 	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
+//abstractbft:noalloc
 func appendU64(b []byte, v uint64) []byte {
 	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
 		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
+//abstractbft:noalloc
 func appendID(b []byte, p ids.ProcessID) []byte { return appendU32(b, uint32(int32(p))) }
 
+//abstractbft:noalloc
 func appendBytes(b, p []byte) []byte {
 	b = appendU32(b, uint32(len(p)))
 	return append(b, p...)
 }
 
+//abstractbft:noalloc
 func appendDigest(b []byte, d authn.Digest) []byte { return append(b, d[:]...) }
 
+//abstractbft:noalloc
 func appendMAC(b []byte, m authn.MAC) []byte { return append(b, m[:]...) }
 
+//abstractbft:noalloc
 func appendU64s(b []byte, vs []uint64) []byte {
 	b = appendU32(b, uint32(len(vs)))
 	for _, v := range vs {

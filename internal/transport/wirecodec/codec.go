@@ -67,11 +67,13 @@ type streamEncoder struct {
 	buf []byte // frame under construction; buf[:frameHeader] is the length slot
 }
 
+//abstractbft:noalloc
 func (e *streamEncoder) getBuf() []byte {
 	b := *bufPool.Get().(*[]byte)
 	return b[:frameHeader]
 }
 
+//abstractbft:noalloc
 func (e *streamEncoder) Encode(env *transport.Envelope) error {
 	mark := len(e.buf)
 	b := appendU32(e.buf, uint32(int32(env.From)))
@@ -98,6 +100,7 @@ func (e *streamEncoder) Encode(env *transport.Envelope) error {
 	return nil
 }
 
+//abstractbft:noalloc
 func (e *streamEncoder) Flush() error {
 	if len(e.buf) <= frameHeader {
 		return nil
@@ -169,6 +172,8 @@ func (d *streamDecoder) Decode(env *transport.Envelope) error {
 // MarshalWire encodes a single payload in the tagged wire form (u16 tag +
 // fields) into a fresh byte slice. It is the one-shot API used by tests,
 // fuzzing, and benchmarks; the TCP path streams through Binary() instead.
+//
+//abstractbft:noalloc
 func MarshalWire(p any) ([]byte, error) {
 	scratch := bufPool.Get().(*[]byte)
 	b, err := appendPayload((*scratch)[:0], p, 0)
@@ -176,7 +181,7 @@ func MarshalWire(p any) ([]byte, error) {
 		bufPool.Put(scratch)
 		return nil, err
 	}
-	out := make([]byte, len(b))
+	out := make([]byte, len(b)) //abstractbft:alloc-ok one-shot API contract: callers keep the slice
 	copy(out, b)
 	if cap(b) <= retainedBuf {
 		*scratch = b

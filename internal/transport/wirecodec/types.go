@@ -83,6 +83,7 @@ const (
 	reqFlagTraced   byte = 1 << 1
 )
 
+//abstractbft:noalloc
 func appendRequest(b []byte, r msg.Request) []byte {
 	b = appendID(b, r.Client)
 	b = appendU64(b, r.Timestamp)
@@ -120,6 +121,7 @@ func decodeRequest(r *reader) msg.Request {
 	return out
 }
 
+//abstractbft:noalloc
 func appendRequests(b []byte, rs []msg.Request) []byte {
 	b = appendU32(b, uint32(len(rs)))
 	for _, req := range rs {
@@ -149,6 +151,7 @@ func decodeRequests(r *reader) []msg.Request {
 // can never reach the flag bit; an untraced batch encodes exactly as before.
 const batchTracedFlag uint32 = 1 << 31
 
+//abstractbft:noalloc
 func appendBatch(b []byte, batch msg.Batch) []byte {
 	if !batch.Trace.Sampled() {
 		return appendRequests(b, batch.Requests)
@@ -196,6 +199,7 @@ func decodeBatch(r *reader) msg.Batch {
 	return batch
 }
 
+//abstractbft:noalloc
 func appendAuth(b []byte, a authn.Authenticator) []byte {
 	b = appendID(b, a.Sender)
 	b = appendU32(b, uint32(len(a.Entries)))
@@ -223,6 +227,7 @@ func decodeAuth(r *reader) authn.Authenticator {
 	return a
 }
 
+//abstractbft:noalloc
 func appendAuths(b []byte, as []authn.Authenticator) []byte {
 	b = appendU32(b, uint32(len(as)))
 	for _, a := range as {
@@ -246,6 +251,7 @@ func decodeAuths(r *reader) []authn.Authenticator {
 	return out
 }
 
+//abstractbft:noalloc
 func appendChainAuth(b []byte, ca authn.ChainAuthenticator) []byte {
 	b = appendU32(b, uint32(len(ca.Entries)))
 	for _, e := range ca.Entries {
@@ -272,6 +278,7 @@ func decodeChainAuth(r *reader) authn.ChainAuthenticator {
 	return ca
 }
 
+//abstractbft:noalloc
 func appendChainAuths(b []byte, cas []authn.ChainAuthenticator) []byte {
 	b = appendU32(b, uint32(len(cas)))
 	for _, ca := range cas {
@@ -295,6 +302,7 @@ func decodeChainAuths(r *reader) []authn.ChainAuthenticator {
 	return out
 }
 
+//abstractbft:noalloc
 func appendDigests(b []byte, ds []authn.Digest) []byte {
 	b = appendU32(b, uint32(len(ds)))
 	for _, d := range ds {
@@ -318,6 +326,7 @@ func decodeDigests(r *reader) []authn.Digest {
 	return out
 }
 
+//abstractbft:noalloc
 func appendDigestHistory(b []byte, dh history.DigestHistory) []byte {
 	return appendDigests(b, dh)
 }
@@ -330,6 +339,7 @@ func decodeDigestHistory(r *reader) history.DigestHistory {
 	return history.DigestHistory(ds)
 }
 
+//abstractbft:noalloc
 func appendExtract(b []byte, e history.ExtractResult) []byte {
 	b = appendU64(b, e.BaseSeq)
 	b = appendDigest(b, e.BaseDigest)
@@ -344,6 +354,7 @@ func decodeExtract(r *reader) history.ExtractResult {
 	return e
 }
 
+//abstractbft:noalloc
 func appendReport(b []byte, rep history.ReplicaReport) []byte {
 	b = appendU64(b, rep.CheckpointSeq)
 	b = appendDigest(b, rep.CheckpointDigest)
@@ -358,6 +369,7 @@ func decodeReport(r *reader) history.ReplicaReport {
 	return rep
 }
 
+//abstractbft:noalloc
 func appendAbort(b []byte, a core.AbortMessage) []byte {
 	b = appendU64(b, uint64(a.Instance))
 	b = appendID(b, a.Replica)
@@ -378,6 +390,7 @@ func decodeAbort(r *reader) core.AbortMessage {
 	return a
 }
 
+//abstractbft:noalloc
 func appendSignedAbort(b []byte, s core.SignedAbort) []byte {
 	b = appendAbort(b, s.Abort)
 	return appendBytes(b, s.Sig)
@@ -393,6 +406,8 @@ func decodeSignedAbort(r *reader) core.SignedAbort {
 }
 
 // appendInit encodes a nullable init history behind a presence byte.
+//
+//abstractbft:noalloc
 func appendInit(b []byte, init *core.InitHistory) []byte {
 	if init == nil {
 		return appendU8(b, 0)
@@ -430,6 +445,7 @@ func decodeInit(r *reader) *core.InitHistory {
 	return init
 }
 
+//abstractbft:noalloc
 func appendSnapshot(b []byte, s statesync.Snapshot) []byte {
 	b = appendU64(b, s.Seq)
 	b = appendDigest(b, s.HistDigest)
@@ -485,6 +501,7 @@ func decodeSnapshot(r *reader) statesync.Snapshot {
 	return s
 }
 
+//abstractbft:noalloc
 func appendPreparedEntries(b []byte, ps []pbft.PreparedEntry) []byte {
 	b = appendU32(b, uint32(len(ps)))
 	for _, p := range ps {
@@ -510,6 +527,7 @@ func decodePreparedEntries(r *reader) []pbft.PreparedEntry {
 	return out
 }
 
+//abstractbft:noalloc
 func appendViewChange(b []byte, vc pbft.ViewChange) []byte {
 	b = appendU64(b, vc.NewView)
 	b = appendID(b, vc.Replica)
@@ -530,6 +548,7 @@ func decodeViewChange(r *reader) pbft.ViewChange {
 	return vc
 }
 
+//abstractbft:noalloc
 func appendPrePrepare(b []byte, pp pbft.PrePrepare) []byte {
 	b = appendU64(b, pp.View)
 	b = appendU64(b, pp.Seq)
@@ -551,9 +570,11 @@ func decodePrePrepare(r *reader) pbft.PrePrepare {
 // appendPayload encodes one tagged payload. Unknown types report an error
 // wrapping transport.ErrUnencodable so the TCP writer drops the envelope
 // without killing the connection.
+//
+//abstractbft:noalloc
 func appendPayload(b []byte, p any, depth int) ([]byte, error) {
 	if depth > maxDepth {
-		return b, fmt.Errorf("%w (%w)", ErrDepth, transport.ErrUnencodable)
+		return b, fmt.Errorf("%w (%w)", ErrDepth, transport.ErrUnencodable) //abstractbft:alloc-ok error path, envelope is dropped
 	}
 	switch m := p.(type) {
 	case *transport.Packed:
@@ -755,7 +776,7 @@ func appendPayload(b []byte, p any, depth int) ([]byte, error) {
 		b = appendBool(b, m.HasApp)
 		return appendBytes(b, m.App), nil
 	}
-	return b, fmt.Errorf("wirecodec: unsupported payload type %T (%w)", p, transport.ErrUnencodable)
+	return b, fmt.Errorf("wirecodec: unsupported payload type %T (%w)", p, transport.ErrUnencodable) //abstractbft:alloc-ok error path, envelope is dropped
 }
 
 // decodePayload decodes one tagged payload from the reader. On any error the

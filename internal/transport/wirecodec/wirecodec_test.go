@@ -65,6 +65,11 @@ func samplePayloads() []any {
 		&shard.Mark{Shard: 1, Payload: &transport.Packed{Payloads: []any{
 			&core.FetchRequest{Instance: 1, From: ids.Replica(2), Digests: []authn.Digest{dig}},
 		}}},
+		// The connection handshake control frames: the TCP read loop consumes
+		// them instead of delivering to the inbox, so the byte-level corpus is
+		// where they get round-trip, truncation, and mutation coverage.
+		&transport.ConnChallenge{Nonce: []byte("nonce-0123456789")},
+		&transport.ConnProof{Proof: mac},
 	}
 }
 

@@ -77,12 +77,14 @@ type LocalCommit struct {
 	MAC       authn.MAC
 }
 
+// Zyzzyva runs in-process only (perf-model experiments); its messages are
+// deliberately absent from the binary tag table and the TCP audit.
 func init() {
-	transport.RegisterWireType(&RequestMessage{})
-	transport.RegisterWireType(&OrderRequest{})
-	transport.RegisterWireType(&SpecResponse{})
-	transport.RegisterWireType(&CommitCertificate{})
-	transport.RegisterWireType(&LocalCommit{})
+	transport.RegisterWireType(&RequestMessage{})    //wire:gobonly
+	transport.RegisterWireType(&OrderRequest{})      //wire:gobonly
+	transport.RegisterWireType(&SpecResponse{})      //wire:gobonly
+	transport.RegisterWireType(&CommitCertificate{}) //wire:gobonly
+	transport.RegisterWireType(&LocalCommit{})       //wire:gobonly
 }
 
 func specRespMACBytes(m *SpecResponse) []byte {
